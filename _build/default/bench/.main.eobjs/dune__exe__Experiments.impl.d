@@ -1,0 +1,1 @@
+bench/experiments.ml: Advisor Array Corpus Cq Float Fun Hashtbl List Mangrove Matching Pdms Printf Relalg Rewrite String Sys Util Workload

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Cq Fun Hashtbl Instance List Mangrove Matching Measure Pdms Printf Relalg Rewrite Staged String Test Time Toolkit Util Workload

@@ -1,0 +1,817 @@
+(* The experiment harness: one function per experiment of DESIGN.md's
+   per-experiment index (E1-E9). Each prints an aligned table; the rows
+   are what EXPERIMENTS.md records. All experiments are deterministic
+   (seeded PRNGs); timings are CPU time and will vary by machine, while
+   counters (nodes expanded, rewritings, accuracies) are exact. *)
+
+module T = Util.Ascii_table
+
+let time_ms f =
+  let t0 = Sys.time () in
+  let result = f () in
+  ((Sys.time () -. t0) *. 1000.0, result)
+
+let header id claim =
+  Printf.printf "\n## %s — %s\n\n" id claim
+
+(* ------------------------------------------------------------------ *)
+(* E1: reformulation cost vs. number of peers, per topology (claim C3) *)
+
+let e1 () =
+  header "E1" "PDMS reformulation cost vs. #peers and topology";
+  let table =
+    T.create
+      [ "topology"; "peers"; "mappings"; "time_ms"; "rewritings"; "nodes";
+        "answers" ]
+  in
+  let prng = Util.Prng.create 1 in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun n ->
+          let topology = Pdms.Topology.generate ~prng kind ~n in
+          let g =
+            Workload.Peers_gen.generate (Util.Prng.split prng) ~topology
+              ~tuples_per_peer:4 ()
+          in
+          let query = Workload.Peers_gen.course_query g ~at:0 in
+          let ms, result =
+            time_ms (fun () -> Pdms.Answer.answer g.Workload.Peers_gen.catalog query)
+          in
+          let stats = result.Pdms.Answer.outcome.Pdms.Reformulate.stats in
+          T.add_row table
+            [ Pdms.Topology.kind_name kind; T.cell_i n;
+              T.cell_i (Pdms.Topology.edge_count topology); T.cell_f ms;
+              T.cell_i stats.Pdms.Reformulate.emitted;
+              T.cell_i stats.Pdms.Reformulate.nodes_expanded;
+              T.cell_i (Relalg.Relation.cardinality result.Pdms.Answer.answers) ])
+        [ 4; 8; 16; 32; 48 ])
+    [ Pdms.Topology.Chain; Pdms.Topology.Binary_tree; Pdms.Topology.Mesh 1 ];
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* E2: pruning ablation (claim C3) *)
+
+let e2 () =
+  header "E2" "pruning heuristics ablation (cyclic mesh, n=12, depth cap 12)";
+  let prng = Util.Prng.create 2 in
+  let topology = Pdms.Topology.generate ~prng (Pdms.Topology.Mesh 1) ~n:12 in
+  let g =
+    Workload.Peers_gen.generate (Util.Prng.split prng) ~topology
+      ~tuples_per_peer:3 ()
+  in
+  let query = Workload.Peers_gen.course_query g ~at:0 in
+  let base =
+    { Pdms.Reformulate.no_pruning with Pdms.Reformulate.max_depth = 12 }
+  in
+  let configs =
+    [ ("none", base);
+      ("history", { base with Pdms.Reformulate.use_history = true });
+      ("history+dominance",
+       { base with Pdms.Reformulate.use_history = true; use_visited = true });
+      ("+goal-memo",
+       { base with
+         Pdms.Reformulate.use_history = true;
+         use_visited = true;
+         use_goal_memo = true });
+      ("all (default)", Pdms.Reformulate.default_pruning) ]
+  in
+  let table =
+    T.create [ "pruning"; "time_ms"; "nodes"; "rewritings"; "answers" ]
+  in
+  List.iter
+    (fun (name, pruning) ->
+      let ms, result =
+        time_ms (fun () ->
+            Pdms.Answer.answer ~pruning g.Workload.Peers_gen.catalog query)
+      in
+      let stats = result.Pdms.Answer.outcome.Pdms.Reformulate.stats in
+      T.add_row table
+        [ name; T.cell_f ms; T.cell_i stats.Pdms.Reformulate.nodes_expanded;
+          T.cell_i stats.Pdms.Reformulate.emitted;
+          T.cell_i (Relalg.Relation.cardinality result.Pdms.Answer.answers) ])
+    configs;
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* E3: MiniCon vs. Bucket *)
+
+let e3 () =
+  header "E3" "MiniCon vs. Bucket rewriting cost (chain queries)";
+  let v = Cq.Term.v in
+  (* Distinct predicate per position (as in the original MiniCon
+     evaluation): e0(X0,X1), e1(X1,X2), ... *)
+  let chain_query len =
+    let body =
+      List.init len (fun i ->
+          Cq.Atom.make (Printf.sprintf "e%d" i)
+            [ v (Printf.sprintf "X%d" i); v (Printf.sprintf "X%d" (i + 1)) ])
+    in
+    Cq.Query.make
+      (Cq.Atom.make "q" [ v "X0"; v (Printf.sprintf "X%d" len) ])
+      body
+  in
+  (* Relevant views: every distinct subchain of length 1 or 2, exposing
+     only its endpoints (projection views — the regime where MiniCon's
+     MCD conditions pay off). Our Bucket implementation omits the
+     classic algorithm's equality-repair step, so it additionally misses
+     rewritings here (reported as bk_rw < mc_rw); its candidate count is
+     the cost metric. Distractors: views over unrelated predicates,
+     inflating the catalog the way a large PDMS does. *)
+  let views len distractors =
+    let relevant =
+      List.concat_map
+        (fun start ->
+          List.filter_map
+            (fun vlen ->
+              if start + vlen > len then None
+              else
+                let body =
+                  List.init vlen (fun i ->
+                      Cq.Atom.make (Printf.sprintf "e%d" (start + i))
+                        [ v (Printf.sprintf "A%d" (start + i));
+                          v (Printf.sprintf "A%d" (start + i + 1)) ])
+                in
+                let head_args =
+                  [ v (Printf.sprintf "A%d" start);
+                    v (Printf.sprintf "A%d" (start + vlen)) ]
+                in
+                Some
+                  (Cq.Query.make
+                     (Cq.Atom.make (Printf.sprintf "v_%d_%d" start vlen) head_args)
+                     body))
+            [ 1; 2 ])
+        (List.init len Fun.id)
+    in
+    let noise =
+      List.init distractors (fun k ->
+          Cq.Query.make
+            (Cq.Atom.make (Printf.sprintf "w%d" k) [ v "B0"; v "B1" ])
+            [ Cq.Atom.make (Printf.sprintf "f%d" k) [ v "B0"; v "B1" ] ])
+    in
+    relevant @ noise
+  in
+  let table =
+    T.create
+      [ "query_len"; "views"; "mc_ms"; "mc_rw"; "mc_mcds"; "bk_ms"; "bk_rw";
+        "bk_candidates" ]
+  in
+  List.iter
+    (fun (len, distractors) ->
+      let q = chain_query len in
+      let vs = views len distractors in
+      let mc_ms, (mc_rw, mc_stats) =
+        time_ms (fun () -> Rewrite.Minicon.rewrite ~views:vs q)
+      in
+      let bk_ms, (bk_rw, bk_stats) =
+        time_ms (fun () -> Rewrite.Bucket.rewrite ~max_candidates:50_000 ~views:vs q)
+      in
+      T.add_row table
+        [ T.cell_i len; T.cell_i (List.length vs); T.cell_f mc_ms;
+          T.cell_i (List.length mc_rw);
+          T.cell_i mc_stats.Rewrite.Minicon.mcds_formed; T.cell_f bk_ms;
+          T.cell_i (List.length bk_rw);
+          T.cell_i bk_stats.Rewrite.Bucket.candidates_tried ])
+    [ (2, 0); (4, 0); (6, 0); (8, 0); (10, 0); (6, 40); (10, 40) ];
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* E4: LSD matching accuracy (claim C1: 70-90%) *)
+
+(* Additional base domains so the claim is not university-specific. *)
+module Sm = Corpus.Schema_model
+
+let conference_schema =
+  Sm.make ~name:"conference"
+    [ Sm.relation "paper"
+        [ Sm.attribute "title"; Sm.attribute "author"; Sm.attribute "year" ];
+      Sm.relation "session"
+        [ Sm.attribute "name"; Sm.attribute "room"; Sm.attribute "time";
+          Sm.attribute "day" ];
+      Sm.relation "attendee"
+        [ Sm.attribute "name"; Sm.attribute "email"; Sm.attribute "phone" ] ]
+
+let clinic_schema =
+  Sm.make ~name:"clinic"
+    [ Sm.relation "visit"
+        [ Sm.attribute "code"; Sm.attribute "day"; Sm.attribute "time";
+          Sm.attribute "room" ];
+      Sm.relation "doctor"
+        [ Sm.attribute "name"; Sm.attribute "phone"; Sm.attribute "office";
+          Sm.attribute "email" ] ]
+
+let bookshop_schema =
+  Sm.make ~name:"bookshop"
+    [ Sm.relation "title_entry"
+        [ Sm.attribute "title"; Sm.attribute "author"; Sm.attribute "year";
+          Sm.attribute "count" ];
+      Sm.relation "contact"
+        [ Sm.attribute "name"; Sm.attribute "email"; Sm.attribute "phone" ] ]
+
+let lsd_domains =
+  [ ("university", Workload.University.mediated_schema);
+    ("conference", conference_schema); ("clinic", clinic_schema);
+    ("bookshop", bookshop_schema) ]
+
+let lsd_accuracy prng base ~level ~only =
+  let train = 3 and trials = 4 in
+  let examples =
+    List.concat_map
+      (fun i ->
+        let variant =
+          Workload.Perturb.perturb
+            ~name:(Printf.sprintf "train%d" i)
+            (Util.Prng.split prng) ~level base
+        in
+        let mapping =
+          List.map
+            (fun (b, p) -> (p, Workload.Perturb.label_of b))
+            variant.Workload.Perturb.truth
+        in
+        Matching.Lsd.examples_of_schema ~mapping variant.Workload.Perturb.perturbed)
+      (List.init train Fun.id)
+  in
+  let lsd = Matching.Lsd.train ~examples () in
+  let scores =
+    List.init trials (fun i ->
+        let variant =
+          Workload.Perturb.perturb
+            ~name:(Printf.sprintf "test%d" i)
+            (Util.Prng.split prng) ~level base
+        in
+        let truth = Workload.Perturb.truth_correspondences variant in
+        let assignment =
+          Matching.Lsd.match_schema ?only lsd variant.Workload.Perturb.perturbed
+        in
+        (Matching.Evaluate.score
+           ~predicted:(Matching.Evaluate.of_assignment assignment)
+           ~truth)
+          .Matching.Evaluate.accuracy)
+  in
+  Util.Stats.mean scores
+
+let e4 () =
+  header "E4" "LSD multi-strategy matching accuracy (paper: 70-90%)";
+  let table =
+    T.create
+      [ "domain"; "level"; "acc_meta"; "acc_name"; "acc_bayes"; "acc_struct" ]
+  in
+  List.iter
+    (fun (domain, base) ->
+      List.iter
+        (fun level ->
+          let prng = Util.Prng.create (Hashtbl.hash (domain, level)) in
+          let acc only = lsd_accuracy (Util.Prng.copy prng) base ~level ~only in
+          T.add_row table
+            [ domain; T.cell_f level; T.cell_f (acc None);
+              T.cell_f (acc (Some [ "name" ]));
+              T.cell_f (acc (Some [ "naive-bayes" ]));
+              T.cell_f (acc (Some [ "structure" ])) ])
+        [ 0.3; 0.5; 0.75 ])
+    lsd_domains;
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* E5: MatchingAdvisor (corpus) vs. direct lexical matching *)
+
+let lexical_match s1 s2 =
+  (* Baseline: greedy one-to-one on canonicalised name similarity. *)
+  let cols1 = Matching.Column.of_schema s1 and cols2 = Matching.Column.of_schema s2 in
+  let sim c1 c2 =
+    Util.Strdist.jaccard (Matching.Column.name_tokens c1) (Matching.Column.name_tokens c2)
+  in
+  let pairs =
+    List.concat_map (fun c1 -> List.map (fun c2 -> (c1, c2, sim c1 c2)) cols2) cols1
+    |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+  in
+  let used1 = ref [] and used2 = ref [] in
+  List.filter
+    (fun (c1, c2, s) ->
+      if s <= 0.0 || List.memq c1 !used1 || List.memq c2 !used2 then false
+      else begin
+        used1 := c1 :: !used1;
+        used2 := c2 :: !used2;
+        true
+      end)
+    pairs
+  |> List.map (fun (c1, c2, _) -> (c1, c2))
+
+let base_of truth key =
+  List.find_map (fun (b, k) -> if k = key then Some b else None) truth
+
+let pair_correct v1 v2 pairs =
+  List.length
+    (List.filter
+       (fun (col1, col2) ->
+         match
+           ( base_of v1.Workload.Perturb.truth (Matching.Column.key col1),
+             base_of v2.Workload.Perturb.truth (Matching.Column.key col2) )
+         with
+         | Some x, Some y -> x = y
+         | _ -> false)
+       pairs)
+
+let pair_accuracy v1 v2 pairs =
+  match List.length pairs with
+  | 0 -> 0.0
+  | n -> float_of_int (pair_correct v1 v2 pairs) /. float_of_int n
+
+(* Base elements surviving in both variants: the matchable pairs. *)
+let matchable v1 v2 =
+  List.length
+    (List.filter
+       (fun (b, _) -> List.exists (fun (b', _) -> b = b') v2.Workload.Perturb.truth)
+       v1.Workload.Perturb.truth)
+
+let pair_recall v1 v2 pairs =
+  match matchable v1 v2 with
+  | 0 -> 0.0
+  | m -> float_of_int (pair_correct v1 v2 pairs) /. float_of_int m
+
+(* Vocabulary outside every synonym table: renamings a name matcher
+   cannot undo, but whose data still gives the game away — the regime
+   the corpus tools are for. *)
+let exotic_synonyms =
+  Util.Synonyms.of_groups
+    [ [ "title"; "caption" ]; [ "instructor"; "presenter" ];
+      [ "phone"; "extension" ]; [ "email"; "mailbox" ];
+      [ "room"; "chamber" ]; [ "name"; "moniker" ]; [ "day"; "slot" ];
+      [ "time"; "moment" ]; [ "enrollment"; "headcount" ];
+      [ "code"; "tag" ]; [ "office"; "den" ]; [ "year"; "vintage" ];
+      [ "speaker"; "orator" ]; [ "author"; "writer" ];
+      [ "venue"; "locale" ]; [ "course"; "offering" ];
+      [ "person"; "individual" ]; [ "ta"; "helper" ];
+      [ "talk"; "address" ]; [ "publication"; "writeup" ] ]
+
+let e5 () =
+  header "E5" "MatchingAdvisor (corpus classifiers) vs. direct lexical matching";
+  let table =
+    T.create
+      [ "corpus_size"; "corpus_prec"; "corpus_recall"; "lexical_prec";
+        "lexical_recall" ]
+  in
+  let level = 0.4 in
+  List.iter
+    (fun size ->
+      let prng = Util.Prng.create (100 + size) in
+      let corpus =
+        Workload.University.corpus_of_variants (Util.Prng.split prng) ~n:size ~level
+      in
+      let matcher = Matching.Corpus_matcher.build corpus in
+      (* The two schemas to match use the exotic vocabulary. *)
+      let v1 =
+        Workload.Perturb.perturb ~name:"s1" ~synonyms:exotic_synonyms
+          (Util.Prng.split prng) ~level Workload.University.mediated_schema
+      in
+      let v2 =
+        Workload.Perturb.perturb ~name:"s2" ~synonyms:exotic_synonyms
+          (Util.Prng.split prng) ~level Workload.University.mediated_schema
+      in
+      let corpus_pairs =
+        Matching.Corpus_matcher.match_schemas matcher v1.Workload.Perturb.perturbed
+          v2.Workload.Perturb.perturbed
+        |> List.map (fun (a, b, _) -> (a, b))
+      in
+      let lex_pairs =
+        lexical_match v1.Workload.Perturb.perturbed v2.Workload.Perturb.perturbed
+      in
+      T.add_row table
+        [ T.cell_i size; T.cell_f (pair_accuracy v1 v2 corpus_pairs);
+          T.cell_f (pair_recall v1 v2 corpus_pairs);
+          T.cell_f (pair_accuracy v1 v2 lex_pairs);
+          T.cell_f (pair_recall v1 v2 lex_pairs) ])
+    [ 4; 8; 16; 32 ];
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* E6: DesignAdvisor ranking quality (claim C6) *)
+
+(* Decoys from genuinely foreign domains (no attribute overlap with the
+   university vocabulary). *)
+let far_decoys prng =
+  let num n = Sm.attribute ~values:(Workload.Data_gen.values prng Workload.Data_gen.Count n) in
+  let yr n = Sm.attribute ~values:(Workload.Data_gen.values prng Workload.Data_gen.Year n) in
+  [ Sm.make ~name:"geology"
+      [ Sm.relation "mineral" [ num 15 "hardness"; num 15 "density"; yr 15 "discovered" ];
+        Sm.relation "stratum" [ num 15 "depth"; num 15 "porosity" ] ];
+    Sm.make ~name:"finance"
+      [ Sm.relation "position" [ num 15 "shares"; num 15 "basis"; yr 15 "acquired" ];
+        Sm.relation "dividend" [ num 15 "payout"; num 15 "yield_bps" ] ];
+    Sm.make ~name:"logistics"
+      [ Sm.relation "shipment" [ num 15 "weight_kg"; num 15 "pallets"; num 15 "distance_km" ];
+        Sm.relation "depot" [ num 15 "bays"; num 15 "forklifts" ] ] ]
+
+let e6 () =
+  header "E6" "DesignAdvisor ranking quality (partial schemas)";
+  let table =
+    T.create [ "seed_relations"; "top1_domain_acc"; "mean_completions"; "trials" ]
+  in
+  let trials = 6 in
+  List.iter
+    (fun k ->
+      let hits = ref 0 and completions = ref [] in
+      for trial = 1 to trials do
+        let prng = Util.Prng.create ((k * 100) + trial) in
+        let corpus =
+          Workload.University.corpus_of_variants (Util.Prng.split prng) ~n:8
+            ~level:0.3
+        in
+        List.iter
+          (fun s ->
+            Corpus.Corpus_store.add_schema corpus
+              { s with Sm.schema_name = s.Sm.schema_name ^ string_of_int trial })
+          (far_decoys (Util.Prng.split prng));
+        let fresh =
+          Workload.Perturb.perturb ~name:"partial" (Util.Prng.split prng)
+            ~level:0.3 Workload.University.mediated_schema
+        in
+        let partial =
+          {
+            fresh.Workload.Perturb.perturbed with
+            Sm.relations =
+              List.filteri
+                (fun i _ -> i < k)
+                fresh.Workload.Perturb.perturbed.Sm.relations;
+          }
+        in
+        let advisor = Advisor.Design_advisor.build corpus in
+        match Advisor.Design_advisor.rank ~limit:1 advisor ~partial with
+        | [ best ] ->
+            let name = best.Advisor.Design_advisor.candidate.Sm.schema_name in
+            if String.length name >= 4 && String.sub name 0 4 = "univ" then
+              incr hits;
+            completions :=
+              float_of_int (List.length best.Advisor.Design_advisor.missing)
+              :: !completions
+        | _ -> ()
+      done;
+      T.add_row table
+        [ T.cell_i k;
+          T.cell_f (float_of_int !hits /. float_of_int trials);
+          T.cell_f (Util.Stats.mean !completions); T.cell_i trials ])
+    [ 1; 2; 3 ];
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* E7: mapping effort & join cost, PDMS vs. mediated schema (claim C2) *)
+
+let attr_canon_set (s : Sm.t) =
+  Sm.attr_names s
+  |> List.map (fun a ->
+         Util.Tokenize.split_identifier a
+         |> List.map (Util.Synonyms.canonical Util.Synonyms.university_domain)
+         |> List.map Util.Stemmer.stem
+         |> String.concat "_")
+
+let schema_similarity a b =
+  Util.Strdist.jaccard (attr_canon_set a) (attr_canon_set b)
+
+let e7 () =
+  header "E7"
+    "join effort, PDMS (map to closest peer) vs. mediated (map to global schema)";
+  let table =
+    T.create
+      [ "peers"; "pdms_mappings"; "mediated_mappings"; "pdms_join_cost";
+        "mediated_join_cost"; "reachable" ]
+  in
+  List.iter
+    (fun n ->
+      let prng = Util.Prng.create (7000 + n) in
+      (* Peers arrive one by one; each is a variant derived from a random
+         EXISTING peer's schema (regional similarity, like Trento/Roma). *)
+      let first =
+        (Workload.Perturb.perturb ~name:"peer0" (Util.Prng.split prng) ~level:0.5
+           Workload.University.mediated_schema)
+          .Workload.Perturb.perturbed
+      in
+      let members = ref [ first ] in
+      let pdms_costs = ref [] and mediated_costs = ref [] in
+      for i = 1 to n - 1 do
+        let parent = Util.Prng.pick prng !members in
+        let joiner =
+          (Workload.Perturb.perturb
+             ~name:(Printf.sprintf "peer%d" i)
+             (Util.Prng.split prng) ~level:0.2 parent)
+            .Workload.Perturb.perturbed
+        in
+        (* PDMS: author one mapping to the most similar member. *)
+        let best =
+          List.fold_left
+            (fun acc m -> Float.max acc (schema_similarity joiner m))
+            0.0 !members
+        in
+        pdms_costs := (1.0 -. best) :: !pdms_costs;
+        (* Mediated: author one mapping to the fixed global schema. *)
+        mediated_costs :=
+          (1.0 -. schema_similarity joiner Workload.University.mediated_schema)
+          :: !mediated_costs;
+        members := joiner :: !members
+      done;
+      T.add_row table
+        [ T.cell_i n; T.cell_i (n - 1); T.cell_i n;
+          T.cell_f (Util.Stats.mean !pdms_costs);
+          T.cell_f (Util.Stats.mean !mediated_costs); "1.000" ])
+    [ 4; 8; 16; 32; 64 ];
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* E8: annotation repository vs. crawl-at-query-time (claim C4) *)
+
+let e8 () =
+  header "E8" "stored annotation repository vs. page access at query time";
+  let table =
+    T.create [ "pages"; "repo_ms"; "crawl_ms"; "speedup"; "courses" ]
+  in
+  List.iter
+    (fun scale ->
+      let prng = Util.Prng.create (800 + scale) in
+      let pages =
+        Workload.Pages.department prng ~host:"uw" ~people:scale
+          ~course_pages:scale ~courses_per_page:4
+      in
+      (* Publish once into the repository. *)
+      let repo = Mangrove.Repository.create () in
+      List.iter
+        (fun (p : Workload.Pages.annotated_page) ->
+          let a =
+            Mangrove.Annotator.start ~schema:Mangrove.Lightweight_schema.department
+              p.Workload.Pages.doc
+          in
+          Workload.Pages.annotate a p.Workload.Pages.plan;
+          ignore (Mangrove.Repository.publish repo a))
+        pages;
+      let repo_ms, rows = time_ms (fun () -> Mangrove.Apps.calendar repo) in
+      (* Crawl baseline: touch every page at query time — re-walk each
+         document, re-extract its annotations into a transient store,
+         then answer. *)
+      let crawl_ms, crawl_rows =
+        time_ms (fun () ->
+            let transient = Mangrove.Repository.create () in
+            List.iter
+              (fun (p : Workload.Pages.annotated_page) ->
+                (* The crawl must at least read the page... *)
+                ignore (Mangrove.Html.word_count p.Workload.Pages.doc);
+                let a =
+                  Mangrove.Annotator.start
+                    ~schema:Mangrove.Lightweight_schema.department
+                    p.Workload.Pages.doc
+                in
+                Workload.Pages.annotate a p.Workload.Pages.plan;
+                ignore (Mangrove.Repository.publish transient a))
+              pages;
+            Mangrove.Apps.calendar transient)
+      in
+      assert (List.length rows = List.length crawl_rows);
+      T.add_row table
+        [ T.cell_i (List.length pages); T.cell_f repo_ms; T.cell_f crawl_ms;
+          T.cell_f (crawl_ms /. Float.max 0.001 repo_ms);
+          T.cell_i (List.length rows) ])
+    [ 5; 15; 40 ];
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* E9: updategram maintenance vs. recomputation (claim C5) *)
+
+let e9 () =
+  header "E9" "incremental updategram maintenance vs. view recomputation";
+  let table =
+    T.create
+      [ "base_tuples"; "batch"; "incr_ms"; "recompute_ms"; "speedup"; "view_rows" ]
+  in
+  List.iter
+    (fun (base_size, batch) ->
+      let prng = Util.Prng.create (900 + base_size + batch) in
+      let db = Relalg.Database.create () in
+      let r = Relalg.Database.create_relation db "r" [ "a"; "b" ] in
+      let s = Relalg.Database.create_relation db "s" [ "b"; "c" ] in
+      let domain = base_size / 2 in
+      for _ = 1 to base_size do
+        ignore
+          (Relalg.Relation.insert_distinct r
+             [| Relalg.Value.Int (Util.Prng.int prng domain);
+                Relalg.Value.Int (Util.Prng.int prng domain) |]);
+        ignore
+          (Relalg.Relation.insert_distinct s
+             [| Relalg.Value.Int (Util.Prng.int prng domain);
+                Relalg.Value.Int (Util.Prng.int prng domain) |])
+      done;
+      let v = Cq.Term.v in
+      let view =
+        Cq.Query.make
+          (Cq.Atom.make "vw" [ v "X"; v "Z" ])
+          [ Cq.Atom.make "r" [ v "X"; v "Y" ]; Cq.Atom.make "s" [ v "Y"; v "Z" ] ]
+      in
+      let vm = Pdms.View_maintenance.create db view in
+      let grams =
+        List.init batch (fun _ ->
+            Pdms.Updategram.make ~rel:(if Util.Prng.bool prng then "r" else "s")
+              ~inserts:
+                [ [| Relalg.Value.Int (Util.Prng.int prng domain);
+                     Relalg.Value.Int (Util.Prng.int prng domain) |] ]
+              ())
+      in
+      let incr_ms, () =
+        time_ms (fun () -> List.iter (Pdms.View_maintenance.apply vm) grams)
+      in
+      let recompute_ms, () = time_ms (fun () -> Pdms.View_maintenance.refresh vm) in
+      T.add_row table
+        [ T.cell_i base_size; T.cell_i batch; T.cell_f incr_ms;
+          T.cell_f recompute_ms;
+          T.cell_f (recompute_ms /. Float.max 0.001 incr_ms);
+          T.cell_i (Pdms.View_maintenance.cardinality vm) ])
+    [ (1000, 1); (1000, 10); (4000, 1); (4000, 10); (4000, 50) ];
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* E10: cooperative query caching under locality (Section 3.1.2) *)
+
+let e10 () =
+  header "E10" "query-result caching under Zipf query locality and updates";
+  let table =
+    T.create
+      [ "update_prob"; "queries"; "hit_rate"; "cached_ms"; "uncached_ms";
+        "invalidations" ]
+  in
+  List.iter
+    (fun update_prob ->
+      let prng = Util.Prng.create 1000 in
+      let topology = Pdms.Topology.generate Pdms.Topology.Chain ~n:8 in
+      let g =
+        Workload.Peers_gen.generate (Util.Prng.split prng) ~topology
+          ~tuples_per_peer:6 ()
+      in
+      let catalog = g.Workload.Peers_gen.catalog in
+      let cache = Pdms.Cache.create catalog () in
+      (* Query templates: per peer, the course query plus a projection. *)
+      let templates =
+        List.concat_map
+          (fun at ->
+            let base = Workload.Peers_gen.course_query g ~at in
+            let projected =
+              Cq.Query.make
+                (Cq.Atom.make "ans" [ Cq.Term.v "Qtitle" ])
+                base.Cq.Query.body
+            in
+            [ base; projected ])
+          [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+        |> Array.of_list
+      in
+      let total_queries = 150 in
+      let invalidations = ref 0 in
+      let touch_random_peer () =
+        let peer = g.Workload.Peers_gen.peers.(Util.Prng.int prng 8) in
+        let pred = Pdms.Peer.stored_pred peer "course" in
+        let u =
+          Pdms.Updategram.make ~rel:pred
+            ~inserts:
+              [ [| Relalg.Value.Str (Workload.Vocab.course_code prng);
+                   Relalg.Value.Str (Workload.Vocab.course_title prng);
+                   Relalg.Value.Str (Workload.Vocab.person_name prng) |] ]
+            ()
+        in
+        Pdms.Updategram.apply (Pdms.Catalog.global_db catalog) u;
+        invalidations := !invalidations + Pdms.Cache.invalidate cache u
+      in
+      let cached_ms, () =
+        time_ms (fun () ->
+            for _ = 1 to total_queries do
+              if Util.Prng.bernoulli prng update_prob then touch_random_peer ();
+              (* Zipf-skewed template choice: locality. *)
+              let rank = Util.Prng.zipf prng ~n:(Array.length templates) ~s:1.2 in
+              ignore (Pdms.Cache.answer cache templates.(rank - 1))
+            done)
+      in
+      (* Uncached baseline over an equally skewed stream. *)
+      let prng2 = Util.Prng.create 2000 in
+      let uncached_ms, () =
+        time_ms (fun () ->
+            for _ = 1 to total_queries do
+              let rank = Util.Prng.zipf prng2 ~n:(Array.length templates) ~s:1.2 in
+              ignore (Pdms.Answer.answer catalog templates.(rank - 1))
+            done)
+      in
+      let hit_rate =
+        float_of_int (Pdms.Cache.hits cache)
+        /. float_of_int (Pdms.Cache.hits cache + Pdms.Cache.misses cache)
+      in
+      T.add_row table
+        [ T.cell_f update_prob; T.cell_i total_queries; T.cell_f hit_rate;
+          T.cell_f cached_ms; T.cell_f uncached_ms; T.cell_i !invalidations ])
+    [ 0.0; 0.1; 0.3 ];
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* E11: peer-based execution vs. ship-everything-central (Section 3.1.2) *)
+
+let e11 () =
+  header "E11" "distributed execution at data sites vs. central shipping";
+  let table =
+    T.create
+      [ "topology"; "peers"; "distributed_ms"; "central_ms"; "ratio"; "answers" ]
+  in
+  List.iter
+    (fun (kind, n) ->
+      let prng = Util.Prng.create (1100 + n) in
+      let topology = Pdms.Topology.generate ~prng kind ~n in
+      let g =
+        Workload.Peers_gen.generate (Util.Prng.split prng) ~topology
+          ~tuples_per_peer:60 ()
+      in
+      let names = List.init n (Printf.sprintf "p%d") in
+      let network =
+        Pdms.Network.of_topology topology ~names ~base_latency_ms:15.0
+      in
+      (* A selective query: one stored code, so results are small while
+         inputs are large — the regime where executing at the data wins. *)
+      let some_code =
+        let peer = g.Workload.Peers_gen.peers.(n - 1) in
+        let stored =
+          Relalg.Database.find (Pdms.Peer.stored_db peer)
+            (Pdms.Peer.stored_pred peer "course")
+        in
+        match Relalg.Relation.tuples stored with
+        | row :: _ -> row.(0)
+        | [] -> Relalg.Value.Str "none"
+      in
+      let query =
+        Cq.Query.make
+          (Cq.Atom.make "ans" [ Cq.Term.v "T" ])
+          [ Pdms.Peer.atom g.Workload.Peers_gen.peers.(0) "course"
+              [ Cq.Term.Const some_code; Cq.Term.v "T"; Cq.Term.v "I" ] ]
+      in
+      let plan =
+        Pdms.Distributed.execute g.Workload.Peers_gen.catalog network ~at:"p0"
+          query
+      in
+      T.add_row table
+        [ Pdms.Topology.kind_name kind; T.cell_i n;
+          T.cell_f plan.Pdms.Distributed.distributed_ms;
+          T.cell_f plan.Pdms.Distributed.central_ms;
+          T.cell_f
+            (plan.Pdms.Distributed.central_ms
+            /. Float.max 0.001 plan.Pdms.Distributed.distributed_ms);
+          T.cell_i (Relalg.Relation.cardinality plan.Pdms.Distributed.answers) ])
+    [ (Pdms.Topology.Chain, 4); (Pdms.Topology.Chain, 8);
+      (Pdms.Topology.Chain, 16); (Pdms.Topology.Star, 8);
+      (Pdms.Topology.Star, 16) ];
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* E12: cost-based materialised-view placement (Section 3.1.2) *)
+
+let e12 () =
+  header "E12" "greedy view placement vs. single authoritative copy";
+  let table =
+    T.create
+      [ "topology"; "peers"; "hotspots"; "cost_initial"; "cost_placed";
+        "replicas"; "improvement" ]
+  in
+  List.iter
+    (fun (kind, n, hotspots) ->
+      let prng = Util.Prng.create (1200 + n + hotspots) in
+      let topology = Pdms.Topology.generate ~prng kind ~n in
+      let names = List.init n (Printf.sprintf "p%d") in
+      let network =
+        Pdms.Network.of_topology topology ~names ~base_latency_ms:25.0
+      in
+      (* Hotspot peers issue most of the queries. *)
+      let query_freq =
+        List.mapi
+          (fun i name -> (name, if i < hotspots then 30.0 else 1.0))
+          names
+      in
+      let workloads =
+        [ {
+            Pdms.Placement.view_name = "calendar";
+            query_freq;
+            update_rate = 1.0;
+            result_size = 2048;
+          };
+          {
+            Pdms.Placement.view_name = "whoswho";
+            query_freq = List.rev query_freq;
+            update_rate = 0.2;
+            result_size = 1024;
+          } ]
+      in
+      let initial = [ ("calendar", [ "p0" ]); ("whoswho", [ "p0" ]) ] in
+      let before = Pdms.Placement.cost network workloads initial in
+      let placed =
+        Pdms.Placement.greedy network workloads ~initial ~max_replicas:4
+      in
+      let after = Pdms.Placement.cost network workloads placed in
+      let replicas =
+        List.fold_left (fun acc (_, rs) -> acc + List.length rs) 0 placed
+      in
+      T.add_row table
+        [ Pdms.Topology.kind_name kind; T.cell_i n; T.cell_i hotspots;
+          T.cell_f before; T.cell_f after; T.cell_i replicas;
+          T.cell_f (before /. Float.max 0.001 after) ])
+    [ (Pdms.Topology.Chain, 6, 1); (Pdms.Topology.Chain, 12, 2);
+      (Pdms.Topology.Chain, 16, 3); (Pdms.Topology.Star, 8, 2);
+      (Pdms.Topology.Star, 16, 3) ];
+  T.print table
+
+let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+            ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+            ("e11", e11); ("e12", e12) ]

@@ -1,0 +1,343 @@
+(* The `revere` command-line tool: poke at the library from a shell.
+
+     revere demo                          the DElearning walkthrough
+     revere match A.schema B.schema       corpus-assisted schema matching
+     revere advise PARTIAL.schema S...    DesignAdvisor ranking
+     revere critique DRAFT.schema S...    decomposition advice
+     revere stats TERM S...               corpus statistics for a term
+     revere query 'q(X) :- r(X, Y)'       parse + inspect a CQ
+     revere stem WORD...                  Porter-stem words
+
+   Schema files use the format of Corpus.Schema_parser. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_schema path =
+  match Corpus.Schema_parser.parse (read_file path) with
+  | Ok s -> s
+  | Error msg ->
+      Printf.eprintf "error: %s: %s\n" path msg;
+      exit 1
+
+let load_corpus paths =
+  let corpus = Corpus.Corpus_store.create () in
+  List.iter (fun p -> Corpus.Corpus_store.add_schema corpus (load_schema p)) paths;
+  corpus
+
+(* ------------------------------------------------------------------ *)
+
+let demo () =
+  let prng = Util.Prng.create 2003 in
+  let scenario = Core.Delearning.build prng ~courses_per_peer:3 in
+  let d = scenario.Core.Delearning.delearning in
+  Printf.printf "DElearning coalition: %s\n"
+    (String.concat ", " (List.map fst d.Workload.University.peers));
+  Printf.printf "mappings: %d (linear in peers)\n"
+    (Pdms.Catalog.mapping_count d.Workload.University.catalog);
+  let visible = Core.Delearning.courses_visible_at scenario "roma" in
+  Printf.printf "courses visible from roma: %d\n" (List.length visible);
+  List.iteri (fun i t -> if i < 5 then Printf.printf "  %s\n" t) visible;
+  let report =
+    Core.Delearning.join_university scenario prng ~name:"trento" ~rel:"corso"
+      ~attrs:[ "titolo"; "iscritti" ] ~courses:4
+  in
+  Printf.printf "trento joined via %s; correspondences: %s\n"
+    report.Core.Delearning.mapped_to
+    (String.concat ", "
+       (List.map
+          (fun (a, b) -> a ^ "<->" ^ b)
+          report.Core.Delearning.correspondences));
+  Printf.printf "courses visible from trento: %d\n"
+    (List.length (Core.Delearning.courses_visible_at scenario "trento"))
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Run the DElearning scenario end to end")
+    Term.(const demo $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let match_schemas a b corpus_paths =
+  let s1 = load_schema a and s2 = load_schema b in
+  let corpus =
+    if corpus_paths = [] then begin
+      (* Default corpus: seeded university variants. *)
+      let prng = Util.Prng.create 7 in
+      Workload.University.corpus_of_variants prng ~n:8 ~level:0.3
+    end
+    else load_corpus corpus_paths
+  in
+  let matcher = Matching.Corpus_matcher.build corpus in
+  let pairs = Matching.Corpus_matcher.match_schemas matcher s1 s2 in
+  if pairs = [] then print_endline "no correspondences proposed"
+  else
+    List.iter
+      (fun (c1, c2, score) ->
+        Printf.printf "%-30s <-> %-30s %.3f\n"
+          (c1.Matching.Column.rel ^ "." ^ c1.Matching.Column.attr)
+          (c2.Matching.Column.rel ^ "." ^ c2.Matching.Column.attr)
+          score)
+      pairs
+
+let schema_arg n doc = Arg.(required & pos n (some file) None & info [] ~docv:"SCHEMA" ~doc)
+
+let corpus_arg =
+  Arg.(value & opt_all file [] & info [ "c"; "corpus" ] ~docv:"SCHEMA"
+         ~doc:"Corpus schema file (repeatable); default: built-in university corpus")
+
+let match_cmd =
+  Cmd.v
+    (Cmd.info "match" ~doc:"Propose correspondences between two schema files")
+    Term.(
+      const match_schemas
+      $ schema_arg 0 "first schema file"
+      $ schema_arg 1 "second schema file"
+      $ corpus_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let advise partial_path corpus_paths =
+  let partial = load_schema partial_path in
+  let corpus =
+    if corpus_paths = [] then
+      Workload.University.corpus_of_variants (Util.Prng.create 7) ~n:8 ~level:0.3
+    else load_corpus corpus_paths
+  in
+  let advisor = Advisor.Design_advisor.build corpus in
+  let suggestions = Advisor.Design_advisor.rank advisor ~partial in
+  if suggestions = [] then print_endline "no suggestions"
+  else
+    List.iter
+      (fun (s : Advisor.Design_advisor.suggestion) ->
+        Printf.printf "%-20s score %.3f  matched %d  proposes %d elements\n"
+          s.Advisor.Design_advisor.candidate.Corpus.Schema_model.schema_name
+          s.Advisor.Design_advisor.score
+          (List.length s.Advisor.Design_advisor.matched)
+          (List.length s.Advisor.Design_advisor.missing);
+        List.iteri
+          (fun i (rel, attr) ->
+            if i < 8 then Printf.printf "    + %s.%s\n" rel attr)
+          s.Advisor.Design_advisor.missing)
+      suggestions
+
+let advise_cmd =
+  Cmd.v (Cmd.info "advise" ~doc:"Rank corpus schemas against a partial schema")
+    Term.(const advise $ schema_arg 0 "partial schema file" $ corpus_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let critique draft_path corpus_paths =
+  let draft = load_schema draft_path in
+  let corpus =
+    if corpus_paths = [] then
+      Workload.University.corpus_of_variants (Util.Prng.create 7) ~n:8 ~level:0.3
+    else load_corpus corpus_paths
+  in
+  let stats = Corpus.Basic_stats.build ~variant:Corpus.Basic_stats.Raw corpus in
+  match Advisor.Critique.decompositions ~stats ~corpus draft with
+  | [] -> print_endline "no decomposition advice: the design conforms to the corpus"
+  | advices ->
+      List.iter
+        (fun (a : Advisor.Critique.advice) ->
+          Printf.printf
+            "relation '%s': move {%s} into a separate relation%s (confidence %.2f)\n"
+            a.Advisor.Critique.relation
+            (String.concat ", " a.Advisor.Critique.move_out)
+            (match a.Advisor.Critique.suggested_relation with
+            | Some r -> " such as '" ^ r ^ "'"
+            | None -> "")
+            a.Advisor.Critique.confidence)
+        advices
+
+let critique_cmd =
+  Cmd.v (Cmd.info "critique" ~doc:"Corpus-based decomposition advice for a draft schema")
+    Term.(const critique $ schema_arg 0 "draft schema file" $ corpus_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let stats_term term corpus_paths =
+  let corpus =
+    if corpus_paths = [] then
+      Workload.University.corpus_of_variants (Util.Prng.create 7) ~n:10 ~level:0.3
+    else load_corpus corpus_paths
+  in
+  let stats = Corpus.Basic_stats.build corpus in
+  let u = Corpus.Basic_stats.term_usage stats term in
+  Printf.printf "term %S (normalised: %s) over %d schemas\n" term
+    (Corpus.Basic_stats.normalize stats term)
+    (Corpus.Corpus_store.size corpus);
+  Printf.printf "  as relation name : %.0f%%\n" (100.0 *. u.Corpus.Basic_stats.as_relation);
+  Printf.printf "  as attribute     : %.0f%%\n" (100.0 *. u.Corpus.Basic_stats.as_attribute);
+  Printf.printf "  in data          : %.0f%%\n" (100.0 *. u.Corpus.Basic_stats.in_data);
+  (match Corpus.Basic_stats.cooccurring_attrs stats term with
+  | [] -> ()
+  | co ->
+      Printf.printf "  co-occurs with   : %s\n"
+        (String.concat ", "
+           (List.filteri (fun i _ -> i < 6) (List.map fst co))));
+  match Corpus.Similar_names.most_similar ~limit:5 stats term with
+  | [] -> ()
+  | sims ->
+      Printf.printf "  similar names    : %s\n"
+        (String.concat ", "
+           (List.map (fun (t, s) -> Printf.sprintf "%s(%.2f)" t s) sims))
+
+let term_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TERM" ~doc:"term to look up")
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Corpus statistics for a term")
+    Term.(const stats_term $ term_arg $ corpus_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let query_inspect text =
+  match Cq.Parser.parse_query text with
+  | Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 1
+  | Ok q ->
+      Printf.printf "parsed : %s\n" (Cq.Query.to_string q);
+      Printf.printf "safe   : %b\n" (Cq.Query.is_safe q);
+      Printf.printf "vars   : %s\n" (String.concat ", " (Cq.Query.vars q));
+      Printf.printf "distinguished: %s\n"
+        (String.concat ", " (Cq.Query.head_vars q));
+      Printf.printf "existential  : %s\n"
+        (String.concat ", " (Cq.Query.existential_vars q));
+      let m = Cq.Minimize.minimize q in
+      if Cq.Query.size m < Cq.Query.size q then
+        Printf.printf "minimized    : %s\n" (Cq.Query.to_string m)
+      else Printf.printf "already minimal\n"
+
+let query_cmd =
+  Cmd.v (Cmd.info "query" ~doc:"Parse and inspect a conjunctive query")
+    Term.(
+      const query_inspect
+      $ Arg.(required & pos 0 (some string) None
+             & info [] ~docv:"QUERY" ~doc:"e.g. 'q(X) :- r(X, Y)'"))
+
+(* ------------------------------------------------------------------ *)
+
+let load_pdms path =
+  match Pdms.Pdms_file.parse (read_file path) with
+  | Ok catalog -> catalog
+  | Error msg ->
+      Printf.eprintf "error: %s: %s\n" path msg;
+      exit 1
+
+let answer_pdms path query_text =
+  let catalog = load_pdms path in
+  match Cq.Parser.parse_query query_text with
+  | Error msg ->
+      Printf.eprintf "query parse error: %s\n" msg;
+      exit 1
+  | Ok query ->
+      let result = Pdms.Answer.answer catalog query in
+      let rows = Pdms.Answer.answers_list result in
+      List.iter (fun row -> print_endline (String.concat " | " row)) rows;
+      Format.eprintf "%d answers; %a@." (List.length rows)
+        Pdms.Reformulate.pp_stats
+        result.Pdms.Answer.outcome.Pdms.Reformulate.stats
+
+let answer_cmd =
+  Cmd.v
+    (Cmd.info "answer"
+       ~doc:"Answer a conjunctive query over a PDMS described in a file")
+    Term.(
+      const answer_pdms
+      $ Arg.(required & pos 0 (some file) None
+             & info [] ~docv:"PDMS_FILE" ~doc:"Pdms_file format")
+      $ Arg.(required & pos 1 (some string) None
+             & info [] ~docv:"QUERY" ~doc:"e.g. 'ans(X) :- uw.course(X, T)'"))
+
+let search_pdms path keywords =
+  let catalog = load_pdms path in
+  match Pdms.Keyword.search catalog (String.concat " " keywords) with
+  | [] -> print_endline "no hits"
+  | hits -> List.iter (fun h -> print_endline (Pdms.Keyword.render_hit h)) hits
+
+let search_cmd =
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Keyword search across every peer's stored data in a PDMS file")
+    Term.(
+      const search_pdms
+      $ Arg.(required & pos 0 (some file) None
+             & info [] ~docv:"PDMS_FILE" ~doc:"Pdms_file format")
+      $ Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"KEYWORD"))
+
+(* ------------------------------------------------------------------ *)
+
+let fig4 input_path =
+  let xml =
+    match Xmlmodel.Xml_parser.parse (read_file input_path) with
+    | Ok x -> x
+    | Error msg ->
+        Printf.eprintf "error: %s: %s\n" input_path msg;
+        exit 1
+  in
+  (match Xmlmodel.Dtd.validate Workload.University.berkeley_dtd xml with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "error: not a Berkeley schedule: %s\n" msg;
+      exit 1);
+  let out =
+    Xmlmodel.Template.apply_single Workload.University.berkeley_to_mit
+      ~docs:[ ("Berkeley.xml", xml) ]
+  in
+  print_string (Xmlmodel.Xml.to_string out)
+
+let fig4_cmd =
+  Cmd.v
+    (Cmd.info "fig4"
+       ~doc:"Apply the paper's Figure-4 Berkeley-to-MIT mapping to an XML file")
+    Term.(
+      const fig4
+      $ Arg.(required & pos 0 (some file) None
+             & info [] ~docv:"BERKELEY_XML" ~doc:"a schedule document"))
+
+let gen_berkeley seed colleges depts courses =
+  let prng = Util.Prng.create seed in
+  let xml =
+    Workload.University.berkeley_instance prng ~colleges ~depts ~courses
+  in
+  print_string (Xmlmodel.Xml.to_string xml)
+
+let gen_berkeley_cmd =
+  let int_opt name v doc = Arg.(value & opt int v & info [ name ] ~doc) in
+  Cmd.v
+    (Cmd.info "gen-berkeley" ~doc:"Emit a random Figure-3 Berkeley schedule")
+    Term.(
+      const gen_berkeley
+      $ int_opt "seed" 1 "PRNG seed"
+      $ int_opt "colleges" 2 "number of colleges"
+      $ int_opt "depts" 2 "departments per college"
+      $ int_opt "courses" 3 "courses per department")
+
+(* ------------------------------------------------------------------ *)
+
+let stem words =
+  List.iter (fun w -> Printf.printf "%s -> %s\n" w (Util.Stemmer.stem w)) words
+
+let stem_cmd =
+  Cmd.v (Cmd.info "stem" ~doc:"Porter-stem words")
+    Term.(const stem $ Arg.(value & pos_all string [] & info [] ~docv:"WORD"))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "revere" ~version:"1.0.0"
+      ~doc:"REVERE: crossing the structure chasm (CIDR 2003), in OCaml"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ demo_cmd; match_cmd; advise_cmd; critique_cmd; stats_cmd;
+            query_cmd; stem_cmd; fig4_cmd; gen_berkeley_cmd; answer_cmd;
+            search_cmd ]))

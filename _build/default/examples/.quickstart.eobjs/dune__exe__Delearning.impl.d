@@ -1,0 +1,1 @@
+examples/delearning.ml: Core Cq Format List Pdms Printf String Util Workload Xmlmodel

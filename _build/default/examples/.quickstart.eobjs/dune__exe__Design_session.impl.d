@@ -1,0 +1,1 @@
+examples/design_session.ml: Advisor Corpus Cq Fun List Matching Printf String Util Workload

@@ -1,0 +1,1 @@
+examples/mangrove_campus.ml: Format List Mangrove Printf Storage Util Workload Xmlmodel

@@ -1,0 +1,1 @@
+examples/mangrove_campus.mli:

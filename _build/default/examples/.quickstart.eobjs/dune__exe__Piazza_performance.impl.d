@@ -1,0 +1,1 @@
+examples/piazza_performance.ml: Array Cq List Pdms Printf Relalg String Util Workload

@@ -1,0 +1,1 @@
+examples/piazza_performance.mli:

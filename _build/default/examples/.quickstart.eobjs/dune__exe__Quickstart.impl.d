@@ -1,0 +1,1 @@
+examples/quickstart.ml: Advisor Array Core Corpus Cq Format List Mangrove Pdms Printf Relalg String Util Workload Xmlmodel

@@ -1,0 +1,150 @@
+(* A schema-design session with the corpus tools (Section 4.3):
+
+   - the coordinator sketches a course fragment;
+   - DesignAdvisor ranks similar corpus schemas and auto-completes;
+   - she then (wrongly) folds TA fields into the course table, and the
+     monitoring critique suggests the separate table the corpus uses;
+   - finally a user who has never seen the resulting schema poses a
+     query in her own vocabulary and the corpus reformulates it.
+
+   Run with: dune exec examples/design_session.exe *)
+
+module Sm = Corpus.Schema_model
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  let prng = Util.Prng.create 11 in
+  section "The corpus of structures";
+  let corpus = Workload.University.corpus_of_variants prng ~n:10 ~level:0.3 in
+  (* A handful of corpus schemas keep TA info in its own relation. *)
+  List.iteri
+    (fun i _ ->
+      Corpus.Corpus_store.add_schema corpus
+        (Workload.Data_gen.populate (Util.Prng.split prng) ~samples:15
+           (Sm.make ~name:(Printf.sprintf "ta_univ_%d" i)
+              [ Sm.relation "course"
+                  [ Sm.attribute "title"; Sm.attribute "instructor";
+                    Sm.attribute "room" ];
+                Sm.relation "ta"
+                  [ Sm.attribute "ta_name"; Sm.attribute "contact_phone" ] ])))
+    [ (); (); (); () ];
+  Printf.printf "corpus holds %d schemas\n" (Corpus.Corpus_store.size corpus);
+  let stats = Corpus.Basic_stats.build corpus in
+  Printf.printf "most similar names to 'instructor' (distributional):\n";
+  List.iteri
+    (fun i (t, s) -> if i < 4 then Printf.printf "  %-20s %.3f\n" t s)
+    (Corpus.Similar_names.most_similar stats "instructor");
+
+  section "Auto-complete a partial schema";
+  let partial =
+    Workload.Data_gen.populate prng ~samples:15
+      (Sm.make ~name:"draft"
+         [ Sm.relation "course"
+             [ Sm.attribute "title"; Sm.attribute "instructor" ] ])
+  in
+  let advisor = Advisor.Design_advisor.build corpus in
+  (match Advisor.Design_advisor.rank ~limit:3 advisor ~partial with
+  | [] -> Printf.printf "no suggestions\n"
+  | suggestions ->
+      List.iter
+        (fun (s : Advisor.Design_advisor.suggestion) ->
+          Printf.printf "candidate %-12s score %.3f (%d matched, %d to add)\n"
+            s.Advisor.Design_advisor.candidate.Sm.schema_name
+            s.Advisor.Design_advisor.score
+            (List.length s.Advisor.Design_advisor.matched)
+            (List.length s.Advisor.Design_advisor.missing))
+        suggestions;
+      let missing = Advisor.Design_advisor.autocomplete advisor ~partial in
+      Printf.printf "auto-complete proposes:\n";
+      List.iteri
+        (fun i (rel, attr) -> if i < 6 then Printf.printf "  %s.%s\n" rel attr)
+        missing);
+
+  section "The TA-table critique";
+  let raw_stats = Corpus.Basic_stats.build ~variant:Corpus.Basic_stats.Raw corpus in
+  let draft =
+    Sm.make ~name:"draft2"
+      [ Sm.relation "course"
+          [ Sm.attribute "title"; Sm.attribute "instructor"; Sm.attribute "room";
+            Sm.attribute "ta_name"; Sm.attribute "contact_phone" ] ]
+  in
+  (match Advisor.Critique.decompositions ~stats:raw_stats ~corpus draft with
+  | [] -> Printf.printf "no critique (unexpected)\n"
+  | advices ->
+      List.iter
+        (fun (a : Advisor.Critique.advice) ->
+          Printf.printf
+            "in relation '%s', the corpus usually keeps {%s} in a separate\n\
+             relation%s (confidence %.2f)\n"
+            a.Advisor.Critique.relation
+            (String.concat ", " a.Advisor.Critique.move_out)
+            (match a.Advisor.Critique.suggested_relation with
+            | Some r -> Printf.sprintf " — it tends to be called '%s'" r
+            | None -> "")
+            a.Advisor.Critique.confidence)
+        advices);
+
+  section "Frequent partial structures and estimation";
+  let exact = Corpus.Composite_stats.frequent_itemsets ~stats corpus ~min_support:4 in
+  Printf.printf "%d frequent attribute sets maintained; top three:\n"
+    (List.length exact);
+  List.iteri
+    (fun i (it : Corpus.Composite_stats.itemset) ->
+      if i < 3 then
+        Printf.printf "  {%s} support=%d\n"
+          (String.concat ", " it.Corpus.Composite_stats.attrs)
+          it.Corpus.Composite_stats.support)
+    exact;
+  let probe = [ "title"; "instructor"; "room" ] in
+  Printf.printf "estimated support of {%s}: %.1f (true: %d)\n"
+    (String.concat ", " probe)
+    (Corpus.Estimate.estimated_support ~stats corpus ~exact probe)
+    (Corpus.Composite_stats.support ~stats corpus probe);
+
+  section "GLUE: matching two course taxonomies";
+  (* Two universities organise their course catalogs as taxonomies with
+     different concept names; GLUE matches them from instances alone. *)
+  let taxonomy renamer =
+    Matching.Taxonomy.make (renamer "catalog")
+      [ Matching.Taxonomy.make
+          ~instances:
+            [ "relational databases and sql"; "query optimization techniques";
+              "transactions and recovery" ]
+          (renamer "databases") [];
+        Matching.Taxonomy.make
+          ~instances:
+            [ "roman empire and ancient law"; "medieval europe";
+              "renaissance florence and its art" ]
+          (renamer "history") [] ]
+  in
+  let ta = taxonomy Fun.id in
+  let tb =
+    taxonomy (function
+      | "catalog" -> "curriculum"
+      | "databases" -> "data_systems"
+      | "history" -> "past_studies"
+      | other -> other)
+  in
+  List.iter
+    (fun (a, b) -> Printf.printf "GLUE: %s <-> %s\n" a b)
+    (Matching.Glue.match_taxonomies ta tb);
+
+  section "Querying an unfamiliar schema (Section 4.4)";
+  let target =
+    Sm.make ~name:"target"
+      [ Sm.relation "course" [ Sm.attribute "title"; Sm.attribute "instructor" ];
+        Sm.relation "person" [ Sm.attribute "name"; Sm.attribute "phone" ] ]
+  in
+  let user_query =
+    Cq.Query.make
+      (Cq.Atom.make "ans" [ Cq.Term.v "T" ])
+      [ Cq.Atom.make "class" [ Cq.Term.v "T"; Cq.Term.v "I" ] ]
+  in
+  Printf.printf "user asks (her own words): %s\n" (Cq.Query.to_string user_query);
+  List.iter
+    (fun (c : Advisor.Query_reformulator.candidate) ->
+      Printf.printf "  candidate (%.2f): %s\n" c.Advisor.Query_reformulator.confidence
+        (Cq.Query.to_string c.Advisor.Query_reformulator.reformulated))
+    (Advisor.Query_reformulator.reformulate ~stats ~target user_query);
+  print_newline ()

@@ -1,0 +1,1 @@
+lib/advisor/critique.ml: Corpus Float List Util

@@ -1,0 +1,1 @@
+lib/advisor/critique.mli: Corpus

@@ -1,0 +1,1 @@
+lib/advisor/design_advisor.ml: Corpus Float List Matching Option Similarity String

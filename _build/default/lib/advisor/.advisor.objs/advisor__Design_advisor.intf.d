@@ -1,0 +1,1 @@
+lib/advisor/design_advisor.mli: Corpus Matching Similarity

@@ -1,0 +1,1 @@
+lib/advisor/query_reformulator.ml: Corpus Cq Float List Util

@@ -1,0 +1,1 @@
+lib/advisor/query_reformulator.mli: Corpus Cq

@@ -1,0 +1,1 @@
+lib/advisor/similarity.ml: Corpus List Matching

@@ -1,0 +1,1 @@
+lib/advisor/similarity.mli: Corpus Matching

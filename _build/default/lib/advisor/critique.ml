@@ -1,0 +1,74 @@
+type advice = {
+  relation : string;
+  move_out : string list;
+  suggested_relation : string option;
+  confidence : float;
+}
+
+(* Cluster the relation's attributes by their corpus same-relation
+   probability: attributes the corpus usually co-locates stay together,
+   the largest cluster is the relation's core, and every other cluster
+   is advised to move out (the paper's TA-table case). Attributes the
+   corpus has never seen stay with the core — no evidence, no advice. *)
+let decompositions ?(max_same_relation_probability = 0.34) ~stats ~corpus
+    (schema : Corpus.Schema_model.t) =
+  List.concat_map
+    (fun (r : Corpus.Schema_model.relation) ->
+      let attrs =
+        List.map
+          (fun (a : Corpus.Schema_model.attribute) -> a.Corpus.Schema_model.attr_name)
+          r.Corpus.Schema_model.attributes
+      in
+      let known a =
+        let u = Corpus.Basic_stats.term_usage stats a in
+        u.Corpus.Basic_stats.as_attribute > 0.0
+      in
+      let known_attrs = List.filter known attrs in
+      match known_attrs with
+      | [] | [ _ ] -> []
+      | _ ->
+          let prob a b =
+            Corpus.Composite_stats.same_relation_probability ~stats corpus a b
+          in
+          let uf = Util.Union_find.create () in
+          List.iter (fun a -> ignore (Util.Union_find.find uf a)) known_attrs;
+          List.iteri
+            (fun i a ->
+              List.iteri
+                (fun j b ->
+                  if j > i && prob a b > max_same_relation_probability then
+                    Util.Union_find.union uf a b)
+                known_attrs)
+            known_attrs;
+          let groups = Util.Union_find.groups uf in
+          let core =
+            List.fold_left
+              (fun best g ->
+                match best with
+                | None -> Some g
+                | Some b -> if List.length g > List.length b then Some g else best)
+              None groups
+          in
+          (match core with
+          | None -> []
+          | Some core ->
+              groups
+              |> List.filter (fun g -> g != core)
+              |> List.map (fun group ->
+                     let max_cross =
+                       List.fold_left
+                         (fun acc a ->
+                           List.fold_left
+                             (fun acc b -> Float.max acc (prob a b))
+                             acc core)
+                         0.0 group
+                     in
+                     {
+                       relation = r.Corpus.Schema_model.rel_name;
+                       move_out = group;
+                       suggested_relation =
+                         Corpus.Composite_stats.separate_relation_name ~stats
+                           corpus (List.hd group);
+                       confidence = 1.0 -. max_cross;
+                     })))
+    schema.Corpus.Schema_model.relations

@@ -1,0 +1,26 @@
+(** The design-monitoring half of DesignAdvisor: "at this point,
+    DesignAdvisor, which has been monitoring the coordinator's actions,
+    steps in and tells the coordinator that in similar schemas at most
+    other universities, TA information has been modeled in a table
+    separate from the course table" (Section 4.3.1). *)
+
+type advice = {
+  relation : string;  (** the relation being critiqued *)
+  move_out : string list;  (** attributes that usually live elsewhere *)
+  suggested_relation : string option;
+      (** the relation name the corpus uses for them *)
+  confidence : float;
+      (** 1 - max same-relation probability of the moved attributes with
+          the relation's core attributes *)
+}
+
+val decompositions :
+  ?max_same_relation_probability:float ->
+  stats:Corpus.Basic_stats.t ->
+  corpus:Corpus.Corpus_store.t ->
+  Corpus.Schema_model.t ->
+  advice list
+(** Cluster each relation's attributes by corpus same-relation
+    probability (edges above the threshold, default 0.34, keep
+    attributes together); the largest cluster is the core, every other
+    cluster yields one decomposition advice. *)

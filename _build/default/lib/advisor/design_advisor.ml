@@ -1,0 +1,61 @@
+type t = {
+  corpus : Corpus.Corpus_store.t;
+  matcher : Matching.Corpus_matcher.t;
+  weights : Similarity.weights;
+  usage : (string * int) list;
+}
+
+let build ?(weights = Similarity.default_weights) ?(usage = []) corpus =
+  { corpus; matcher = Matching.Corpus_matcher.build corpus; weights; usage }
+
+type suggestion = {
+  candidate : Corpus.Schema_model.t;
+  score : float;
+  matched : (Matching.Column.t * Matching.Column.t) list;
+  missing : (string * string) list;
+}
+
+let usage_count t name =
+  Option.value ~default:1 (List.assoc_opt name t.usage)
+
+let suggestion_of t ~partial candidate =
+  let fit_score, pairs = Similarity.fit ~matcher:t.matcher candidate partial in
+  let score =
+    (t.weights.Similarity.alpha *. fit_score)
+    +. t.weights.Similarity.beta
+       *. Similarity.preference ~usage_count:(usage_count t) candidate
+  in
+  let matched = List.map (fun (c1, c2, _) -> (c1, c2)) pairs in
+  let covered = List.map (fun (c1, _) -> Matching.Column.key c1) matched in
+  let missing =
+    List.filter
+      (fun key -> not (List.mem key covered))
+      (List.concat_map
+         (fun (r : Corpus.Schema_model.relation) ->
+           List.map
+             (fun (a : Corpus.Schema_model.attribute) ->
+               (r.Corpus.Schema_model.rel_name, a.Corpus.Schema_model.attr_name))
+             r.Corpus.Schema_model.attributes)
+         candidate.Corpus.Schema_model.relations)
+  in
+  { candidate; score; matched; missing }
+
+let rank ?(limit = 5) t ~partial =
+  Corpus.Corpus_store.schemas t.corpus
+  |> List.filter (fun s ->
+         not
+           (String.equal s.Corpus.Schema_model.schema_name
+              partial.Corpus.Schema_model.schema_name))
+  |> List.map (suggestion_of t ~partial)
+  |> List.sort (fun a b ->
+         match Float.compare b.score a.score with
+         | 0 ->
+             String.compare a.candidate.Corpus.Schema_model.schema_name
+               b.candidate.Corpus.Schema_model.schema_name
+         | c -> c)
+  |> List.filteri (fun i _ -> i < limit)
+
+let autocomplete t ~partial =
+  match rank ~limit:1 t ~partial with
+  | [ best ] when best.score > 0.0 -> best.missing
+  | _ -> []

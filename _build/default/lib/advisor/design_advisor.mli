@@ -1,0 +1,32 @@
+(** The DesignAdvisor (Section 4.3.1): given a fragment [(S, D)] — a
+    partial schema with optional data — return a ranked list of corpus
+    schemas that model a superset of it, and propose concrete
+    completions ("auto-complete for schemas"). *)
+
+type t
+
+val build :
+  ?weights:Similarity.weights ->
+  ?usage:(string * int) list ->
+  Corpus.Corpus_store.t ->
+  t
+(** [usage] supplies community usage counts per schema name (default:
+    each corpus schema counts once). *)
+
+type suggestion = {
+  candidate : Corpus.Schema_model.t;
+  score : float;
+  matched : (Matching.Column.t * Matching.Column.t) list;
+      (** (candidate column, partial-schema column) correspondences *)
+  missing : (string * string) list;
+      (** (rel, attr) elements of the candidate absent from the partial
+          schema — the proposed completion *)
+}
+
+val rank : ?limit:int -> t -> partial:Corpus.Schema_model.t -> suggestion list
+(** Best-first (default limit 5). *)
+
+val autocomplete :
+  t -> partial:Corpus.Schema_model.t -> (string * string) list
+(** The missing elements of the best-ranked candidate (empty when the
+    corpus offers nothing similar). *)

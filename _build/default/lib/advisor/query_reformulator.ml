@@ -1,0 +1,72 @@
+type candidate = {
+  reformulated : Cq.Query.t;
+  confidence : float;
+  substitutions : (string * string) list;
+}
+
+let canon name =
+  Util.Tokenize.split_identifier name
+  |> List.map (Util.Synonyms.canonical Util.Synonyms.university_domain)
+  |> List.map Util.Stemmer.stem
+
+(* Similarity between a user predicate and a target relation: lexical
+   token overlap, plus corpus distributional similarity when stats are
+   available (catching renamings the synonym table misses). *)
+let pred_similarity ?stats user_pred (r : Corpus.Schema_model.relation) =
+  let name = r.Corpus.Schema_model.rel_name in
+  let lexical = Util.Strdist.jaccard (canon user_pred) (canon name) in
+  let distributional =
+    match stats with
+    | None -> 0.0
+    | Some stats -> Corpus.Similar_names.similarity stats user_pred name
+  in
+  Float.max lexical (0.8 *. distributional)
+
+let reformulate ?(limit = 3) ?stats ~target (q : Cq.Query.t) =
+  let preds =
+    List.fold_left
+      (fun acc (a : Cq.Atom.t) ->
+        let entry = (a.Cq.Atom.pred, Cq.Atom.arity a) in
+        if List.mem entry acc then acc else entry :: acc)
+      [] q.Cq.Query.body
+    |> List.rev
+  in
+  (* Per user predicate, arity-compatible target relations with scores. *)
+  let options =
+    List.map
+      (fun (pred, arity) ->
+        let scored =
+          List.filter_map
+            (fun (r : Corpus.Schema_model.relation) ->
+              if List.length r.Corpus.Schema_model.attributes <> arity then None
+              else
+                let s = pred_similarity ?stats pred r in
+                if s > 0.0 then Some (r.Corpus.Schema_model.rel_name, s) else None)
+            target.Corpus.Schema_model.relations
+          |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+        in
+        (pred, scored))
+      preds
+  in
+  let rec combos = function
+    | [] -> [ ([], 1.0) ]
+    | (pred, scored) :: rest ->
+        let tails = combos rest in
+        List.concat_map
+          (fun (name, s) ->
+            List.map (fun (subs, c) -> ((pred, name) :: subs, c *. s)) tails)
+          scored
+  in
+  combos options
+  |> List.filter (fun (subs, _) -> List.length subs = List.length preds)
+  |> List.map (fun (subs, confidence) ->
+         let rename p =
+           match List.assoc_opt p subs with Some p' -> p' | None -> p
+         in
+         {
+           reformulated = Cq.Query.rename_preds rename q;
+           confidence;
+           substitutions = subs;
+         })
+  |> List.sort (fun a b -> Float.compare b.confidence a.confidence)
+  |> List.filteri (fun i _ -> i < limit)

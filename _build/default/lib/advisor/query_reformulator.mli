@@ -1,0 +1,24 @@
+(** Querying unfamiliar data (Section 4.4): "a user should be able to
+    access a database the schema of which she does not know, and pose a
+    query using her own terminology ... a tool that uses the corpus to
+    propose reformulations of the user's query that are well formed
+    w.r.t. the schema at hand." *)
+
+type candidate = {
+  reformulated : Cq.Query.t;
+  confidence : float;
+  substitutions : (string * string) list;
+      (** (user term, schema term) renamings applied *)
+}
+
+val reformulate :
+  ?limit:int ->
+  ?stats:Corpus.Basic_stats.t ->
+  target:Corpus.Schema_model.t ->
+  Cq.Query.t ->
+  candidate list
+(** The user query's predicates are relation names in her own
+    vocabulary. Each candidate renames predicates to arity-compatible
+    target relations, ranked by lexical similarity boosted (when
+    [stats] is given) by corpus distributional similarity. Returns at
+    most [limit] candidates (default 3), best first. *)

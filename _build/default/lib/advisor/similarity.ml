@@ -1,0 +1,27 @@
+type weights = { alpha : float; beta : float }
+
+let default_weights = { alpha = 0.8; beta = 0.2 }
+
+let fit ~matcher candidate partial =
+  let pairs = Matching.Corpus_matcher.match_schemas matcher candidate partial in
+  (* The paper's ratio of mappings to total elements, with each mapping
+     weighted by the matcher's confidence so that a single spurious
+     low-score match on a tiny candidate cannot dominate. *)
+  let weight = List.fold_left (fun acc (_, _, s) -> acc +. s) 0.0 pairs in
+  let elements =
+    Corpus.Schema_model.element_count candidate
+    + Corpus.Schema_model.element_count partial
+  in
+  let score = if elements = 0 then 0.0 else 2.0 *. weight /. float_of_int elements in
+  (score, pairs)
+
+let preference ~usage_count (s : Corpus.Schema_model.t) =
+  let usage = float_of_int (usage_count s.Corpus.Schema_model.schema_name) in
+  let popularity = usage /. (usage +. 3.0) in
+  let size = float_of_int (Corpus.Schema_model.element_count s) in
+  let conciseness = 1.0 /. (1.0 +. (size /. 25.0)) in
+  (0.7 *. popularity) +. (0.3 *. conciseness)
+
+let sim ?(weights = default_weights) ~matcher ~usage_count ~candidate partial =
+  let f, _ = fit ~matcher candidate partial in
+  (weights.alpha *. f) +. (weights.beta *. preference ~usage_count candidate)

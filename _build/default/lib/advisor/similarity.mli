@@ -1,0 +1,33 @@
+(** The DesignAdvisor similarity template (Section 4.3.1):
+    [sim(S', (S, D)) = alpha * fit(S', S, D) + beta * preference(S')].
+    [fit] is "the ratio between the total number of mappings between S'
+    and S and the total number of elements of S' and S"; [preference]
+    rewards commonly used and concise schemas. *)
+
+type weights = { alpha : float; beta : float }
+
+val default_weights : weights
+
+val fit :
+  matcher:Matching.Corpus_matcher.t ->
+  Corpus.Schema_model.t ->
+  Corpus.Schema_model.t ->
+  float * (Matching.Column.t * Matching.Column.t * float) list
+(** [fit ~matcher candidate partial] — the fit score together with the
+    element correspondences it is based on (found by the
+    SchemaMatcher, as the paper prescribes). *)
+
+val preference :
+  usage_count:(string -> int) -> Corpus.Schema_model.t -> float
+(** [usage_count] reports how often the schema (by name) is used in the
+    corpus/community; conciseness favours fewer elements. Result in
+    [0, 1]. *)
+
+val sim :
+  ?weights:weights ->
+  matcher:Matching.Corpus_matcher.t ->
+  usage_count:(string -> int) ->
+  candidate:Corpus.Schema_model.t ->
+  Corpus.Schema_model.t ->
+  float
+(** [sim ~matcher ~usage_count ~candidate partial]. *)

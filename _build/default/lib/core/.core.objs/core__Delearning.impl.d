@@ -1,0 +1,1 @@
+lib/core/delearning.ml: Corpus Cq List Matching Pdms Printf Relalg Revere String Util Workload

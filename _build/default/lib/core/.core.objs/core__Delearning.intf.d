@@ -1,0 +1,1 @@
+lib/core/delearning.mli: Corpus Matching Pdms Util Workload

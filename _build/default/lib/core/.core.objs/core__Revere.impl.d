@@ -1,0 +1,1 @@
+lib/core/revere.ml: Array Corpus List Mangrove Pdms Printf Relalg

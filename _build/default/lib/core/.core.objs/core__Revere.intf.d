@@ -1,0 +1,1 @@
+lib/core/revere.mli: Corpus Mangrove Pdms

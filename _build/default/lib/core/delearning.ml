@@ -1,0 +1,123 @@
+type scenario = {
+  delearning : Workload.University.delearning;
+  corpus : Corpus.Corpus_store.t;
+  matcher : Matching.Corpus_matcher.t;
+}
+
+let build prng ~courses_per_peer =
+  let delearning = Workload.University.build_delearning prng ~courses_per_peer in
+  let corpus = Corpus.Corpus_store.create () in
+  List.iter
+    (fun (name, peer) ->
+      let rel, _ = Workload.University.peer_course_schema name in
+      Corpus.Corpus_store.add_schema corpus (Revere.schema_model_of_peer peer ~rel))
+    delearning.Workload.University.peers;
+  { delearning; corpus; matcher = Matching.Corpus_matcher.build corpus }
+
+type join_report = {
+  joined_peer : Pdms.Peer.t;
+  mapped_to : string;
+  correspondences : (string * string) list;
+  mapping_id : Pdms.Catalog.mapping_id;
+}
+
+let join_university scenario prng ~name ~rel ~attrs ~courses =
+  let catalog = scenario.delearning.Workload.University.catalog in
+  let peer = Pdms.Peer.create ~name ~schema:[ (rel, attrs) ] in
+  Pdms.Catalog.add_peer catalog peer;
+  (* Step 1: local data. *)
+  let stored = Pdms.Catalog.store_identity catalog peer ~rel in
+  for _ = 1 to courses do
+    Relalg.Relation.insert stored
+      [| Relalg.Value.Str (Printf.sprintf "[%s] %s" name (Workload.Vocab.course_title prng));
+         Relalg.Value.Int (10 + Util.Prng.int prng 290) |]
+  done;
+  let new_model = Revere.schema_model_of_peer peer ~rel in
+  (* Step 2: the corpus picks the semantically closest member. *)
+  let members = scenario.delearning.Workload.University.peers in
+  let scored =
+    List.map
+      (fun (member_name, member_peer) ->
+        let member_rel, _ = Workload.University.peer_course_schema member_name in
+        let model = Revere.schema_model_of_peer member_peer ~rel:member_rel in
+        let pairs =
+          Matching.Corpus_matcher.match_schemas scenario.matcher new_model model
+        in
+        let strength = List.fold_left (fun acc (_, _, s) -> acc +. s) 0.0 pairs in
+        (member_name, member_peer, member_rel, pairs, strength))
+      members
+  in
+  let best =
+    List.fold_left
+      (fun best ((_, _, _, _, s) as cand) ->
+        match best with
+        | None -> Some cand
+        | Some (_, _, _, _, bs) -> if s > bs then Some cand else best)
+      None scored
+  in
+  match best with
+  | None | Some (_, _, _, [], _) ->
+      invalid_arg "Delearning.join_university: no correspondences proposed"
+  | Some (member_name, member_peer, member_rel, pairs, _) ->
+      (* Step 3: author the mapping from the proposed correspondences. *)
+      let correspondences =
+        List.map
+          (fun (c_new, c_member, _) ->
+            (c_new.Matching.Column.attr, c_member.Matching.Column.attr))
+          pairs
+      in
+      let member_attrs = List.assoc member_rel (Pdms.Peer.schema member_peer) in
+      (* Shared variables realise the correspondence; unmatched
+         attributes get their own existential variables. *)
+      let shared =
+        List.map (fun (na, ma) -> (na, ma, Cq.Term.v ("S_" ^ na))) correspondences
+      in
+      let new_args =
+        List.map
+          (fun a ->
+            match List.find_opt (fun (na, _, _) -> String.equal na a) shared with
+            | Some (_, _, t) -> t
+            | None -> Cq.Term.v ("V_" ^ a))
+          attrs
+      in
+      let member_args =
+        List.map
+          (fun a ->
+            match List.find_opt (fun (_, ma, _) -> String.equal ma a) shared with
+            | Some (_, _, t) -> t
+            | None -> Cq.Term.v ("W_" ^ a))
+          member_attrs
+      in
+      let head_args = List.map (fun (_, _, t) -> t) shared in
+      let lhs =
+        Cq.Query.make (Cq.Atom.make "m" head_args) [ Pdms.Peer.atom peer rel new_args ]
+      in
+      let rhs =
+        Cq.Query.make (Cq.Atom.make "m" head_args)
+          [ Pdms.Peer.atom member_peer member_rel member_args ]
+      in
+      let mapping_id =
+        Pdms.Catalog.add_mapping catalog (Pdms.Peer_mapping.equality ~lhs ~rhs)
+      in
+      { joined_peer = peer; mapped_to = member_name; correspondences; mapping_id }
+
+let courses_visible_at scenario name =
+  let catalog = scenario.delearning.Workload.University.catalog in
+  let peer = Pdms.Catalog.peer catalog name in
+  let rel, attrs =
+    match List.assoc_opt name scenario.delearning.Workload.University.peers with
+    | Some _ -> Workload.University.peer_course_schema name
+    | None -> (
+        match Pdms.Peer.schema peer with
+        | (rel, attrs) :: _ -> (rel, attrs)
+        | [] -> invalid_arg "Delearning.courses_visible_at: peer has no schema")
+  in
+  let title_attr = match attrs with a :: _ -> a | [] -> assert false in
+  let args = List.map (fun a -> Cq.Term.v ("Q" ^ a)) attrs in
+  let query =
+    Cq.Query.make
+      (Cq.Atom.make "ans" [ Cq.Term.v ("Q" ^ title_attr) ])
+      [ Pdms.Peer.atom peer rel args ]
+  in
+  let result = Pdms.Answer.answer catalog query in
+  List.map (function [ t ] -> t | _ -> "") (Pdms.Answer.answers_list result)

@@ -1,0 +1,40 @@
+(** The DElearning scenario (Example 1.1/3.1): a distance-education
+    coalition of universities sharing course data through the PDMS, new
+    members joining with corpus assistance. *)
+
+type scenario = {
+  delearning : Workload.University.delearning;
+  corpus : Corpus.Corpus_store.t;
+      (** the schemas already in the coalition, with sample data *)
+  matcher : Matching.Corpus_matcher.t;
+}
+
+val build : Util.Prng.t -> courses_per_peer:int -> scenario
+(** The Figure-2 six-university coalition with stored courses. *)
+
+type join_report = {
+  joined_peer : Pdms.Peer.t;
+  mapped_to : string;  (** the existing peer it authored a mapping to *)
+  correspondences : (string * string) list;
+      (** (new attr, existing attr) proposed by the MatchingAdvisor *)
+  mapping_id : Pdms.Catalog.mapping_id;
+}
+
+val join_university :
+  scenario ->
+  Util.Prng.t ->
+  name:string ->
+  rel:string ->
+  attrs:string list ->
+  courses:int ->
+  join_report
+(** The paper's three-step join flow: (1) the new university's course
+    data is stored at its peer; (2) the corpus identifies the
+    semantically closest member schema; (3) the MatchingAdvisor
+    proposes attribute correspondences, from which the equality mapping
+    is authored and registered. Raises [Invalid_argument] when no
+    correspondence at all can be proposed. *)
+
+val courses_visible_at : scenario -> string -> string list
+(** Course titles a student browsing the named university sees — the
+    "full set of distance-education courses" of Example 3.1. *)

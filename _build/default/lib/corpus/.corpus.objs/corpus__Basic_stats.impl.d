@@ -1,0 +1,1 @@
+lib/corpus/basic_stats.ml: Corpus_store Float Hashtbl List Schema_model String Util

@@ -1,0 +1,1 @@
+lib/corpus/basic_stats.mli: Corpus_store Util

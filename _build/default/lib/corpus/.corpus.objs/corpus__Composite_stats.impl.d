@@ -1,0 +1,1 @@
+lib/corpus/composite_stats.ml: Basic_stats Corpus_store List Schema_model Set String

@@ -1,0 +1,1 @@
+lib/corpus/composite_stats.mli: Basic_stats Corpus_store

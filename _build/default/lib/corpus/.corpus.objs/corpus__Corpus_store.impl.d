@@ -1,0 +1,1 @@
+lib/corpus/corpus_store.ml: List Schema_model String

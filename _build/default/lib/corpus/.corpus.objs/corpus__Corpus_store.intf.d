@@ -1,0 +1,1 @@
+lib/corpus/corpus_store.mli: Schema_model

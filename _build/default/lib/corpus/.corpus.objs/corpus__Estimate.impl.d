@@ -1,0 +1,1 @@
+lib/corpus/estimate.ml: Basic_stats Composite_stats Float List Set String

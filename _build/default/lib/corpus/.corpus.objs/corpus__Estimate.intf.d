@@ -1,0 +1,1 @@
+lib/corpus/estimate.mli: Basic_stats Composite_stats Corpus_store

@@ -1,0 +1,1 @@
+lib/corpus/schema_model.ml: Format List String Xmlmodel

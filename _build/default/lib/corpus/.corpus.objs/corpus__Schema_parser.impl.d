@@ -1,0 +1,1 @@
+lib/corpus/schema_parser.ml: Buffer List Printf Result Schema_model String

@@ -1,0 +1,1 @@
+lib/corpus/schema_parser.mli: Schema_model

@@ -1,0 +1,1 @@
+lib/corpus/similar_names.ml: Basic_stats Float List String Util

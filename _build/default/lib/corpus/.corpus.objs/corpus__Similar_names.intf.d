@@ -1,0 +1,1 @@
+lib/corpus/similar_names.mli: Basic_stats

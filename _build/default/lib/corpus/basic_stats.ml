@@ -1,0 +1,176 @@
+type variant = Raw | Stemmed | Canonical
+
+type usage = { as_relation : float; as_attribute : float; in_data : float }
+
+type t = {
+  variant : variant;
+  synonyms : Util.Synonyms.t;
+  num_schemas : int;
+  rel_usage : Util.Counter.t;  (* term -> #schemas using it as relation name *)
+  attr_usage : Util.Counter.t;
+  data_usage : Util.Counter.t;
+  (* attr term -> #relations containing it *)
+  attr_rel_count : Util.Counter.t;
+  (* "a|b" (a < b) -> #relations containing both *)
+  pair_count : Util.Counter.t;
+  (* attr -> relation-name counter *)
+  rel_names_of_attr : (string, Util.Counter.t) Hashtbl.t;
+}
+
+let normalize_with variant synonyms term =
+  let tokens = Util.Tokenize.split_identifier term in
+  let tokens = match tokens with [] -> [ String.lowercase_ascii term ] | ts -> ts in
+  let map tok =
+    match variant with
+    | Raw -> tok
+    | Stemmed -> Util.Stemmer.stem tok
+    | Canonical -> Util.Stemmer.stem (Util.Synonyms.canonical synonyms tok)
+  in
+  String.concat "_" (List.map map tokens)
+
+let pair_key a b = if String.compare a b <= 0 then a ^ "|" ^ b else b ^ "|" ^ a
+
+let build ?(variant = Canonical) ?(synonyms = Util.Synonyms.university_domain)
+    corpus =
+  let norm = normalize_with variant synonyms in
+  let t =
+    {
+      variant;
+      synonyms;
+      num_schemas = Corpus_store.size corpus;
+      rel_usage = Util.Counter.create ();
+      attr_usage = Util.Counter.create ();
+      data_usage = Util.Counter.create ();
+      attr_rel_count = Util.Counter.create ();
+      pair_count = Util.Counter.create ();
+      rel_names_of_attr = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun (s : Schema_model.t) ->
+      let rel_terms = ref [] and attr_terms = ref [] and data_terms = ref [] in
+      List.iter
+        (fun (r : Schema_model.relation) ->
+          let rel_term = norm r.Schema_model.rel_name in
+          rel_terms := rel_term :: !rel_terms;
+          let attrs =
+            List.map
+              (fun (a : Schema_model.attribute) -> norm a.Schema_model.attr_name)
+              r.Schema_model.attributes
+            |> List.sort_uniq String.compare
+          in
+          List.iter
+            (fun a ->
+              attr_terms := a :: !attr_terms;
+              Util.Counter.add t.attr_rel_count a;
+              let rc =
+                match Hashtbl.find_opt t.rel_names_of_attr a with
+                | Some c -> c
+                | None ->
+                    let c = Util.Counter.create () in
+                    Hashtbl.replace t.rel_names_of_attr a c;
+                    c
+              in
+              Util.Counter.add rc rel_term)
+            attrs;
+          let rec pairs = function
+            | [] -> ()
+            | a :: rest ->
+                List.iter (fun b -> Util.Counter.add t.pair_count (pair_key a b)) rest;
+                pairs rest
+          in
+          pairs attrs;
+          List.iter
+            (fun (a : Schema_model.attribute) ->
+              List.iter
+                (fun value ->
+                  List.iter
+                    (fun w -> data_terms := norm w :: !data_terms)
+                    (Util.Tokenize.words value))
+                a.Schema_model.sample_values)
+            r.Schema_model.attributes)
+        s.Schema_model.relations;
+      (* Per-schema presence (not raw frequency): usage is the fraction
+         of schemas exhibiting the term in that role. *)
+      List.iter (Util.Counter.add t.rel_usage)
+        (List.sort_uniq String.compare !rel_terms);
+      List.iter (Util.Counter.add t.attr_usage)
+        (List.sort_uniq String.compare !attr_terms);
+      List.iter (Util.Counter.add t.data_usage)
+        (List.sort_uniq String.compare !data_terms))
+    (Corpus_store.schemas corpus);
+  t
+
+let variant t = t.variant
+let normalize t term = normalize_with t.variant t.synonyms term
+
+let term_usage t term =
+  let term = normalize t term in
+  let frac counter =
+    if t.num_schemas = 0 then 0.0
+    else Util.Counter.count counter term /. float_of_int t.num_schemas
+  in
+  {
+    as_relation = frac t.rel_usage;
+    as_attribute = frac t.attr_usage;
+    in_data = frac t.data_usage;
+  }
+
+let known_terms t =
+  List.map fst (Util.Counter.items t.attr_usage)
+  @ List.map fst (Util.Counter.items t.rel_usage)
+  |> List.sort_uniq String.compare
+
+let cooccurrence t a b =
+  let a = normalize t a and b = normalize t b in
+  let denom = Util.Counter.count t.attr_rel_count a in
+  if denom <= 0.0 then 0.0
+  else Util.Counter.count t.pair_count (pair_key a b) /. denom
+
+let cooccurring_attrs t a =
+  let a = normalize t a in
+  let denom = Util.Counter.count t.attr_rel_count a in
+  if denom <= 0.0 then []
+  else
+    Util.Counter.items t.pair_count
+    |> List.filter_map (fun (key, count) ->
+           match String.index_opt key '|' with
+           | None -> None
+           | Some i ->
+               let x = String.sub key 0 i in
+               let y = String.sub key (i + 1) (String.length key - i - 1) in
+               if String.equal x a then Some (y, count /. denom)
+               else if String.equal y a then Some (x, count /. denom)
+               else None)
+    |> List.sort (fun (_, f1) (_, f2) -> Float.compare f2 f1)
+
+let mutually_exclusive t a b =
+  let na = normalize t a and nb = normalize t b in
+  Util.Counter.count t.attr_rel_count na > 0.0
+  && Util.Counter.count t.attr_rel_count nb > 0.0
+  && Util.Counter.count t.pair_count (pair_key na nb) = 0.0
+
+let attr_clusters t ~threshold =
+  let uf = Util.Union_find.create () in
+  List.iter
+    (fun (key, _) ->
+      match String.index_opt key '|' with
+      | None -> ()
+      | Some i ->
+          let a = String.sub key 0 i in
+          let b = String.sub key (i + 1) (String.length key - i - 1) in
+          (* Symmetric strength: co-occurrence conditioned both ways. *)
+          let s = Float.min (cooccurrence t a b) (cooccurrence t b a) in
+          ignore (Util.Union_find.find uf a);
+          ignore (Util.Union_find.find uf b);
+          if s >= threshold then Util.Union_find.union uf a b)
+    (Util.Counter.items t.pair_count);
+  Util.Union_find.groups uf
+
+let relation_name_for t attr =
+  let attr = normalize t attr in
+  match Hashtbl.find_opt t.rel_names_of_attr attr with
+  | None -> []
+  | Some counter ->
+      let total = Util.Counter.total counter in
+      List.map (fun (name, c) -> (name, c /. total)) (Util.Counter.items counter)

@@ -1,0 +1,47 @@
+(** Basic statistics over the corpus (Section 4.2.1): how each term is
+    used — as a relation name, attribute name, or in data — plus
+    attribute co-occurrence. Each statistic exists in variants depending
+    on whether stemming and synonym tables are folded in. *)
+
+type variant = Raw | Stemmed | Canonical
+(** [Canonical] = stemmed + synonym-table normalisation. *)
+
+type usage = {
+  as_relation : float;  (** fraction of corpus schemas using it so *)
+  as_attribute : float;
+  in_data : float;
+}
+
+type t
+
+val build : ?variant:variant -> ?synonyms:Util.Synonyms.t -> Corpus_store.t -> t
+(** Default variant [Canonical] with the university synonym table. *)
+
+val variant : t -> variant
+val normalize : t -> string -> string
+(** The term normalisation this instance applies. *)
+
+val term_usage : t -> string -> usage
+
+val known_terms : t -> string list
+
+val cooccurring_attrs : t -> string -> (string * float) list
+(** Attributes appearing in the same relation as the given one, with
+    co-occurrence fraction (of relations containing the given attr),
+    descending. *)
+
+val cooccurrence : t -> string -> string -> float
+(** P(both in one relation | first present in the relation). *)
+
+val mutually_exclusive : t -> string -> string -> bool
+(** Both terms are used as attributes in the corpus, but never in the
+    same relation. *)
+
+val attr_clusters : t -> threshold:float -> string list list
+(** Connected components of the co-occurrence graph above the
+    threshold — "clusters of attribute names that appear in
+    conjunction". *)
+
+val relation_name_for : t -> string -> (string * float) list
+(** Which relation names tend to hold the given attribute, descending
+    frequency. *)

@@ -1,0 +1,96 @@
+type itemset = { attrs : string list; support : int }
+
+module Sset = Set.Make (String)
+
+let relation_attr_sets ~stats corpus =
+  List.concat_map
+    (fun (s : Schema_model.t) ->
+      List.map
+        (fun (r : Schema_model.relation) ->
+          List.map
+            (fun (a : Schema_model.attribute) ->
+              Basic_stats.normalize stats a.Schema_model.attr_name)
+            r.Schema_model.attributes
+          |> Sset.of_list)
+        s.Schema_model.relations)
+    (Corpus_store.schemas corpus)
+
+let count_support sets items =
+  List.length (List.filter (fun set -> Sset.subset items set) sets)
+
+let support ~stats corpus attrs =
+  let sets = relation_attr_sets ~stats corpus in
+  let items = Sset.of_list (List.map (Basic_stats.normalize stats) attrs) in
+  count_support sets items
+
+let frequent_itemsets ?(max_size = 4) ~stats corpus ~min_support =
+  let sets = relation_attr_sets ~stats corpus in
+  (* Level 1: frequent single attributes. *)
+  let singles =
+    List.fold_left (fun acc set -> Sset.union acc set) Sset.empty sets
+    |> Sset.elements
+    |> List.filter (fun a -> count_support sets (Sset.singleton a) >= min_support)
+  in
+  (* Levels >= 2: extend each frequent set with a lexicographically
+     larger frequent single (classic Apriori candidate generation). *)
+  let rec level current size acc =
+    if size > max_size || current = [] then acc
+    else
+      let next =
+        List.concat_map
+          (fun items ->
+            let maxi = Sset.max_elt items in
+            List.filter_map
+              (fun a ->
+                if String.compare a maxi > 0 then
+                  let candidate = Sset.add a items in
+                  let sup = count_support sets candidate in
+                  if sup >= min_support then Some (candidate, sup) else None
+                else None)
+              singles)
+          current
+      in
+      let acc =
+        acc
+        @ List.map
+            (fun (items, sup) -> { attrs = Sset.elements items; support = sup })
+            next
+      in
+      level (List.map fst next) (size + 1) acc
+  in
+  level (List.map Sset.singleton singles) 2 []
+  |> List.sort (fun a b ->
+         match compare b.support a.support with
+         | 0 -> compare a.attrs b.attrs
+         | c -> c)
+
+let same_relation_probability ~stats corpus a b =
+  let na = Basic_stats.normalize stats a and nb = Basic_stats.normalize stats b in
+  let both_somewhere, same_relation =
+    List.fold_left
+      (fun (both, same) (s : Schema_model.t) ->
+        let rel_sets =
+          List.map
+            (fun (r : Schema_model.relation) ->
+              List.map
+                (fun (x : Schema_model.attribute) ->
+                  Basic_stats.normalize stats x.Schema_model.attr_name)
+                r.Schema_model.attributes)
+            s.Schema_model.relations
+        in
+        let has x = List.exists (fun set -> List.mem x set) rel_sets in
+        if has na && has nb then
+          let together =
+            List.exists (fun set -> List.mem na set && List.mem nb set) rel_sets
+          in
+          (both + 1, if together then same + 1 else same)
+        else (both, same))
+      (0, 0) (Corpus_store.schemas corpus)
+  in
+  if both_somewhere = 0 then 0.0
+  else float_of_int same_relation /. float_of_int both_somewhere
+
+let separate_relation_name ~stats _corpus attr =
+  match Basic_stats.relation_name_for stats attr with
+  | (name, _) :: _ -> Some name
+  | [] -> None

@@ -1,0 +1,28 @@
+(** Composite statistics (Section 4.2.2): statistics over {e partial
+    structures}. We maintain the frequent ones — attribute sets that
+    recur across relations, mined Apriori-style — and estimate the rest
+    (see {!Estimate}). *)
+
+type itemset = { attrs : string list; support : int }
+(** [support] = number of corpus relations containing all of [attrs]. *)
+
+val frequent_itemsets :
+  ?max_size:int -> stats:Basic_stats.t -> Corpus_store.t -> min_support:int -> itemset list
+(** Apriori over the (normalised) attribute sets of corpus relations;
+    itemsets of size >= 2, largest support first. [max_size] caps the
+    itemset size (default 4). *)
+
+val support : stats:Basic_stats.t -> Corpus_store.t -> string list -> int
+(** Exact support of one attribute set (counted directly). *)
+
+val same_relation_probability :
+  stats:Basic_stats.t -> Corpus_store.t -> string -> string -> float
+(** Among corpus schemas where both attributes occur somewhere, the
+    fraction in which they occur in the {e same} relation — the signal
+    behind the "TA info belongs in a separate table" advice. *)
+
+val separate_relation_name :
+  stats:Basic_stats.t -> Corpus_store.t -> string -> string option
+(** The most common relation name holding the attribute in schemas where
+    it is {e not} in the same relation as the schema's main cluster —
+    simplified to: most common relation name overall. *)

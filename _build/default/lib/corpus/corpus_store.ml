@@ -1,0 +1,49 @@
+type known_mapping = {
+  from_schema : string;
+  to_schema : string;
+  correspondences : ((string * string) * (string * string)) list;
+}
+
+type t = {
+  mutable schemas : Schema_model.t list;
+  mutable mappings : known_mapping list;
+}
+
+let create () = { schemas = []; mappings = [] }
+
+let add_schema t s =
+  if
+    List.exists
+      (fun s' -> String.equal s'.Schema_model.schema_name s.Schema_model.schema_name)
+      t.schemas
+  then
+    invalid_arg
+      ("Corpus_store.add_schema: duplicate " ^ s.Schema_model.schema_name);
+  t.schemas <- s :: t.schemas
+
+let add_mapping t m = t.mappings <- m :: t.mappings
+
+let schemas t = List.rev t.schemas
+
+let schema t name =
+  List.find_opt
+    (fun s -> String.equal s.Schema_model.schema_name name)
+    t.schemas
+
+let mappings t = List.rev t.mappings
+
+let mappings_between t a b =
+  List.filter
+    (fun m -> String.equal m.from_schema a && String.equal m.to_schema b)
+    (mappings t)
+
+let size t = List.length t.schemas
+
+let all_columns t =
+  List.concat_map
+    (fun s ->
+      List.concat_map
+        (fun r ->
+          List.map (fun a -> (s, r, a)) r.Schema_model.attributes)
+        s.Schema_model.relations)
+    (schemas t)

@@ -1,0 +1,28 @@
+(** The corpus itself: "a collection of disparate structures" (Section
+    4.1) — schemas, their data samples (inside {!Schema_model}), and
+    known mappings between corpus schemas. *)
+
+type known_mapping = {
+  from_schema : string;
+  to_schema : string;
+  correspondences : ((string * string) * (string * string)) list;
+      (** ((rel, attr), (rel', attr')) pairs *)
+}
+
+type t
+
+val create : unit -> t
+val add_schema : t -> Schema_model.t -> unit
+(** Raises [Invalid_argument] on duplicate schema names. *)
+
+val add_mapping : t -> known_mapping -> unit
+val schemas : t -> Schema_model.t list
+val schema : t -> string -> Schema_model.t option
+val mappings : t -> known_mapping list
+
+val mappings_between : t -> string -> string -> known_mapping list
+(** Mappings from the first schema to the second (direct only). *)
+
+val size : t -> int
+
+val all_columns : t -> (Schema_model.t * Schema_model.relation * Schema_model.attribute) list

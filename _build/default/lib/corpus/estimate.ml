@@ -1,0 +1,55 @@
+module Sset = Set.Make (String)
+
+let find_exact exact items =
+  List.find_opt
+    (fun (it : Composite_stats.itemset) ->
+      Sset.equal (Sset.of_list it.Composite_stats.attrs) items)
+    exact
+
+(* Estimate P(items) by chaining conditional co-occurrence from the
+   attribute with the highest relation count through the rest. *)
+let chain_estimate ~stats corpus items =
+  let items = Sset.elements items in
+  match items with
+  | [] -> 0.0
+  | first :: rest ->
+      let base = float_of_int (Composite_stats.support ~stats corpus [ first ]) in
+      List.fold_left
+        (fun acc (prev, next) ->
+          acc *. Basic_stats.cooccurrence stats prev next)
+        base
+        (List.map2 (fun a b -> (a, b)) (first :: rest) (rest @ [ first ])
+        |> List.filteri (fun i _ -> i < List.length rest))
+
+let estimated_support ~stats corpus ~exact attrs =
+  let items = Sset.of_list (List.map (Basic_stats.normalize stats) attrs) in
+  match find_exact exact items with
+  | Some it -> float_of_int it.Composite_stats.support
+  | None -> (
+      (* Back off to the largest maintained subset, then extend by
+         pairwise co-occurrence. *)
+      let subsets =
+        List.filter
+          (fun (it : Composite_stats.itemset) ->
+            Sset.subset (Sset.of_list it.Composite_stats.attrs) items)
+          exact
+        |> List.sort (fun a b ->
+               compare
+                 (List.length b.Composite_stats.attrs)
+                 (List.length a.Composite_stats.attrs))
+      in
+      match subsets with
+      | best :: _ ->
+          let covered = Sset.of_list best.Composite_stats.attrs in
+          let remaining = Sset.elements (Sset.diff items covered) in
+          let anchor = List.hd best.Composite_stats.attrs in
+          List.fold_left
+            (fun acc extra -> acc *. Basic_stats.cooccurrence stats anchor extra)
+            (float_of_int best.Composite_stats.support)
+            remaining
+      | [] -> chain_estimate ~stats corpus items)
+
+let relative_error ~stats corpus ~exact attrs =
+  let est = estimated_support ~stats corpus ~exact attrs in
+  let true_support = float_of_int (Composite_stats.support ~stats corpus attrs) in
+  Float.abs (est -. true_support) /. Float.max 1.0 true_support

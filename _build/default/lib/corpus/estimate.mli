@@ -1,0 +1,24 @@
+(** Estimating statistics for partial structures that were not frequent
+    enough to be maintained exactly: "we will maintain only statistics on
+    partial structures that appear frequently ... and estimate the
+    statistics for other partial structures" (Section 4.2.2). *)
+
+val estimated_support :
+  stats:Basic_stats.t ->
+  Corpus_store.t ->
+  exact:Composite_stats.itemset list ->
+  string list ->
+  float
+(** Support estimate for an attribute set: if a maintained itemset
+    matches exactly, its support; otherwise combine the largest
+    maintained subsets under conditional-independence, backing off to
+    pairwise co-occurrence products. *)
+
+val relative_error :
+  stats:Basic_stats.t ->
+  Corpus_store.t ->
+  exact:Composite_stats.itemset list ->
+  string list ->
+  float
+(** |estimate - exact| / max(1, exact) — used by tests and the E5
+    ablation to quantify estimation quality. *)

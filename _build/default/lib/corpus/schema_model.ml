@@ -1,0 +1,61 @@
+type attribute = { attr_name : string; sample_values : string list }
+
+type relation = { rel_name : string; attributes : attribute list }
+
+type t = {
+  schema_name : string;
+  relations : relation list;
+  joins : (string * string * string * string) list;
+}
+
+let make ?(joins = []) ~name relations =
+  { schema_name = name; relations; joins }
+
+let attribute ?(values = []) attr_name = { attr_name; sample_values = values }
+let relation rel_name attributes = { rel_name; attributes }
+
+let of_dtd ~name dtd =
+  let leaves = Xmlmodel.Dtd.leaf_elements dtd in
+  let relations =
+    List.filter_map
+      (fun element ->
+        match Xmlmodel.Dtd.decl_of dtd element with
+        | Some (Xmlmodel.Dtd.Children children) ->
+            let attrs =
+              List.filter_map
+                (fun (child, _) ->
+                  if List.mem child leaves then Some (attribute child) else None)
+                children
+            in
+            if attrs = [] then None else Some (relation element attrs)
+        | Some Xmlmodel.Dtd.Pcdata | None -> None)
+      (Xmlmodel.Dtd.elements dtd)
+  in
+  make ~name relations
+
+let relation_names t = List.map (fun r -> r.rel_name) t.relations
+
+let attr_names t =
+  List.concat_map (fun r -> List.map (fun a -> a.attr_name) r.attributes) t.relations
+  |> List.sort_uniq String.compare
+
+let element_count t =
+  List.fold_left
+    (fun acc r -> acc + 1 + List.length r.attributes)
+    0 t.relations
+
+let find_relation t name =
+  List.find_opt (fun r -> String.equal r.rel_name name) t.relations
+
+let attrs_of t rel =
+  match find_relation t rel with
+  | Some r -> List.map (fun a -> a.attr_name) r.attributes
+  | None -> []
+
+let pp fmt t =
+  Format.fprintf fmt "schema %s@\n" t.schema_name;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %s(%s)@\n" r.rel_name
+        (String.concat ", " (List.map (fun a -> a.attr_name) r.attributes)))
+    t.relations

@@ -1,0 +1,40 @@
+(** The unified schema representation the corpus stores: "forms of schema
+    information: relational, OO and XML schemas ... DTDs, knowledge-base
+    terminologies" (Section 4.1) are all normalised to named relations
+    with named attributes carrying optional sample data. *)
+
+type attribute = { attr_name : string; sample_values : string list }
+
+type relation = { rel_name : string; attributes : attribute list }
+
+type t = {
+  schema_name : string;
+  relations : relation list;
+  joins : (string * string * string * string) list;
+      (** (rel1, attr1, rel2, attr2) join predicates *)
+}
+
+val make :
+  ?joins:(string * string * string * string) list ->
+  name:string ->
+  relation list ->
+  t
+
+val attribute : ?values:string list -> string -> attribute
+val relation : string -> attribute list -> relation
+
+val of_dtd : name:string -> Xmlmodel.Dtd.t -> t
+(** Non-leaf DTD elements whose children include PCDATA leaves become
+    relations; their leaf children become attributes. *)
+
+val relation_names : t -> string list
+val attr_names : t -> string list
+(** All attribute names, duplicates removed, sorted. *)
+
+val element_count : t -> int
+(** Relations plus attributes — the "number of elements" of the
+    DesignAdvisor similarity measure. *)
+
+val find_relation : t -> string -> relation option
+val attrs_of : t -> string -> string list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,160 @@
+let strip = String.trim
+
+let split_prefix line prefix =
+  let lp = String.length prefix in
+  if String.length line > lp && String.sub line 0 lp = prefix then
+    Some (strip (String.sub line lp (String.length line - lp)))
+  else None
+
+let parse_relation_decl rest =
+  (* course(code, title, instructor) *)
+  match String.index_opt rest '(' with
+  | None -> Error "relation declaration needs (attributes)"
+  | Some i ->
+      let name = strip (String.sub rest 0 i) in
+      let rest = String.sub rest (i + 1) (String.length rest - i - 1) in
+      (match String.index_opt rest ')' with
+      | None -> Error "missing closing parenthesis"
+      | Some j ->
+          let attrs =
+            String.sub rest 0 j |> String.split_on_char ','
+            |> List.map strip
+            |> List.filter (fun a -> a <> "")
+          in
+          if name = "" then Error "empty relation name"
+          else if attrs = [] then Error ("relation " ^ name ^ " has no attributes")
+          else Ok (name, attrs))
+
+let parse_join rest =
+  (* course.instructor = person.name *)
+  let parts = String.split_on_char '=' rest |> List.map strip in
+  let split_dotted s =
+    match String.index_opt s '.' with
+    | Some i ->
+        Some
+          ( strip (String.sub s 0 i),
+            strip (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None -> None
+  in
+  match parts with
+  | [ a; b ] -> (
+      match (split_dotted a, split_dotted b) with
+      | Some (r1, a1), Some (r2, a2) -> Ok (r1, a1, r2, a2)
+      | _ -> Error "join sides must be rel.attr")
+  | _ -> Error "join needs exactly one '='"
+
+let parse_values rest =
+  (* course.title: v1 | v2 | v3 *)
+  match String.index_opt rest ':' with
+  | None -> Error "values needs 'rel.attr: v | v | ...'"
+  | Some i ->
+      let target = strip (String.sub rest 0 i) in
+      let vals =
+        String.sub rest (i + 1) (String.length rest - i - 1)
+        |> String.split_on_char '|' |> List.map strip
+        |> List.filter (fun v -> v <> "")
+      in
+      (match String.index_opt target '.' with
+      | Some j ->
+          Ok
+            ( strip (String.sub target 0 j),
+              strip (String.sub target (j + 1) (String.length target - j - 1)),
+              vals )
+      | None -> Error "values target must be rel.attr")
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let name = ref None in
+  let relations = ref [] in
+  let joins = ref [] in
+  let values = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !error = None then
+        let line = strip line in
+        if line = "" || line.[0] = '#' then ()
+        else
+          let result =
+            match split_prefix line "schema " with
+            | Some n ->
+                name := Some n;
+                Ok ()
+            | None -> (
+                match split_prefix line "relation " with
+                | Some rest ->
+                    Result.map
+                      (fun decl -> relations := decl :: !relations)
+                      (parse_relation_decl rest)
+                | None -> (
+                    match split_prefix line "join " with
+                    | Some rest ->
+                        Result.map (fun j -> joins := j :: !joins) (parse_join rest)
+                    | None -> (
+                        match split_prefix line "values " with
+                        | Some rest ->
+                            Result.map
+                              (fun v -> values := v :: !values)
+                              (parse_values rest)
+                        | None -> Error ("unrecognised line: " ^ line))))
+          in
+          match result with
+          | Ok () -> ()
+          | Error msg ->
+              error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg))
+    lines;
+  match !error with
+  | Some msg -> Error msg
+  | None -> (
+      match !name with
+      | None -> Error "missing 'schema <name>' line"
+      | Some schema_name ->
+          let relations =
+            List.rev_map
+              (fun (rel, attrs) ->
+                Schema_model.relation rel
+                  (List.map
+                     (fun attr ->
+                       let vals =
+                         List.filter_map
+                           (fun (r, a, vs) ->
+                             if r = rel && a = attr then Some vs else None)
+                           !values
+                         |> List.concat
+                       in
+                       Schema_model.attribute ~values:vals attr)
+                     attrs))
+              !relations
+          in
+          Ok (Schema_model.make ~joins:(List.rev !joins) ~name:schema_name relations))
+
+let parse_exn text =
+  match parse text with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Schema_parser.parse_exn: " ^ msg)
+
+let render (s : Schema_model.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("schema " ^ s.Schema_model.schema_name ^ "\n");
+  List.iter
+    (fun (r : Schema_model.relation) ->
+      Buffer.add_string buf
+        (Printf.sprintf "relation %s(%s)\n" r.Schema_model.rel_name
+           (String.concat ", "
+              (List.map
+                 (fun (a : Schema_model.attribute) -> a.Schema_model.attr_name)
+                 r.Schema_model.attributes)));
+      List.iter
+        (fun (a : Schema_model.attribute) ->
+          if a.Schema_model.sample_values <> [] then
+            Buffer.add_string buf
+              (Printf.sprintf "values %s.%s: %s\n" r.Schema_model.rel_name
+                 a.Schema_model.attr_name
+                 (String.concat " | " a.Schema_model.sample_values)))
+        r.Schema_model.attributes)
+    s.Schema_model.relations;
+  List.iter
+    (fun (r1, a1, r2, a2) ->
+      Buffer.add_string buf (Printf.sprintf "join %s.%s = %s.%s\n" r1 a1 r2 a2))
+    s.Schema_model.joins;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** A line-oriented text format for schemas, so the CLI and tests can
+    read them from files:
+
+    {v
+    schema university
+    relation course(code, title, instructor)
+    relation person(name, email, phone)
+    join course.instructor = person.name
+    # comments and blank lines are ignored
+    values course.title: intro to databases | ancient history
+    v} *)
+
+val parse : string -> (Schema_model.t, string) result
+val parse_exn : string -> Schema_model.t
+
+val render : Schema_model.t -> string
+(** Inverse of [parse] (sample values included). *)

@@ -1,0 +1,1 @@
+lib/cq/containment.ml: Atom Homomorphism List Query Subst

@@ -1,0 +1,1 @@
+lib/cq/datalog.ml: Atom Eval List Printf Query Relalg

@@ -1,0 +1,1 @@
+lib/cq/datalog.mli: Query Relalg

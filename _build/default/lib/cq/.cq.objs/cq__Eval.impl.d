@@ -1,0 +1,1 @@
+lib/cq/eval.ml: Array Atom Hashtbl List Map Option Printf Query Relalg String Term

@@ -1,0 +1,1 @@
+lib/cq/eval.mli: Map Query Relalg

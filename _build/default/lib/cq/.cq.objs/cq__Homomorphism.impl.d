@@ -1,0 +1,1 @@
+lib/cq/homomorphism.ml: Atom Hashtbl List Option Relalg String Subst Term

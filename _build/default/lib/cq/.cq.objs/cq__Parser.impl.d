@@ -1,0 +1,1 @@
+lib/cq/parser.ml: Atom Buffer List Printf Query Relalg String Term

@@ -1,0 +1,1 @@
+lib/cq/relax.ml: Atom Eval Fun List Option Printf Query Relalg Term

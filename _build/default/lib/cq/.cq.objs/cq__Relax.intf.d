@@ -1,0 +1,1 @@
+lib/cq/relax.mli: Atom Query Relalg

@@ -1,0 +1,1 @@
+lib/cq/subst.mli: Atom Format Term

@@ -1,0 +1,1 @@
+lib/cq/unfold.ml: Atom List Printf Query String Subst

@@ -1,0 +1,1 @@
+lib/cq/unfold.mli: Atom Query

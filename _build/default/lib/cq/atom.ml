@@ -1,0 +1,27 @@
+type t = { pred : string; args : Term.t list }
+
+let make pred args = { pred; args }
+let arity t = List.length t.args
+
+let vars t =
+  List.fold_left
+    (fun acc term ->
+      match term with
+      | Term.Var x -> if List.mem x acc then acc else x :: acc
+      | Term.Const _ -> acc)
+    [] t.args
+  |> List.rev
+
+let compare a b =
+  match String.compare a.pred b.pred with
+  | 0 -> List.compare Term.compare a.args b.args
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let to_string t =
+  Printf.sprintf "%s(%s)" t.pred (String.concat ", " (List.map Term.to_string t.args))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let map_terms f t = { t with args = List.map f t.args }

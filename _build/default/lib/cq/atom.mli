@@ -1,0 +1,14 @@
+(** A relational atom [p(t1, ..., tn)]. *)
+
+type t = { pred : string; args : Term.t list }
+
+val make : string -> Term.t list -> t
+val arity : t -> int
+val vars : t -> string list
+(** Distinct variable names, in order of first occurrence. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val map_terms : (Term.t -> Term.t) -> t -> t

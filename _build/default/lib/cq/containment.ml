@@ -1,0 +1,21 @@
+(* q1 ⊑ q2 iff there is a homomorphism from q2 into the frozen q1 that
+   maps q2's head onto q1's head. We freeze q1 and (a) seed the
+   substitution by matching heads, (b) require q2's frozen body image to
+   be a subset of q1's frozen body. *)
+let contained_in (q1 : Query.t) (q2 : Query.t) =
+  if Atom.arity q1.Query.head <> Atom.arity q2.Query.head then false
+  else
+    let frozen_head = Homomorphism.freeze_atom q1.Query.head in
+    let seeded =
+      Subst.match_atom Subst.empty
+        { q2.Query.head with Atom.pred = frozen_head.Atom.pred }
+        { frozen_head with Atom.pred = frozen_head.Atom.pred }
+    in
+    match seeded with
+    | None -> false
+    | Some init ->
+        Homomorphism.exists ~init ~from:q2.Query.body q1.Query.body
+
+let equivalent q1 q2 = contained_in q1 q2 && contained_in q2 q1
+
+let contained_in_union q qs = List.exists (fun q' -> contained_in q q') qs

@@ -1,0 +1,15 @@
+(** Conjunctive query containment via containment mappings
+    (Chandra-Merlin). Used by rewriting algorithms and by the PDMS
+    reformulation pruning heuristics (Section 3.1.1). *)
+
+val contained_in : Query.t -> Query.t -> bool
+(** [contained_in q1 q2] decides [q1 ⊑ q2]: every answer of [q1] is an
+    answer of [q2] on every database. Queries must have equal head
+    arity (else [false]). *)
+
+val equivalent : Query.t -> Query.t -> bool
+
+val contained_in_union : Query.t -> Query.t list -> bool
+(** Containment of a CQ in a union of CQs; sound and complete for CQs
+    (Sagiv-Yannakakis: a CQ is contained in a UCQ iff it is contained in
+    one disjunct). *)

@@ -1,0 +1,44 @@
+type program = Query.t list
+
+let idb_preds (program : program) =
+  List.fold_left
+    (fun acc (r : Query.t) ->
+      let p = r.Query.head.Atom.pred in
+      if List.mem p acc then acc else p :: acc)
+    [] program
+  |> List.rev
+
+let ensure_idb db (r : Query.t) =
+  let pred = r.Query.head.Atom.pred in
+  let arity = Atom.arity r.Query.head in
+  match Relalg.Database.find_opt db pred with
+  | Some rel ->
+      if Relalg.Schema.arity (Relalg.Relation.schema rel) <> arity then
+        invalid_arg ("Datalog.eval: arity clash for " ^ pred)
+  | None ->
+      let attrs = List.init arity (Printf.sprintf "a%d") in
+      ignore (Relalg.Database.create_relation db pred attrs)
+
+let eval edb (program : program) =
+  List.iter
+    (fun (r : Query.t) ->
+      if not (Query.is_safe r) then
+        invalid_arg ("Datalog.eval: unsafe rule " ^ Query.to_string r))
+    program;
+  let db = Relalg.Database.copy edb in
+  List.iter (ensure_idb db) program;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Query.t) ->
+        let rel = Relalg.Database.find db r.Query.head.Atom.pred in
+        let derived = Eval.run db r in
+        Relalg.Relation.iter
+          (fun row -> if Relalg.Relation.insert_distinct rel row then changed := true)
+          derived)
+      program
+  done;
+  db
+
+let query edb program q = Eval.run (eval edb program) q

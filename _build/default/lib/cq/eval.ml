@@ -1,0 +1,133 @@
+module Smap = Map.Make (String)
+
+type binding = Relalg.Value.t Smap.t
+
+let resolve (b : binding) = function
+  | Term.Const v -> Some v
+  | Term.Var x -> Smap.find_opt x b
+
+(* Number of argument positions already determined under [bound_vars]. *)
+let boundness bound_vars (atom : Atom.t) =
+  List.fold_left
+    (fun acc t ->
+      match t with
+      | Term.Const _ -> acc + 1
+      | Term.Var x -> if List.mem x bound_vars then acc + 1 else acc)
+    0 atom.Atom.args
+
+(* Greedy join order: repeatedly pick the atom with the most bound
+   positions (ties: fewer tuples). *)
+let order_atoms db (q : Query.t) =
+  let card (a : Atom.t) =
+    match Relalg.Database.find_opt db a.Atom.pred with
+    | None -> 0
+    | Some rel -> Relalg.Relation.cardinality rel
+  in
+  let rec go bound_vars remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        let best =
+          List.fold_left
+            (fun best atom ->
+              let score = (boundness bound_vars atom, -card atom) in
+              match best with
+              | None -> Some (atom, score)
+              | Some (_, best_score) ->
+                  if score > best_score then Some (atom, score) else best)
+            None remaining
+        in
+        let atom, _ = Option.get best in
+        let remaining = List.filter (fun a -> a != atom) remaining in
+        go (Atom.vars atom @ bound_vars) remaining (atom :: acc)
+  in
+  go [] q.Query.body []
+
+(* Extend one binding across one atom. *)
+let match_atom db (b : binding) (atom : Atom.t) : binding list =
+  match Relalg.Database.find_opt db atom.Atom.pred with
+  | None -> []
+  | Some rel ->
+      let args = Array.of_list atom.Atom.args in
+      let n = Array.length args in
+      if n <> Relalg.Schema.arity (Relalg.Relation.schema rel) then []
+      else begin
+        (* Use an index on the first determined position, if any. *)
+        let known = Array.map (resolve b) args in
+        let candidates =
+          let rec first_known i =
+            if i >= n then None
+            else match known.(i) with Some v -> Some (i, v) | None -> first_known (i + 1)
+          in
+          match first_known 0 with
+          | Some (col, v) -> Relalg.Relation.find_by rel col v
+          | None -> Relalg.Relation.tuples rel
+        in
+        List.filter_map
+          (fun row ->
+            let rec extend i acc =
+              if i >= n then Some acc
+              else
+                match args.(i) with
+                | Term.Const v ->
+                    if Relalg.Value.equal v row.(i) then extend (i + 1) acc else None
+                | Term.Var x -> (
+                    match Smap.find_opt x acc with
+                    | Some v ->
+                        if Relalg.Value.equal v row.(i) then extend (i + 1) acc else None
+                    | None -> extend (i + 1) (Smap.add x row.(i) acc))
+            in
+            extend 0 b)
+          candidates
+      end
+
+let run_bindings db q =
+  let ordered = order_atoms db q in
+  List.fold_left
+    (fun bindings atom ->
+      List.concat_map (fun b -> match_atom db b atom) bindings)
+    [ Smap.empty ] ordered
+
+let head_schema (q : Query.t) =
+  let seen = Hashtbl.create 8 in
+  let attrs =
+    List.mapi
+      (fun i t ->
+        match t with
+        | Term.Var x when not (Hashtbl.mem seen x) ->
+            Hashtbl.replace seen x ();
+            x
+        | Term.Var _ | Term.Const _ -> Printf.sprintf "col%d" i)
+      q.Query.head.Atom.args
+  in
+  Relalg.Schema.make q.Query.head.Atom.pred attrs
+
+let head_tuple (q : Query.t) (b : binding) =
+  Array.of_list
+    (List.map
+       (fun t ->
+         match resolve b t with
+         | Some v -> v
+         | None ->
+             invalid_arg
+               ("Eval.run: unsafe query, unbound head term " ^ Term.to_string t))
+       q.Query.head.Atom.args)
+
+let run db q =
+  let out = Relalg.Relation.create (head_schema q) in
+  List.iter
+    (fun b -> ignore (Relalg.Relation.insert_distinct out (head_tuple q b)))
+    (run_bindings db q);
+  out
+
+let run_union db = function
+  | [] -> invalid_arg "Eval.run_union: empty union"
+  | q0 :: _ as qs ->
+      let out = Relalg.Relation.create (head_schema q0) in
+      List.iter
+        (fun q ->
+          List.iter
+            (fun b -> ignore (Relalg.Relation.insert_distinct out (head_tuple q b)))
+            (run_bindings db q))
+        qs;
+      out

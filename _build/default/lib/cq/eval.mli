@@ -1,0 +1,19 @@
+(** Evaluation of conjunctive queries over a database.
+
+    The evaluator performs index-assisted nested-loop joins with a greedy
+    bound-first atom ordering. Missing relations are treated as empty
+    (a PDMS peer may reference relations it stores no data for). *)
+
+module Smap : Map.S with type key = string
+
+type binding = Relalg.Value.t Smap.t
+
+val run_bindings : Relalg.Database.t -> Query.t -> binding list
+(** All satisfying assignments of the body variables. *)
+
+val run : Relalg.Database.t -> Query.t -> Relalg.Relation.t
+(** Distinct head tuples. Raises [Invalid_argument] on unsafe queries. *)
+
+val run_union : Relalg.Database.t -> Query.t list -> Relalg.Relation.t
+(** Distinct union of the answers of a UCQ (all heads must share arity;
+    the first query's head shapes the schema). Raises on an empty list. *)

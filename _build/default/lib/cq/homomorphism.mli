@@ -1,0 +1,21 @@
+(** Homomorphism (containment-mapping) search between atom sets.
+
+    The target side is {e frozen}: its variables are replaced by unique
+    constants, so a homomorphism is a one-way matching from source
+    variables to frozen target terms. *)
+
+val freeze_term : Term.t -> Term.t
+(** Variables become reserved constants; constants pass through. *)
+
+val freeze_atom : Atom.t -> Atom.t
+
+val unfreeze_term : Term.t -> Term.t
+(** Inverse of [freeze_term] on its image. *)
+
+val find : ?init:Subst.t -> from:Atom.t list -> Atom.t list -> Subst.t option
+(** [find ~from onto] searches for a substitution [h] of the variables
+    of [from] such that every atom of [h(from)] appears in the frozen
+    [onto]. [init] seeds required bindings (already frozen on the right-
+    hand side). *)
+
+val exists : ?init:Subst.t -> from:Atom.t list -> Atom.t list -> bool

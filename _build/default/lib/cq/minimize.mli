@@ -1,0 +1,9 @@
+(** Query minimization: compute a core by dropping redundant body atoms.
+    Reformulations produced by unfolding mapping chains accumulate
+    duplicate subgoals; minimizing them keeps rule-goal trees small. *)
+
+val minimize : Query.t -> Query.t
+(** An equivalent query with an inclusion-minimal body. *)
+
+val remove_duplicate_atoms : Query.t -> Query.t
+(** Cheap syntactic pass: drop exact duplicate body atoms. *)

@@ -1,0 +1,87 @@
+type step =
+  | Generalised_constant of string * Relalg.Value.t
+  | Dropped_atom of Atom.t
+
+type result = {
+  relaxed_query : Query.t;
+  steps : step list;
+  answers : Relalg.Relation.t;
+}
+
+(* Fresh variables for generalised constants; the counter lives per
+   relaxation session via partial application. *)
+let generalise_constants fresh (q : Query.t) =
+  List.concat_map
+    (fun (atom : Atom.t) ->
+      List.mapi
+        (fun i term ->
+          match term with
+          | Term.Var _ -> None
+          | Term.Const value ->
+              let args =
+                List.mapi
+                  (fun j t -> if j = i then Term.Var (fresh ()) else t)
+                  atom.Atom.args
+              in
+              let body =
+                List.map
+                  (fun a -> if a == atom then { atom with Atom.args } else a)
+                  q.Query.body
+              in
+              Some
+                ( { q with Query.body },
+                  Generalised_constant (atom.Atom.pred, value) ))
+        atom.Atom.args
+      |> List.filter_map Fun.id)
+    q.Query.body
+
+let drop_atoms (q : Query.t) =
+  List.filter_map
+    (fun (atom : Atom.t) ->
+      let smaller =
+        { q with Query.body = List.filter (fun a -> a != atom) q.Query.body }
+      in
+      if smaller.Query.body <> [] && Query.is_safe smaller then
+        Some (smaller, Dropped_atom atom)
+      else None)
+    q.Query.body
+
+let relaxations q =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "~r%d" !counter
+  in
+  generalise_constants fresh q @ drop_atoms q
+
+let graceful ?(max_steps = 3) db q =
+  let try_query q =
+    let answers = Eval.run db q in
+    if Relalg.Relation.cardinality answers > 0 then Some answers else None
+  in
+  (* Breadth-first frontier of (query, steps-so-far), constant
+     generalisations enumerated first at each level. *)
+  let rec level frontier depth =
+    let hits =
+      List.filter_map
+        (fun (q, steps) ->
+          Option.map
+            (fun answers ->
+              { relaxed_query = q; steps = List.rev steps; answers })
+            (try_query q))
+        frontier
+    in
+    match hits with
+    | hit :: _ -> Some hit
+    | [] ->
+        if depth >= max_steps then None
+        else
+          let next =
+            List.concat_map
+              (fun (q, steps) ->
+                List.map (fun (q', s) -> (q', s :: steps)) (relaxations q))
+              frontier
+          in
+          if next = [] then None else level next (depth + 1)
+  in
+  level [ (q, []) ] 0

@@ -1,0 +1,29 @@
+(** Graceful degradation for structured queries. Section 1.1(2): in the
+    S-WORLD "if a query is not completely appropriate for the schema,
+    the user will get no answers. There is no graceful degradation."
+    This module imports the U-WORLD property: when a query returns
+    nothing, systematically weaken it — generalise constants to
+    variables, then drop atoms — and return the nearest relaxation that
+    does produce answers. *)
+
+type step =
+  | Generalised_constant of string * Relalg.Value.t
+      (** (predicate, the constant replaced by a fresh variable) *)
+  | Dropped_atom of Atom.t
+
+type result = {
+  relaxed_query : Query.t;
+  steps : step list;  (** empty when the original query succeeded *)
+  answers : Relalg.Relation.t;
+}
+
+val relaxations : Query.t -> (Query.t * step) list
+(** All single-step relaxations: one constant generalised, or one atom
+    dropped (only where the query stays safe and non-empty). *)
+
+val graceful :
+  ?max_steps:int -> Relalg.Database.t -> Query.t -> result option
+(** Breadth-first over relaxation steps (default at most 3): the first
+    level that yields answers wins; within a level, constant
+    generalisation is preferred over atom dropping. [None] when even the
+    maximally relaxed queries are empty. *)

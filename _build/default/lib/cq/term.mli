@@ -1,0 +1,17 @@
+(** Terms of conjunctive queries: variables or constants. *)
+
+type t = Var of string | Const of Relalg.Value.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_var : t -> bool
+val var_name : t -> string option
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val v : string -> t
+(** Variable shorthand. *)
+
+val c : Relalg.Value.t -> t
+val str : string -> t
+val int : int -> t

@@ -1,0 +1,43 @@
+type rules = Query.t list
+
+let definitions_for rules pred =
+  List.filter (fun (r : Query.t) -> String.equal r.Query.head.Atom.pred pred) rules
+
+let expand_atom ~fresh (q : Query.t) (atom : Atom.t) (rule : Query.t) =
+  let rule = Query.freshen ~suffix:(fresh ()) rule in
+  match Subst.unify_atom Subst.empty atom rule.Query.head with
+  | None -> None
+  | Some mgu ->
+      let body =
+        List.concat_map
+          (fun a ->
+            if a == atom then List.map (Subst.apply_atom mgu) rule.Query.body
+            else [ Subst.apply_atom mgu a ])
+          q.Query.body
+      in
+      Some { Query.head = Subst.apply_atom mgu q.Query.head; body }
+
+let expand ?(max_depth = 12) rules (q : Query.t) =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "~u%d" !counter
+  in
+  let defined pred = definitions_for rules pred <> [] in
+  (* Worklist of (query, remaining budget); a query is emitted when no
+     body atom is defined. *)
+  let results = ref [] in
+  let rec go q budget =
+    match List.find_opt (fun (a : Atom.t) -> defined a.Atom.pred) q.Query.body with
+    | None -> results := q :: !results
+    | Some atom ->
+        if budget > 0 then
+          List.iter
+            (fun rule ->
+              match expand_atom ~fresh q atom rule with
+              | None -> ()
+              | Some q' -> go q' (budget - 1))
+            (definitions_for rules atom.Atom.pred)
+  in
+  go q max_depth;
+  List.rev !results

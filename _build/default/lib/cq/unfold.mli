@@ -1,0 +1,20 @@
+(** Global-as-view unfolding: replace body atoms by the bodies of their
+    defining rules. A predicate may have several rules, so unfolding one
+    query yields a union of conjunctive queries. *)
+
+type rules = Query.t list
+(** Definitional rules; a rule defines its head predicate. *)
+
+val definitions_for : rules -> string -> Query.t list
+
+val expand_atom : fresh:(unit -> string) -> Query.t -> Atom.t -> Query.t -> Query.t option
+(** [expand_atom ~fresh q atom rule] replaces [atom] in [q]'s body by the
+    body of [rule] (freshened), unifying [atom] with the rule head.
+    [None] if the head does not unify. *)
+
+val expand : ?max_depth:int -> rules -> Query.t -> Query.t list
+(** Fully unfold every defined predicate, to fixpoint, producing a UCQ
+    over undefined (base) predicates only. Recursion through defined
+    predicates is cut off at [max_depth] (default 12) expansions per
+    derivation branch; the result is complete for non-recursive rule
+    sets. *)

@@ -1,0 +1,1 @@
+lib/mangrove/annotation.ml: Format List String

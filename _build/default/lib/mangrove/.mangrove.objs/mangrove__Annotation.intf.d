@@ -1,0 +1,1 @@
+lib/mangrove/annotation.mli: Format

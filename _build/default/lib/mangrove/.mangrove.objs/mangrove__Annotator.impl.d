@@ -1,0 +1,1 @@
+lib/mangrove/annotator.ml: Annotation Float Html Lightweight_schema List Printf String Util Xmlmodel

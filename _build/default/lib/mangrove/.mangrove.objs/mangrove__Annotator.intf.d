@@ -1,0 +1,1 @@
+lib/mangrove/annotator.mli: Annotation Html Lightweight_schema

@@ -1,0 +1,1 @@
+lib/mangrove/apps.ml: Cleaning Float List Relalg Repository Storage String Util

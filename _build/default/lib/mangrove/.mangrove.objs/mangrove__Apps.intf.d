@@ -1,0 +1,1 @@
+lib/mangrove/apps.mli: Cleaning Repository

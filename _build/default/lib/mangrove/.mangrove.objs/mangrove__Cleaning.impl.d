@@ -1,0 +1,1 @@
+lib/mangrove/cleaning.ml: Format Hashtbl List Option Relalg Storage

@@ -1,0 +1,1 @@
+lib/mangrove/cleaning.mli: Format Relalg Storage

@@ -1,0 +1,1 @@
+lib/mangrove/cq_query.ml: Array Cq Lightweight_schema List Option Printf Relalg Repository Result Storage

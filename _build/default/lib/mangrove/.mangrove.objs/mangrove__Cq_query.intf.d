@@ -1,0 +1,1 @@
+lib/mangrove/cq_query.mli: Cq Relalg Repository Storage

@@ -1,0 +1,1 @@
+lib/mangrove/dynamic_page.ml: Apps Html List Option Xmlmodel

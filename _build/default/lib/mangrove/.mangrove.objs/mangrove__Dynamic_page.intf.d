@@ -1,0 +1,1 @@
+lib/mangrove/dynamic_page.mli: Apps Cleaning Html Repository

@@ -1,0 +1,1 @@
+lib/mangrove/embed.ml: Annotation Annotator Hashtbl Html Lightweight_schema List Option String Xmlmodel

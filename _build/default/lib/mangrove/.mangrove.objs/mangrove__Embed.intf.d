@@ -1,0 +1,1 @@
+lib/mangrove/embed.mli: Annotator Lightweight_schema Xmlmodel

@@ -1,0 +1,1 @@
+lib/mangrove/html.ml: List Option String Util Xmlmodel

@@ -1,0 +1,1 @@
+lib/mangrove/html.mli: Xmlmodel

@@ -1,0 +1,1 @@
+lib/mangrove/inconsistency.ml: List Printf Relalg Repository Storage String

@@ -1,0 +1,1 @@
+lib/mangrove/inconsistency.mli: Relalg Repository Storage

@@ -1,0 +1,1 @@
+lib/mangrove/lightweight_schema.ml: List Option String

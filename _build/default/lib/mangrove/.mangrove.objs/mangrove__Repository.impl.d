@@ -1,0 +1,1 @@
+lib/mangrove/repository.ml: Annotation Annotator Html List Printf Relalg Storage String

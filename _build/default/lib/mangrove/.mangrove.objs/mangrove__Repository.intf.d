@@ -1,0 +1,1 @@
+lib/mangrove/repository.mli: Annotator Relalg Storage

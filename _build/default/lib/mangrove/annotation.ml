@@ -1,0 +1,47 @@
+type t = { doc_url : string; node : int list; tag : string; value : string }
+
+let make ~doc_url ~node ~tag ~value = { doc_url; node; tag; value }
+
+let rec is_prefix prefix path =
+  match (prefix, path) with
+  | [], _ :: _ -> true
+  | [], [] -> false (* strict containment *)
+  | p :: ps, x :: xs -> p = x && is_prefix ps xs
+  | _ :: _, [] -> false
+
+let is_within field inst =
+  String.equal field.doc_url inst.doc_url && is_prefix inst.node field.node
+
+let group ~is_instance annotations =
+  let instances = List.filter is_instance annotations in
+  let fields = List.filter (fun a -> not (is_instance a)) annotations in
+  let enclosing field =
+    List.fold_left
+      (fun best inst ->
+        if is_within field inst then
+          match best with
+          | None -> Some inst
+          | Some b ->
+              (* Deepest enclosing instance wins. *)
+              if List.length inst.node > List.length b.node then Some inst
+              else best
+        else best)
+      None instances
+  in
+  List.map
+    (fun inst ->
+      let mine =
+        List.filter
+          (fun f ->
+            match enclosing f with
+            | Some e -> e == inst
+            | None -> false)
+          fields
+      in
+      (inst, mine))
+    instances
+
+let pp fmt t =
+  Format.fprintf fmt "%s@%s[%s]=%S" t.tag t.doc_url
+    (String.concat "." (List.map string_of_int t.node))
+    t.value

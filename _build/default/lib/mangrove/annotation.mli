@@ -1,0 +1,26 @@
+(** An annotation marks a node of an HTML document with a schema tag,
+    in place — the data is not copied out of the page. Instance
+    annotations (top-level tags like [course]) delimit entities; field
+    annotations nested inside them (by node-path containment) supply the
+    entity's attributes. *)
+
+type t = {
+  doc_url : string;
+  node : int list;  (** node path within the document body *)
+  tag : string;
+  value : string;  (** the highlighted text the annotation covers *)
+}
+
+val make : doc_url:string -> node:int list -> tag:string -> value:string -> t
+
+val is_within : t -> t -> bool
+(** [is_within field inst]: is [field]'s node strictly inside [inst]'s
+    subtree (same document)? *)
+
+val group : is_instance:(t -> bool) -> t list -> (t * t list) list
+(** Group annotations into (instance, fields) pairs: each field
+    annotation attaches to its nearest (deepest) enclosing instance
+    annotation. Field annotations with no enclosing instance are
+    dropped — the annotator UI prevents creating them. *)
+
+val pp : Format.formatter -> t -> unit

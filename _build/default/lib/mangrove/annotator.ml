@@ -1,0 +1,109 @@
+type t = {
+  doc : Html.t;
+  schema : Lightweight_schema.t;
+  mutable annotations : Annotation.t list;
+}
+
+let start ~schema doc = { doc; schema; annotations = [] }
+let document t = t.doc
+let schema t = t.schema
+let annotations t = List.rev t.annotations
+
+let is_instance_tag t tag = Lightweight_schema.parent_of t.schema tag = None
+
+let is_instance t (a : Annotation.t) = is_instance_tag t a.Annotation.tag
+
+let enclosing_instance t node =
+  let probe =
+    Annotation.make ~doc_url:t.doc.Html.url ~node ~tag:"~probe" ~value:""
+  in
+  List.fold_left
+    (fun best (a : Annotation.t) ->
+      if is_instance t a && Annotation.is_within probe a then
+        match best with
+        | None -> Some a
+        | Some (b : Annotation.t) ->
+            if List.length a.Annotation.node > List.length b.Annotation.node
+            then Some a
+            else best
+      else best)
+    None t.annotations
+
+let annotate t ~node ~tag =
+  match Html.node_at t.doc node with
+  | None -> Error "no such node"
+  | Some xml_node ->
+      if not (Lightweight_schema.mem t.schema tag) then
+        Error (Printf.sprintf "tag %s not in schema %s" tag
+                 (Lightweight_schema.name t.schema))
+      else begin
+        let parent = Lightweight_schema.parent_of t.schema tag in
+        let enclosing = enclosing_instance t node in
+        let ok =
+          match (parent, enclosing) with
+          | None, None -> Ok ()
+          | None, Some (e : Annotation.t) ->
+              Error
+                (Printf.sprintf "instance tag %s nested inside %s" tag
+                   e.Annotation.tag)
+          | Some p, Some (e : Annotation.t) ->
+              if String.equal p e.Annotation.tag then Ok ()
+              else
+                Error
+                  (Printf.sprintf "field %s belongs under %s, found under %s"
+                     tag p e.Annotation.tag)
+          | Some p, None ->
+              Error (Printf.sprintf "field %s must lie inside a %s annotation" tag p)
+        in
+        match ok with
+        | Error _ as e -> e
+        | Ok () ->
+            let value = String.trim (Xmlmodel.Xml.text_content xml_node) in
+            t.annotations <-
+              Annotation.make ~doc_url:t.doc.Html.url ~node ~tag ~value
+              :: t.annotations;
+            Ok ()
+      end
+
+let annotate_exn t ~node ~tag =
+  match annotate t ~node ~tag with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Annotator.annotate: " ^ msg)
+
+let annotate_text t needle ~tag =
+  match Html.find_text t.doc needle with
+  | [] -> Error (Printf.sprintf "no text matching %S" needle)
+  | (node, _) :: _ -> annotate t ~node ~tag
+
+let remove t ~node ~tag =
+  let before = List.length t.annotations in
+  t.annotations <-
+    List.filter
+      (fun (a : Annotation.t) ->
+        not (a.Annotation.node = node && String.equal a.Annotation.tag tag))
+      t.annotations;
+  List.length t.annotations < before
+
+let grouped t =
+  Annotation.group ~is_instance:(is_instance t) (annotations t)
+
+let suggest_tags t ~node =
+  let text =
+    match Html.text_at t.doc node with Some s -> s | None -> ""
+  in
+  let toks =
+    List.map Util.Stemmer.stem (Util.Tokenize.words text)
+    |> List.map (Util.Synonyms.canonical Util.Synonyms.university_domain)
+  in
+  let score tag =
+    let tag_toks =
+      List.map Util.Stemmer.stem (Util.Tokenize.split_identifier tag)
+      |> List.map (Util.Synonyms.canonical Util.Synonyms.university_domain)
+    in
+    Util.Strdist.jaccard toks tag_toks
+  in
+  Lightweight_schema.tags t.schema
+  |> List.map (fun tag -> (tag, score tag))
+  |> List.sort (fun (t1, s1) (t2, s2) ->
+         match Float.compare s2 s1 with 0 -> String.compare t1 t2 | c -> c)
+  |> List.map fst

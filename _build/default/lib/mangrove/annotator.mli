@@ -1,0 +1,37 @@
+(** The annotation tool (Section 2.1): "displays a rendered version of
+    the HTML document alongside a tree view of a schema ... users
+    highlight portions of the HTML document, then annotate by choosing a
+    corresponding tag name from the schema". This module is that tool's
+    programmatic core: it validates tags against the schema and nesting
+    rules, and accumulates annotations alongside the (unmodified)
+    document. *)
+
+type t
+
+val start : schema:Lightweight_schema.t -> Html.t -> t
+val document : t -> Html.t
+val schema : t -> Lightweight_schema.t
+val annotations : t -> Annotation.t list
+
+val annotate : t -> node:int list -> tag:string -> (unit, string) result
+(** Annotate the node at [node] with [tag]. Fails when the node does not
+    exist, the tag is not in the schema, or the nesting rule is violated
+    (a field tag must lie inside an annotation of its parent tag; an
+    instance tag must not lie inside another instance). The annotated
+    value is the node's text content. *)
+
+val annotate_exn : t -> node:int list -> tag:string -> unit
+
+val annotate_text : t -> string -> tag:string -> (unit, string) result
+(** Convenience: annotate the first text node containing the given
+    substring — the "highlight this phrase" gesture. *)
+
+val remove : t -> node:int list -> tag:string -> bool
+
+val grouped : t -> (Annotation.t * Annotation.t list) list
+(** Instances with their fields (see {!Annotation.group}). *)
+
+val suggest_tags : t -> node:int list -> string list
+(** Rank the schema's tags for a node by lexical affinity between the
+    node's text and the tag name (stemming + synonyms) — the hook the
+    corpus tools plug into. *)

@@ -1,0 +1,113 @@
+let value_str = function
+  | Some v -> Relalg.Value.to_string v
+  | None -> ""
+
+let field repo subject field =
+  value_str (Repository.field_value repo ~subject ~field)
+
+type course_row = {
+  code : string;
+  course_title : string;
+  instructor : string;
+  day : string;
+  time : string;
+  room : string;
+}
+
+let calendar repo =
+  Repository.entities repo ~tag:"course"
+  |> List.map (fun subject ->
+         {
+           code = field repo subject "code";
+           course_title = field repo subject "title";
+           instructor = field repo subject "instructor";
+           day = field repo subject "day";
+           time = field repo subject "time";
+           room = field repo subject "room";
+         })
+  |> List.sort (fun a b ->
+         compare (a.day, a.time, a.code) (b.day, b.time, b.code))
+
+type person_row = { person_name : string; email : string; office : string }
+
+let who_is_who repo =
+  Repository.entities repo ~tag:"person"
+  |> List.map (fun subject ->
+         {
+           person_name = field repo subject "name";
+           email = field repo subject "email";
+           office = field repo subject "office";
+         })
+  |> List.sort (fun a b -> compare a.person_name b.person_name)
+
+let phone_directory ~policy repo =
+  Repository.entities repo ~tag:"person"
+  |> List.filter_map (fun subject ->
+         let name = field repo subject "name" in
+         let phones = Repository.field_values repo ~subject ~field:"phone" in
+         match Cleaning.resolve_one policy phones with
+         | Some phone -> Some (name, Relalg.Value.to_string phone)
+         | None -> None)
+  |> List.sort compare
+
+type publication_row = {
+  author : string;
+  paper_title : string;
+  forum : string;
+  year : string;
+}
+
+let paper_database repo =
+  Repository.entities repo ~tag:"publication"
+  |> List.map (fun subject ->
+         {
+           author = field repo subject "author";
+           paper_title = field repo subject "paper_title";
+           forum = field repo subject "forum";
+           year = field repo subject "year";
+         })
+  |> List.sort (fun a b -> compare (a.year, a.author) (b.year, b.author))
+
+(* Annotation-aware search: documents are entities; their text is the
+   concatenation of all field values. *)
+let search ?tag repo keywords =
+  let store = Repository.store repo in
+  let subjects =
+    match tag with
+    | Some t -> Repository.entities repo ~tag:t
+    | None ->
+        Storage.Triple_store.triples store
+        |> List.map (fun tr -> tr.Storage.Triple_store.subj)
+        |> List.sort_uniq String.compare
+  in
+  let doc_of subject =
+    Storage.Triple_store.select ~subj:subject store
+    |> List.concat_map (fun tr ->
+           Util.Tokenize.words
+             (Relalg.Value.to_string tr.Storage.Triple_store.obj))
+    |> List.map Util.Stemmer.stem
+  in
+  let docs = List.map doc_of subjects in
+  let corpus = Util.Tfidf.build docs in
+  let query_toks = List.map Util.Stemmer.stem (Util.Tokenize.words keywords) in
+  List.map2
+    (fun subject doc -> (Util.Tfidf.similarity corpus query_toks doc, subject))
+    subjects docs
+  |> List.filter (fun (score, _) -> score > 0.0)
+  |> List.sort (fun (s1, a) (s2, b) ->
+         match Float.compare s2 s1 with 0 -> String.compare a b | c -> c)
+
+type 'a live = {
+  mutable current : 'a;
+  mutable refreshes : int;
+}
+
+let live ~compute repo =
+  let view = { current = compute repo; refreshes = 0 } in
+  Repository.on_publish repo (fun () ->
+      view.current <- compute repo;
+      view.refreshes <- view.refreshes + 1);
+  view
+
+let value v = v.current
+let refresh_count v = v.refreshes

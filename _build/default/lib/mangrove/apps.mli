@@ -1,0 +1,53 @@
+(** Instant-gratification applications (Section 2.2): the department
+    course calendar, the "Who's Who", the phone directory, the paper
+    database, and an annotation-aware search engine. Each application
+    reads the repository; {!live} wraps one for automatic refresh on
+    every publish, which is what delivers the instant feedback loop. *)
+
+type course_row = {
+  code : string;
+  course_title : string;
+  instructor : string;
+  day : string;
+  time : string;
+  room : string;
+}
+
+val calendar : Repository.t -> course_row list
+(** Sorted by (day, time, code); missing fields are empty strings. *)
+
+type person_row = { person_name : string; email : string; office : string }
+
+val who_is_who : Repository.t -> person_row list
+
+val phone_directory :
+  policy:Cleaning.policy -> Repository.t -> (string * string) list
+(** (name, phone) pairs, one per person entity, conflicts resolved by
+    the policy; people without any phone are omitted. *)
+
+type publication_row = {
+  author : string;
+  paper_title : string;
+  forum : string;
+  year : string;
+}
+
+val paper_database : Repository.t -> publication_row list
+
+val search :
+  ?tag:string -> Repository.t -> string -> (float * string) list
+(** TF/IDF-ranked subjects matching the keyword query, optionally
+    restricted to entities of one instance tag. Scores are strictly
+    positive. *)
+
+(** {2 Live views} *)
+
+type 'a live
+
+val live : compute:(Repository.t -> 'a) -> Repository.t -> 'a live
+(** Materialise [compute] now and after every publish. *)
+
+val value : 'a live -> 'a
+val refresh_count : 'a live -> int
+(** How many times the view recomputed (the "instant" in instant
+    gratification: it equals the number of publishes since creation). *)

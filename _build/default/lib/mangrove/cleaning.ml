@@ -1,0 +1,76 @@
+type policy =
+  | Keep_all
+  | First
+  | Freshest
+  | Majority
+  | Prefer_scope of string * policy
+
+let by_time (_, (p : Storage.Provenance.t)) (_, (q : Storage.Provenance.t)) =
+  compare p.Storage.Provenance.timestamp q.Storage.Provenance.timestamp
+
+let distinct_values pairs =
+  List.fold_left
+    (fun acc (v, _) ->
+      if List.exists (Relalg.Value.equal v) acc then acc else v :: acc)
+    [] pairs
+  |> List.rev
+
+let rec resolve policy pairs =
+  match pairs with
+  | [] -> []
+  | _ -> (
+      match policy with
+      | Keep_all -> distinct_values (List.sort by_time pairs)
+      | First -> (
+          match List.sort by_time pairs with
+          | (v, _) :: _ -> [ v ]
+          | [] -> [])
+      | Freshest -> (
+          match List.sort (fun a b -> by_time b a) pairs with
+          | (v, _) :: _ -> [ v ]
+          | [] -> [])
+      | Majority ->
+          let counts = Hashtbl.create 8 in
+          List.iter
+            (fun (v, (p : Storage.Provenance.t)) ->
+              let key = Relalg.Value.to_string v in
+              let n, first =
+                Option.value ~default:(0, p.Storage.Provenance.timestamp)
+                  (Hashtbl.find_opt counts key)
+              in
+              Hashtbl.replace counts key
+                (n + 1, min first p.Storage.Provenance.timestamp))
+            pairs;
+          let best =
+            List.fold_left
+              (fun best (v, _) ->
+                let key = Relalg.Value.to_string v in
+                let n, first = Hashtbl.find counts key in
+                match best with
+                | None -> Some (v, n, first)
+                | Some (_, bn, bfirst) ->
+                    if n > bn || (n = bn && first < bfirst) then Some (v, n, first)
+                    else best)
+              None pairs
+          in
+          (match best with Some (v, _, _) -> [ v ] | None -> [])
+      | Prefer_scope (prefix, fallback) -> (
+          let in_scope =
+            List.filter
+              (fun (_, p) -> Storage.Provenance.in_scope p prefix)
+              pairs
+          in
+          match in_scope with
+          | [] -> resolve fallback pairs
+          | scoped -> resolve Freshest scoped))
+
+let resolve_one policy pairs =
+  match resolve policy pairs with v :: _ -> Some v | [] -> None
+
+let rec pp_policy fmt = function
+  | Keep_all -> Format.pp_print_string fmt "keep-all"
+  | First -> Format.pp_print_string fmt "first"
+  | Freshest -> Format.pp_print_string fmt "freshest"
+  | Majority -> Format.pp_print_string fmt "majority"
+  | Prefer_scope (p, inner) ->
+      Format.fprintf fmt "prefer-scope(%s, %a)" p pp_policy inner

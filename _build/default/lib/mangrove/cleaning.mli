@@ -1,0 +1,25 @@
+(** Deferred integrity constraints (Section 2.3). MANGROVE accepts
+    partial, redundant or conflicting data; each {e application} chooses
+    how to clean it. A policy resolves the multiple published values of
+    one (subject, field) pair. *)
+
+type policy =
+  | Keep_all  (** distinct values, publication order *)
+  | First  (** earliest published value *)
+  | Freshest  (** latest published value *)
+  | Majority  (** most frequently asserted value (ties: earliest) *)
+  | Prefer_scope of string * policy
+      (** restrict to sources whose URL starts with the prefix (e.g. the
+          faculty member's own web space); fall back to the inner policy
+          on the unrestricted set when no source is in scope *)
+
+val resolve :
+  policy ->
+  (Relalg.Value.t * Storage.Provenance.t) list ->
+  Relalg.Value.t list
+(** The cleaned value(s); singleton for every policy but [Keep_all]. *)
+
+val resolve_one :
+  policy -> (Relalg.Value.t * Storage.Provenance.t) list -> Relalg.Value.t option
+
+val pp_policy : Format.formatter -> policy -> unit

@@ -1,0 +1,36 @@
+(** Conjunctive queries over the annotation repository. The repository
+    speaks basic graph patterns (its RDF face); this module gives it the
+    S-WORLD face: instance tags become virtual relations whose columns
+    are their schema fields, so the same query language used across the
+    PDMS runs directly on published annotations.
+
+    [person(N, P)] under a binding [person -> [name; phone]] compiles to
+    the patterns [(S, mangrove:type, "person"), (S, name, N),
+    (S, phone, P)] with a fresh subject variable per atom. Entities
+    missing one of the requested fields do not match (join semantics) —
+    deferred integrity means partial entities are common, so ask only
+    for the fields you need. *)
+
+val patterns :
+  tags:(string * string list) list ->
+  Cq.Query.t ->
+  (Storage.Triple_store.pattern list, string) result
+(** Compile the query body; fails on unknown tags or arity mismatches. *)
+
+val run :
+  tags:(string * string list) list ->
+  Repository.t ->
+  Cq.Query.t ->
+  (Relalg.Relation.t, string) result
+(** Compile and evaluate; the result relation carries the head's
+    variables as attributes. Unsafe queries fail. *)
+
+val run_exn :
+  tags:(string * string list) list ->
+  Repository.t ->
+  Cq.Query.t ->
+  Relalg.Relation.t
+
+val department_tags : (string * string list) list
+(** Field bindings for {!Lightweight_schema.department}'s instance tags,
+    fields in schema declaration order. *)

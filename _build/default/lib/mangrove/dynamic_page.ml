@@ -1,0 +1,48 @@
+module Xml = Xmlmodel.Xml
+
+let cell value = Xml.element "td" [ Xml.text value ]
+let row cells = Xml.element "tr" (List.map cell cells)
+
+let table header rows =
+  Xml.element "table"
+    (Xml.element "tr"
+       (List.map (fun h -> Xml.element "th" [ Xml.text h ]) header)
+    :: rows)
+
+let course_summary ~url repo =
+  let rows =
+    List.map
+      (fun (r : Apps.course_row) ->
+        row
+          [ r.Apps.code; r.Apps.course_title; r.Apps.instructor; r.Apps.day;
+            r.Apps.time; r.Apps.room ])
+      (Apps.calendar repo)
+  in
+  let body =
+    Xml.element "html"
+      [ Xml.element "h1" [ Xml.text "course summary" ];
+        table [ "code"; "title"; "instructor"; "day"; "time"; "room" ] rows ]
+  in
+  Html.make ~url ~title:"course summary" body
+
+let people_directory ~url ~policy repo =
+  let phones = Apps.phone_directory ~policy repo in
+  let rows =
+    List.map
+      (fun (p : Apps.person_row) ->
+        let phone =
+          Option.value ~default:""
+            (List.assoc_opt p.Apps.person_name phones)
+        in
+        row [ p.Apps.person_name; p.Apps.email; p.Apps.office; phone ])
+      (Apps.who_is_who repo)
+  in
+  let body =
+    Xml.element "html"
+      [ Xml.element "h1" [ Xml.text "people" ];
+        table [ "name"; "email"; "office"; "phone" ] rows ]
+  in
+  Html.make ~url ~title:"people" body
+
+let live_course_summary ~url repo =
+  Apps.live ~compute:(course_summary ~url) repo

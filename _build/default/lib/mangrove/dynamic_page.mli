@@ -1,0 +1,17 @@
+(** Dynamic page generation in the spirit of Strudel (Section 2.3:
+    "MANGROVE also enables some web pages that are currently compiled by
+    hand, such as department-wide course summaries, to be dynamically
+    generated"). Pages are built from the repository and stay fresh by
+    construction. *)
+
+val course_summary : url:string -> Repository.t -> Html.t
+(** The department-wide course summary: one table row per course,
+    sorted like the calendar app. *)
+
+val people_directory :
+  url:string -> policy:Cleaning.policy -> Repository.t -> Html.t
+(** Who's-who plus cleaned phone numbers. *)
+
+val live_course_summary :
+  url:string -> Repository.t -> Html.t Apps.live
+(** The summary as a live view: regenerated on every publish. *)

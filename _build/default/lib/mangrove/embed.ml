@@ -1,0 +1,102 @@
+module Xml = Xmlmodel.Xml
+
+let tag_attribute = "mangrove:tag"
+let text_prefix = "mangrove:text-"
+
+let is_reserved (key, _) =
+  String.equal key tag_attribute
+  || (String.length key > String.length text_prefix
+     && String.sub key 0 (String.length text_prefix) = text_prefix)
+
+let embed annotator =
+  let doc = Annotator.document annotator in
+  let by_path : (int list, string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Annotation.t) ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt by_path a.Annotation.node)
+      in
+      Hashtbl.replace by_path a.Annotation.node (existing @ [ a.Annotation.tag ]))
+    (Annotator.annotations annotator);
+  let rec go rev_path node =
+    match node with
+    | Xml.Text _ -> node
+    | Xml.Element (tag, attrs, children) ->
+        let attrs = List.filter (fun a -> not (is_reserved a)) attrs in
+        let own =
+          match Hashtbl.find_opt by_path (List.rev rev_path) with
+          | Some tags -> [ (tag_attribute, String.concat " " tags) ]
+          | None -> []
+        in
+        (* Annotations addressing text children attach here. *)
+        let text_attrs =
+          List.mapi
+            (fun i child ->
+              match child with
+              | Xml.Text _ -> (
+                  match Hashtbl.find_opt by_path (List.rev (i :: rev_path)) with
+                  | Some tags ->
+                      [ (text_prefix ^ string_of_int i, String.concat " " tags) ]
+                  | None -> [])
+              | Xml.Element _ -> [])
+            children
+          |> List.concat
+        in
+        let children = List.mapi (fun i c -> go (i :: rev_path) c) children in
+        Xml.Element (tag, attrs @ own @ text_attrs, children)
+  in
+  go [] doc.Html.body
+
+let split_tags s = String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let extract ~schema ~url body =
+  let annotations = ref [] in
+  let record path tag = annotations := (path, tag) :: !annotations in
+  let rec strip rev_path node =
+    match node with
+    | Xml.Text _ -> node
+    | Xml.Element (tag, attrs, children) ->
+        List.iter
+          (fun (key, value) ->
+            if String.equal key tag_attribute then
+              List.iter (record (List.rev rev_path)) (split_tags value)
+            else if
+              String.length key > String.length text_prefix
+              && String.sub key 0 (String.length text_prefix) = text_prefix
+            then begin
+              let idx =
+                int_of_string
+                  (String.sub key (String.length text_prefix)
+                     (String.length key - String.length text_prefix))
+              in
+              List.iter (record (List.rev (idx :: rev_path))) (split_tags value)
+            end)
+          attrs;
+        let attrs = List.filter (fun a -> not (is_reserved a)) attrs in
+        Xml.Element (tag, attrs, List.mapi (fun i c -> strip (i :: rev_path) c) children)
+  in
+  let stripped = strip [] body in
+  let title =
+    match Xml.descendants_named stripped "h1" with
+    | h :: _ -> Xml.text_content h
+    | [] -> url
+  in
+  let doc = Html.make ~url ~title stripped in
+  let annotator = Annotator.start ~schema doc in
+  (* Instances must exist before their fields: apply top-level tags
+     first, then fields by increasing path depth. *)
+  let ordered =
+    List.stable_sort
+      (fun (p1, t1) (p2, t2) ->
+        let rank tag =
+          match Lightweight_schema.parent_of schema tag with
+          | None -> 0
+          | Some _ -> 1
+        in
+        match compare (rank t1) (rank t2) with
+        | 0 -> compare (List.length p1) (List.length p2)
+        | c -> c)
+      (List.rev !annotations)
+  in
+  List.iter (fun (node, tag) -> Annotator.annotate_exn annotator ~node ~tag) ordered;
+  annotator

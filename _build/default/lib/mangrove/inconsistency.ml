@@ -1,0 +1,40 @@
+type conflict = {
+  subject : string;
+  field : string;
+  values : (Relalg.Value.t * Storage.Provenance.t) list;
+}
+
+let distinct_count values =
+  List.fold_left
+    (fun acc (v, _) ->
+      if List.exists (Relalg.Value.equal v) acc then acc else v :: acc)
+    [] values
+  |> List.length
+
+let find repo ~functional =
+  List.concat_map
+    (fun (tag, field) ->
+      Repository.entities repo ~tag
+      |> List.filter_map (fun subject ->
+             let values = Repository.field_values repo ~subject ~field in
+             if distinct_count values >= 2 then Some { subject; field; values }
+             else None))
+    functional
+
+let notifications conflicts =
+  List.concat_map
+    (fun c ->
+      let sources =
+        List.map (fun (_, p) -> p.Storage.Provenance.source_url) c.values
+        |> List.sort_uniq String.compare
+      in
+      let rendered =
+        String.concat " vs "
+          (List.map (fun (v, _) -> Relalg.Value.to_string v) c.values)
+      in
+      List.map
+        (fun url ->
+          ( url,
+            Printf.sprintf "conflicting %s for %s: %s" c.field c.subject rendered ))
+        sources)
+    conflicts

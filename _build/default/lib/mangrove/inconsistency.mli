@@ -1,0 +1,20 @@
+(** The proactive inconsistency finder of Section 2.3: "special
+    applications whose goal is to proactively find inconsistencies in the
+    database and notify the relevant authors". *)
+
+type conflict = {
+  subject : string;
+  field : string;
+  values : (Relalg.Value.t * Storage.Provenance.t) list;
+      (** two or more distinct values with their sources *)
+}
+
+val find :
+  Repository.t -> functional:(string * string) list -> conflict list
+(** [functional] lists (instance tag, field) pairs expected to be
+    single-valued — e.g. [("person", "phone")]. A conflict is reported
+    when a subject carries two or more {e distinct} values. *)
+
+val notifications : conflict list -> (string * string) list
+(** One (source URL, message) pair per source involved in each
+    conflict — the "notify the relevant authors" step. *)

@@ -1,0 +1,1 @@
+lib/matching/column.ml: Corpus Format List String Util

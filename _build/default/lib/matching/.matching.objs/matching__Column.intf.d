@@ -1,0 +1,1 @@
+lib/matching/column.mli: Corpus Format Util

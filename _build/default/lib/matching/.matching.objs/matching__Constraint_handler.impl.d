@@ -1,0 +1,1 @@
+lib/matching/constraint_handler.ml: Column Learner List

@@ -1,0 +1,1 @@
+lib/matching/constraint_handler.mli: Column Learner

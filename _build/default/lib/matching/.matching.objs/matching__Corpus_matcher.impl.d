@@ -1,0 +1,1 @@
+lib/matching/corpus_matcher.ml: Column Corpus Float Learner List Lsd String Util

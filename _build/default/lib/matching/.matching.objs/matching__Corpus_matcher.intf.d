@@ -1,0 +1,1 @@
+lib/matching/corpus_matcher.mli: Column Corpus Learner Util

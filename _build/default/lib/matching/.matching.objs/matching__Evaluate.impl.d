@@ -1,0 +1,1 @@
+lib/matching/evaluate.ml: Column Format List Option String

@@ -1,0 +1,1 @@
+lib/matching/evaluate.mli: Column Format

@@ -1,0 +1,1 @@
+lib/matching/format_learner.ml: Buffer Column Hashtbl Learner List Option String Util

@@ -1,0 +1,1 @@
+lib/matching/format_learner.mli: Learner

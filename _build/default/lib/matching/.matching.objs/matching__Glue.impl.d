@@ -1,0 +1,1 @@
+lib/matching/glue.ml: Float Hashtbl List Option String Taxonomy Util

@@ -1,0 +1,1 @@
+lib/matching/learner.mli: Column

@@ -1,0 +1,1 @@
+lib/matching/lsd.ml: Column Constraint_handler Format_learner Hashtbl Learner List Meta_learner Naive_bayes Name_learner Structure_learner Util

@@ -1,0 +1,1 @@
+lib/matching/lsd.mli: Column Corpus Learner Util

@@ -1,0 +1,1 @@
+lib/matching/meta_learner.ml: Array Column Float Learner List String

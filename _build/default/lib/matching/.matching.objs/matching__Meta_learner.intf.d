@@ -1,0 +1,1 @@
+lib/matching/meta_learner.mli: Column Learner

@@ -1,0 +1,1 @@
+lib/matching/naive_bayes.ml: Column Float Hashtbl Learner List Util

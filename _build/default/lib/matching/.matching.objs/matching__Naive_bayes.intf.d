@@ -1,0 +1,1 @@
+lib/matching/naive_bayes.mli: Learner

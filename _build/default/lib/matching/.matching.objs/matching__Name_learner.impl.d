@@ -1,0 +1,1 @@
+lib/matching/name_learner.ml: Column Float Hashtbl Learner List Option String Util

@@ -1,0 +1,1 @@
+lib/matching/name_learner.mli: Learner Util

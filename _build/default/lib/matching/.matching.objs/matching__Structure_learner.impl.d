@@ -1,0 +1,1 @@
+lib/matching/structure_learner.ml: Column Hashtbl Learner List Option Util

@@ -1,0 +1,1 @@
+lib/matching/structure_learner.mli: Learner Util

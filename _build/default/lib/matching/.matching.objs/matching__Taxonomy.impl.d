@@ -1,0 +1,1 @@
+lib/matching/taxonomy.ml: List Option String

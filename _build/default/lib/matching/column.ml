@@ -1,0 +1,51 @@
+type t = {
+  schema_name : string;
+  rel : string;
+  attr : string;
+  context : string list;
+  values : string list;
+}
+
+let of_schema (s : Corpus.Schema_model.t) =
+  List.concat_map
+    (fun (r : Corpus.Schema_model.relation) ->
+      let names =
+        List.map
+          (fun (a : Corpus.Schema_model.attribute) -> a.Corpus.Schema_model.attr_name)
+          r.Corpus.Schema_model.attributes
+      in
+      List.map
+        (fun (a : Corpus.Schema_model.attribute) ->
+          {
+            schema_name = s.Corpus.Schema_model.schema_name;
+            rel = r.Corpus.Schema_model.rel_name;
+            attr = a.Corpus.Schema_model.attr_name;
+            context =
+              List.filter
+                (fun n -> not (String.equal n a.Corpus.Schema_model.attr_name))
+                names;
+            values = a.Corpus.Schema_model.sample_values;
+          })
+        r.Corpus.Schema_model.attributes)
+    s.Corpus.Schema_model.relations
+
+let key t = (t.rel, t.attr)
+
+let canon_tokens synonyms s =
+  Util.Tokenize.split_identifier s
+  |> List.map (Util.Synonyms.canonical synonyms)
+  |> List.map Util.Stemmer.stem
+
+let name_tokens ?(synonyms = Util.Synonyms.university_domain) t =
+  canon_tokens synonyms t.attr
+
+let value_tokens ?(limit = 50) t =
+  t.values
+  |> List.filteri (fun i _ -> i < limit)
+  |> List.concat_map Util.Tokenize.words
+  |> List.map Util.Stemmer.stem
+
+let context_tokens ?(synonyms = Util.Synonyms.university_domain) t =
+  List.concat_map (canon_tokens synonyms) t.context
+
+let pp fmt t = Format.fprintf fmt "%s.%s.%s" t.schema_name t.rel t.attr

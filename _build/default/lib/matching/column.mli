@@ -1,0 +1,25 @@
+(** The unit the matcher classifies: one attribute of one relation,
+    together with its data values and its structural context (sibling
+    attribute names) — the inputs LSD's base learners consume. *)
+
+type t = {
+  schema_name : string;
+  rel : string;
+  attr : string;
+  context : string list;  (** sibling attribute names *)
+  values : string list;  (** sample data values *)
+}
+
+val of_schema : Corpus.Schema_model.t -> t list
+
+val key : t -> string * string
+(** (relation, attribute) — identifies the column within its schema. *)
+
+val name_tokens : ?synonyms:Util.Synonyms.t -> t -> string list
+(** Stemmed, synonym-canonicalised tokens of the attribute name. *)
+
+val value_tokens : ?limit:int -> t -> string list
+(** Stemmed tokens drawn from the first [limit] values (default 50). *)
+
+val context_tokens : ?synonyms:Util.Synonyms.t -> t -> string list
+val pp : Format.formatter -> t -> unit

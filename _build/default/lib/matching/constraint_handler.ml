@@ -1,0 +1,43 @@
+let assign ?(threshold = 0.05) ?(one_to_one = true) predictions =
+  if not one_to_one then
+    List.map
+      (fun (col, pred) ->
+        match Learner.best pred with
+        | Some (label, score) when score >= threshold -> (col, Some label)
+        | Some _ | None -> (col, None))
+      predictions
+  else begin
+    (* Greedy: repeatedly take the globally best (column, label) pair. *)
+    let assigned : (Column.t * string) list ref = ref [] in
+    let used_labels = ref [] in
+    let remaining = ref predictions in
+    let rec loop () =
+      let best =
+        List.fold_left
+          (fun best (col, pred) ->
+            List.fold_left
+              (fun best (label, score) ->
+                if score < threshold || List.mem label !used_labels then best
+                else
+                  match best with
+                  | None -> Some (col, label, score)
+                  | Some (_, _, s) -> if score > s then Some (col, label, score) else best)
+              best pred)
+          None !remaining
+      in
+      match best with
+      | None -> ()
+      | Some (col, label, _) ->
+          assigned := (col, label) :: !assigned;
+          used_labels := label :: !used_labels;
+          remaining := List.filter (fun (c, _) -> c != col) !remaining;
+          loop ()
+    in
+    loop ();
+    List.map
+      (fun (col, _) ->
+        match List.find_opt (fun (c, _) -> c == col) !assigned with
+        | Some (_, label) -> (col, Some label)
+        | None -> (col, None))
+      predictions
+  end

@@ -1,0 +1,10 @@
+(** LSD's constraint handler, reduced to the workhorse constraint:
+    one-to-one assignment between source columns and mediated labels,
+    with a confidence threshold. Greedy global-best matching. *)
+
+val assign :
+  ?threshold:float ->
+  ?one_to_one:bool ->
+  (Column.t * Learner.prediction) list ->
+  (Column.t * string option) list
+(** Default threshold 0.05, one_to_one true. Input order preserved. *)

@@ -1,0 +1,108 @@
+type t = { lsd : Lsd.t; synonyms : Util.Synonyms.t }
+
+let canon synonyms name =
+  Util.Tokenize.split_identifier name
+  |> List.map (Util.Synonyms.canonical synonyms)
+  |> List.map Util.Stemmer.stem
+  |> String.concat "_"
+
+let build ?(synonyms = Util.Synonyms.university_domain) corpus =
+  let examples =
+    List.concat_map
+      (fun schema ->
+        List.map
+          (fun col ->
+            { Learner.column = col; label = canon synonyms col.Column.attr })
+          (Column.of_schema schema))
+      (Corpus.Corpus_store.schemas corpus)
+  in
+  { lsd = Lsd.train ~synonyms ~examples (); synonyms }
+
+let concepts t = Lsd.mediated_labels t.lsd
+
+let concept_vector t column = Lsd.predict_column t.lsd column
+
+let l2 vec =
+  let norm = sqrt (List.fold_left (fun acc (_, w) -> acc +. (w *. w)) 0.0 vec) in
+  if norm > 0.0 then List.map (fun (k, w) -> (k, w /. norm)) vec else vec
+
+let match_schemas ?(threshold = 0.1) t s1 s2 =
+  let cols1 = Column.of_schema s1 and cols2 = Column.of_schema s2 in
+  let vecs1 = List.map (fun c -> (c, l2 (concept_vector t c))) cols1 in
+  let vecs2 = List.map (fun c -> (c, l2 (concept_vector t c))) cols2 in
+  let pairs =
+    List.concat_map
+      (fun (c1, v1) ->
+        List.map (fun (c2, v2) -> (c1, c2, Util.Tfidf.cosine v1 v2)) vecs2)
+      vecs1
+  in
+  (* Greedy one-to-one on correlation. *)
+  let sorted =
+    List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a) pairs
+  in
+  let used1 = ref [] and used2 = ref [] in
+  List.filter
+    (fun (c1, c2, score) ->
+      if score < threshold || List.memq c1 !used1 || List.memq c2 !used2 then
+        false
+      else begin
+        used1 := c1 :: !used1;
+        used2 := c2 :: !used2;
+        true
+      end)
+    sorted
+
+(* Name-overlap proximity between a schema and a corpus schema. *)
+let schema_affinity t (s : Corpus.Schema_model.t) (c : Corpus.Schema_model.t) =
+  let names s =
+    List.map (canon t.synonyms) (Corpus.Schema_model.attr_names s)
+  in
+  Util.Strdist.jaccard (names s) (names c)
+
+let closest_corpus_schema t corpus s =
+  List.fold_left
+    (fun best cand ->
+      let a = schema_affinity t s cand in
+      match best with
+      | None -> Some (cand, a)
+      | Some (_, ba) -> if a > ba then Some (cand, a) else best)
+    None
+    (Corpus.Corpus_store.schemas corpus)
+
+let match_via_pivot t ~corpus s1 s2 =
+  match (closest_corpus_schema t corpus s1, closest_corpus_schema t corpus s2) with
+  | Some (c1, _), Some (c2, _) ->
+      let mappings =
+        Corpus.Corpus_store.mappings_between corpus
+          c1.Corpus.Schema_model.schema_name c2.Corpus.Schema_model.schema_name
+      in
+      let cols1 = Column.of_schema s1 and cols2 = Column.of_schema s2 in
+      (* s1 col -> its best c1 attr (by name); follow the corpus mapping
+         to a c2 attr; then to the closest s2 col. *)
+      let best_by_name cols (rel, attr) =
+        List.fold_left
+          (fun best col ->
+            let s =
+              Util.Strdist.jaccard
+                (Util.Tokenize.split_identifier col.Column.attr)
+                (Util.Tokenize.split_identifier attr)
+              +. (0.2
+                 *. Util.Strdist.jaccard
+                      (Util.Tokenize.split_identifier col.Column.rel)
+                      (Util.Tokenize.split_identifier rel))
+            in
+            match best with
+            | None -> if s > 0.0 then Some (col, s) else None
+            | Some (_, bs) -> if s > bs then Some (col, s) else best)
+          None cols
+      in
+      List.concat_map
+        (fun (m : Corpus.Corpus_store.known_mapping) ->
+          List.filter_map
+            (fun (src, dst) ->
+              match (best_by_name cols1 src, best_by_name cols2 dst) with
+              | Some (c1, _), Some (c2, _) -> Some (c1, c2)
+              | _ -> None)
+            m.Corpus.Corpus_store.correspondences)
+        mappings
+  | _ -> []

@@ -1,0 +1,60 @@
+let pattern_of value =
+  let classify c =
+    if c >= '0' && c <= '9' then '9'
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then 'a'
+    else c
+  in
+  let buf = Buffer.create (String.length value) in
+  String.iter
+    (fun c ->
+      let k = classify c in
+      let last =
+        if Buffer.length buf > 0 then Some (Buffer.nth buf (Buffer.length buf - 1))
+        else None
+      in
+      (* Compress runs of the same class. *)
+      if last <> Some k || (k <> '9' && k <> 'a') then Buffer.add_char buf k)
+    value;
+  Buffer.contents buf
+
+(* L2-normalised pattern frequency vector, so dot products are true
+   cosines in [0, 1]. *)
+let distribution values =
+  let counter = Util.Counter.create () in
+  List.iter (fun v -> Util.Counter.add counter (pattern_of v)) values;
+  let items = Util.Counter.items counter in
+  let norm = sqrt (List.fold_left (fun acc (_, c) -> acc +. (c *. c)) 0.0 items) in
+  if norm <= 0.0 then [] else List.map (fun (p, c) -> (p, c /. norm)) items
+
+let create () =
+  let profiles : (string, (string * float) list) Hashtbl.t = Hashtbl.create 16 in
+  let labels = ref [] in
+  let train examples =
+    Hashtbl.reset profiles;
+    labels := Learner.labels_of_examples examples;
+    let grouped : (string, string list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (e : Learner.example) ->
+        let values =
+          match Hashtbl.find_opt grouped e.Learner.label with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Hashtbl.replace grouped e.Learner.label r;
+              r
+        in
+        values := e.Learner.column.Column.values @ !values)
+      examples;
+    Hashtbl.iter
+      (fun label values -> Hashtbl.replace profiles label (distribution !values))
+      grouped
+  in
+  let predict (column : Column.t) =
+    let d = distribution column.Column.values in
+    List.map
+      (fun label ->
+        let profile = Option.value ~default:[] (Hashtbl.find_opt profiles label) in
+        (label, Util.Tfidf.cosine d profile))
+      !labels
+  in
+  { Learner.learner_name = "format"; train; predict }

@@ -1,0 +1,10 @@
+(** Format learner: classifies by the {e shape} of data values (phone
+    numbers, times, years, room codes look alike across schemas even
+    when vocabularies differ). Values are abstracted to patterns —
+    digits to [9], letters to [a], runs compressed — and labels are
+    scored by cosine similarity of pattern distributions. *)
+
+val pattern_of : string -> string
+(** ["206-543-1695" -> "9-9-9"], ["CSE 444" -> "a 9"]. *)
+
+val create : unit -> Learner.t

@@ -1,0 +1,169 @@
+type similarity = {
+  concept_a : string;
+  concept_b : string;
+  jaccard : float;
+  relaxed : float;
+}
+
+let tokens text = List.map Util.Stemmer.stem (Util.Tokenize.words text)
+
+(* A naive-Bayes text classifier over a taxonomy's concepts, trained on
+   each concept's extension (own + descendant instances). *)
+let train_classifier taxonomy =
+  let concepts = Taxonomy.concepts taxonomy in
+  let counters =
+    List.map
+      (fun name ->
+        let counter = Util.Counter.create () in
+        let node = Option.get (Taxonomy.find taxonomy name) in
+        List.iter
+          (fun instance -> List.iter (Util.Counter.add counter) (tokens instance))
+          (Taxonomy.all_instances node);
+        (name, counter))
+      concepts
+  in
+  let vocab =
+    List.fold_left
+      (fun acc (_, c) -> acc + Util.Counter.distinct c)
+      1 counters
+  in
+  fun instance ->
+    (* Most likely concept for the instance, by smoothed log-likelihood;
+       concepts with empty extensions are skipped. *)
+    let toks = tokens instance in
+    List.fold_left
+      (fun best (name, counter) ->
+        if Util.Counter.total counter <= 0.0 then best
+        else
+          let ll =
+            List.fold_left
+              (fun acc tok ->
+                acc
+                +. log
+                     ((Util.Counter.count counter tok +. 1.0)
+                     /. (Util.Counter.total counter +. float_of_int vocab)))
+              0.0 toks
+          in
+          match best with
+          | Some (_, best_ll) when best_ll >= ll -> best
+          | Some _ | None -> Some (name, ll))
+      None counters
+    |> Option.map fst
+
+(* Is [name] equal to or a descendant of [ancestor]? *)
+let within taxonomy ~ancestor name =
+  match Taxonomy.find taxonomy ancestor with
+  | None -> false
+  | Some node -> List.mem name (Taxonomy.concepts node)
+
+let jaccard_matrix ta tb =
+  let classify_a = train_classifier ta and classify_b = train_classifier tb in
+  (* Every instance with: its home concept and its predicted concept in
+     the other taxonomy. *)
+  let labelled_a =
+    List.concat_map
+      (fun concept ->
+        let node = Option.get (Taxonomy.find ta concept) in
+        List.filter_map
+          (fun inst ->
+            Option.map (fun p -> (concept, p)) (classify_b inst))
+          node.Taxonomy.instances)
+      (Taxonomy.concepts ta)
+  in
+  let labelled_b =
+    List.concat_map
+      (fun concept ->
+        let node = Option.get (Taxonomy.find tb concept) in
+        List.filter_map
+          (fun inst ->
+            Option.map (fun p -> (p, concept)) (classify_a inst))
+          node.Taxonomy.instances)
+      (Taxonomy.concepts tb)
+  in
+  let universe = labelled_a @ labelled_b in
+  let total = float_of_int (List.length universe) in
+  if total <= 0.0 then []
+  else
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            (* Membership is hierarchical: an instance labelled with a
+               descendant concept belongs to the ancestor too. *)
+            let in_a (ca, _) = within ta ~ancestor:a ca in
+            let in_b (_, cb) = within tb ~ancestor:b cb in
+            let joint =
+              float_of_int (List.length (List.filter (fun u -> in_a u && in_b u) universe))
+            in
+            let either =
+              float_of_int (List.length (List.filter (fun u -> in_a u || in_b u) universe))
+            in
+            if either <= 0.0 || joint <= 0.0 then None
+            else Some ((a, b), joint /. either))
+          (Taxonomy.concepts tb))
+      (Taxonomy.concepts ta)
+
+(* Relaxation labeling, simplified to its core: a pair gains weight when
+   the parents are each other's current best match (neighbourhood
+   agreement), and loses a little when they are not. *)
+let relax ta tb raw =
+  let score = Hashtbl.create 64 in
+  List.iter (fun (pair, s) -> Hashtbl.replace score pair s) raw;
+  let get pair = Option.value ~default:0.0 (Hashtbl.find_opt score pair) in
+  let best_for_a a =
+    List.fold_left
+      (fun best ((a', b), _) ->
+        if not (String.equal a' a) then best
+        else
+          match best with
+          | Some (_, s) when s >= get (a, b) -> best
+          | Some _ | None -> Some (b, get (a, b)))
+      None raw
+    |> Option.map fst
+  in
+  for _ = 1 to 3 do
+    List.iter
+      (fun ((a, b), _) ->
+        let boost =
+          match (Taxonomy.parent_of ta a, Taxonomy.parent_of tb b) with
+          | Some pa, Some pb ->
+              if best_for_a pa = Some pb then 0.15
+              else if get (pa, pb) > 0.0 then 0.05
+              else -0.02
+          | None, None -> 0.1 (* both roots *)
+          | Some _, None | None, Some _ -> -0.02
+        in
+        Hashtbl.replace score (a, b)
+          (Float.min 1.0 (Float.max 0.0 (get (a, b) +. boost))))
+      raw
+  done;
+  List.map (fun (pair, _) -> (pair, get pair)) raw
+
+let similarities ta tb =
+  let raw = jaccard_matrix ta tb in
+  let relaxed = relax ta tb raw in
+  List.map2
+    (fun ((a, b), j) ((_, _), r) ->
+      { concept_a = a; concept_b = b; jaccard = j; relaxed = r })
+    raw relaxed
+  |> List.sort (fun x y ->
+         match Float.compare y.relaxed x.relaxed with
+         | 0 -> compare (x.concept_a, x.concept_b) (y.concept_a, y.concept_b)
+         | c -> c)
+
+let match_taxonomies ?(threshold = 0.05) ta tb =
+  let sims = similarities ta tb in
+  let used_a = ref [] and used_b = ref [] in
+  List.filter_map
+    (fun s ->
+      if
+        s.relaxed < threshold
+        || List.mem s.concept_a !used_a
+        || List.mem s.concept_b !used_b
+      then None
+      else begin
+        used_a := s.concept_a :: !used_a;
+        used_b := s.concept_b :: !used_b;
+        Some (s.concept_a, s.concept_b)
+      end)
+    sims

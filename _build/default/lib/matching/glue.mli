@@ -1,0 +1,26 @@
+(** GLUE-style taxonomy matching (the paper's reference [14], "Learning
+    to map between ontologies on the semantic web") — the ontology half
+    of the MatchingAdvisor.
+
+    The method: train a text classifier per concept of each taxonomy,
+    use it to classify the {e other} taxonomy's instances, derive joint
+    probability estimates P(A, B) from the cross-classification counts,
+    score candidate pairs with the Jaccard similarity
+    P(A ∧ B) / P(A ∨ B), and refine with relaxation labeling: a pair
+    whose parents also match gets boosted, iterated to stability. *)
+
+type similarity = {
+  concept_a : string;
+  concept_b : string;
+  jaccard : float;  (** the raw instance-based similarity *)
+  relaxed : float;  (** after relaxation labeling *)
+}
+
+val similarities : Taxonomy.t -> Taxonomy.t -> similarity list
+(** All concept pairs with positive raw similarity, best relaxed score
+    first. *)
+
+val match_taxonomies :
+  ?threshold:float -> Taxonomy.t -> Taxonomy.t -> (string * string) list
+(** One-to-one greedy assignment on the relaxed scores (default
+    threshold 0.05). *)

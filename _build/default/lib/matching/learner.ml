@@ -1,0 +1,32 @@
+type prediction = (string * float) list
+
+type example = { column : Column.t; label : string }
+
+type t = {
+  learner_name : string;
+  train : example list -> unit;
+  predict : Column.t -> prediction;
+}
+
+let score_of prediction label =
+  Option.value ~default:0.0 (List.assoc_opt label prediction)
+
+let best prediction =
+  List.fold_left
+    (fun best (label, score) ->
+      match best with
+      | None -> Some (label, score)
+      | Some (_, s) -> if score > s then Some (label, score) else best)
+    None prediction
+
+let normalize prediction =
+  match best prediction with
+  | Some (_, m) when m > 0.0 ->
+      List.map (fun (l, s) -> (l, s /. m)) prediction
+  | Some _ | None -> prediction
+
+let labels_of_examples examples =
+  List.fold_left
+    (fun acc e -> if List.mem e.label acc then acc else e.label :: acc)
+    [] examples
+  |> List.rev

@@ -1,0 +1,22 @@
+(** The common interface of LSD's base learners: train on labelled
+    columns, then predict a score per mediated-schema label for an
+    unseen column (the "multi-strategy learning" of Section 4.3.2). *)
+
+type prediction = (string * float) list
+(** label -> score; scores in [0, 1], not necessarily summing to 1. *)
+
+type example = { column : Column.t; label : string }
+
+type t = {
+  learner_name : string;
+  train : example list -> unit;
+  predict : Column.t -> prediction;
+}
+
+val score_of : prediction -> string -> float
+val best : prediction -> (string * float) option
+
+val normalize : prediction -> prediction
+(** Scale so the maximum score is 1 (no-op when all scores are 0). *)
+
+val labels_of_examples : example list -> string list

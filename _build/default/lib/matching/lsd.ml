@@ -1,0 +1,73 @@
+type t = {
+  base : Learner.t list;
+  meta : Meta_learner.t;
+  labels : string list;
+}
+
+let make_base synonyms =
+  [ Name_learner.create ~synonyms ();
+    Naive_bayes.create ();
+    Format_learner.create ();
+    Structure_learner.create ~synonyms () ]
+
+let train ?(synonyms = Util.Synonyms.university_domain) ~examples () =
+  (* Stacking with a held-out split: base learners trained on one half
+     predict the other half, and those out-of-sample predictions fit the
+     meta weights — otherwise a memorising learner (naive Bayes) looks
+     perfect on its own training data and gets overweighted. *)
+  let half_a, half_b =
+    List.partition
+      (fun (e : Learner.example) ->
+        Hashtbl.hash e.Learner.column.Column.schema_name land 1 = 0)
+      examples
+  in
+  let meta =
+    if half_a = [] || half_b = [] then begin
+      let base = make_base synonyms in
+      List.iter (fun (l : Learner.t) -> l.Learner.train examples) base;
+      Meta_learner.train base examples
+    end
+    else begin
+      let holdout_base = make_base synonyms in
+      List.iter (fun (l : Learner.t) -> l.Learner.train half_a) holdout_base;
+      Meta_learner.train holdout_base half_b
+    end
+  in
+  (* The deployed base learners see all the training data. *)
+  let base = make_base synonyms in
+  List.iter (fun (l : Learner.t) -> l.Learner.train examples) base;
+  let labels = Learner.labels_of_examples examples in
+  let meta = Meta_learner.retarget meta ~learners:base ~labels in
+  { base; meta; labels }
+
+let mediated_labels t = t.labels
+let learner_weights t = Meta_learner.weights t.meta
+
+let predict_column t column = Meta_learner.predict t.meta column
+
+let predict_column_with t ~only column =
+  let learners =
+    List.filter
+      (fun (l : Learner.t) -> List.mem l.Learner.learner_name only)
+      t.base
+  in
+  Meta_learner.predict_single t.meta learners column
+
+let match_schema ?threshold ?one_to_one ?only t schema =
+  let predict =
+    match only with
+    | None -> predict_column t
+    | Some only -> predict_column_with t ~only
+  in
+  let predictions =
+    List.map (fun col -> (col, predict col)) (Column.of_schema schema)
+  in
+  Constraint_handler.assign ?threshold ?one_to_one predictions
+
+let examples_of_schema ~mapping schema =
+  List.filter_map
+    (fun col ->
+      match List.assoc_opt (Column.key col) mapping with
+      | Some label -> Some { Learner.column = col; label }
+      | None -> None)
+    (Column.of_schema schema)

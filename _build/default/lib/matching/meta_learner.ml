@@ -1,0 +1,96 @@
+type t = {
+  learners : Learner.t list;
+  w : float array;
+  labels : string list;
+}
+
+(* Least squares with non-negativity projection. Features: per training
+   (column, candidate label) pair, the base learners' scores; target 1
+   for the correct label, 0 otherwise. *)
+let fit features targets k =
+  let w = Array.make k (1.0 /. float_of_int k) in
+  let n = List.length features in
+  if n = 0 then w
+  else begin
+    let lr = 0.5 /. float_of_int n in
+    for _ = 1 to 300 do
+      let grad = Array.make k 0.0 in
+      List.iter2
+        (fun x y ->
+          let pred = ref 0.0 in
+          Array.iteri (fun i xi -> pred := !pred +. (w.(i) *. xi)) x;
+          let err = !pred -. y in
+          Array.iteri (fun i xi -> grad.(i) <- grad.(i) +. (err *. xi)) x)
+        features targets;
+      Array.iteri (fun i g -> w.(i) <- Float.max 0.0 (w.(i) -. (lr *. g))) grad
+    done;
+    (* Guard against the degenerate all-zero solution. *)
+    if Array.for_all (fun x -> x <= 1e-9) w then
+      Array.fill w 0 k (1.0 /. float_of_int k);
+    w
+  end
+
+let train learners examples =
+  let labels = Learner.labels_of_examples examples in
+  let features = ref [] and targets = ref [] in
+  List.iter
+    (fun (e : Learner.example) ->
+      let predictions =
+        List.map
+          (fun (l : Learner.t) -> Learner.normalize (l.Learner.predict e.Learner.column))
+          learners
+      in
+      List.iter
+        (fun label ->
+          let x =
+            Array.of_list
+              (List.map (fun p -> Learner.score_of p label) predictions)
+          in
+          let y = if String.equal label e.Learner.label then 1.0 else 0.0 in
+          features := x :: !features;
+          targets := y :: !targets)
+        labels)
+    examples;
+  let w = fit !features !targets (List.length learners) in
+  { learners; w; labels }
+
+let weights t =
+  let total = Array.fold_left ( +. ) 0.0 t.w in
+  List.mapi
+    (fun i (l : Learner.t) ->
+      (l.Learner.learner_name, if total > 0.0 then t.w.(i) /. total else 0.0))
+    t.learners
+
+let predict_with t learners (column : Column.t) =
+  let predictions =
+    List.map
+      (fun (l : Learner.t) -> Learner.normalize (l.Learner.predict column))
+      learners
+  in
+  let weight_of name =
+    let rec go i = function
+      | [] -> 0.0
+      | (l : Learner.t) :: rest ->
+          if String.equal l.Learner.learner_name name then t.w.(i)
+          else go (i + 1) rest
+    in
+    go 0 t.learners
+  in
+  List.map
+    (fun label ->
+      let score =
+        List.fold_left2
+          (fun acc (l : Learner.t) p ->
+            acc +. (weight_of l.Learner.learner_name *. Learner.score_of p label))
+          0.0 learners predictions
+      in
+      (label, score))
+    t.labels
+
+let predict t column = predict_with t t.learners column
+let predict_single t learners column = predict_with t learners column
+
+let retarget t ~learners ~labels =
+  if List.length learners <> List.length t.learners then
+    invalid_arg "Meta_learner.retarget: learner count mismatch";
+  { t with learners; labels }

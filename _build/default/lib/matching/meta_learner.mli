@@ -1,0 +1,24 @@
+(** LSD's meta-learner: stacking. Base-learner scores become features;
+    non-negative weights are fit by projected gradient descent on a
+    least-squares objective built from the training examples (correct
+    label → target 1, other labels → target 0). *)
+
+type t
+
+val train : Learner.t list -> Learner.example list -> t
+(** Base learners must already be trained on the same examples. *)
+
+val weights : t -> (string * float) list
+(** (learner name, weight), normalised to sum 1. *)
+
+val predict : t -> Column.t -> Learner.prediction
+
+val predict_single : t -> Learner.t list -> Column.t -> Learner.prediction
+(** Like [predict] but with explicit learners (for ablations: pass a
+    subset and reuse the trained weights of those learners). *)
+
+val retarget : t -> learners:Learner.t list -> labels:string list -> t
+(** Swap in replacement learners (same count and order) and the label
+    set, keeping the fitted weights — used by held-out stacking, where
+    weights are fit on a split but deployment uses fully trained
+    learners over the full label set. *)

@@ -1,0 +1,68 @@
+let create () =
+  let token_counts : (string, Util.Counter.t) Hashtbl.t = Hashtbl.create 16 in
+  let label_docs = Util.Counter.create () in
+  let vocab : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let labels = ref [] in
+  let train examples =
+    Hashtbl.reset token_counts;
+    Hashtbl.reset vocab;
+    labels := Learner.labels_of_examples examples;
+    List.iter
+      (fun (e : Learner.example) ->
+        Util.Counter.add label_docs e.Learner.label;
+        let counter =
+          match Hashtbl.find_opt token_counts e.Learner.label with
+          | Some c -> c
+          | None ->
+              let c = Util.Counter.create () in
+              Hashtbl.replace token_counts e.Learner.label c;
+              c
+        in
+        List.iter
+          (fun tok ->
+            Util.Counter.add counter tok;
+            Hashtbl.replace vocab tok ())
+          (Column.value_tokens e.Learner.column))
+      examples
+  in
+  let predict (column : Column.t) =
+    let tokens = Column.value_tokens column in
+    match (tokens, !labels) with
+    | [], _ | _, [] -> List.map (fun l -> (l, 0.0)) !labels
+    | _ ->
+        let v = float_of_int (max 1 (Hashtbl.length vocab)) in
+        let log_posteriors =
+          List.map
+            (fun label ->
+              let counter = Hashtbl.find_opt token_counts label in
+              let total =
+                match counter with Some c -> Util.Counter.total c | None -> 0.0
+              in
+              let log_prior =
+                log ((Util.Counter.count label_docs label +. 1.0)
+                    /. (Util.Counter.total label_docs +. v))
+              in
+              let ll =
+                List.fold_left
+                  (fun acc tok ->
+                    let count =
+                      match counter with
+                      | Some c -> Util.Counter.count c tok
+                      | None -> 0.0
+                    in
+                    acc +. log ((count +. 1.0) /. (total +. v)))
+                  log_prior tokens
+              in
+              (label, ll))
+            !labels
+        in
+        (* Softmax for numerical stability. *)
+        let max_ll =
+          List.fold_left (fun acc (_, ll) -> Float.max acc ll) neg_infinity
+            log_posteriors
+        in
+        let exps = List.map (fun (l, ll) -> (l, exp (ll -. max_ll))) log_posteriors in
+        let z = List.fold_left (fun acc (_, e) -> acc +. e) 0.0 exps in
+        List.map (fun (l, e) -> (l, if z > 0.0 then e /. z else 0.0)) exps
+  in
+  { Learner.learner_name = "naive-bayes"; train; predict }

@@ -1,0 +1,5 @@
+(** Naive-Bayes data-content learner: classifies a column by the tokens
+    of its data values (LSD's content learner). Laplace-smoothed
+    multinomial model; prediction scores are normalised posteriors. *)
+
+val create : unit -> Learner.t

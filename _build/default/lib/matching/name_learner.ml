@@ -1,0 +1,41 @@
+let name_sim synonyms a b =
+  let canon s =
+    Util.Tokenize.split_identifier s
+    |> List.map (Util.Synonyms.canonical synonyms)
+    |> List.map Util.Stemmer.stem
+  in
+  let ta = canon a and tb = canon b in
+  (0.6 *. Util.Strdist.jaccard ta tb)
+  +. (0.3 *. Util.Strdist.ngram_sim (String.concat "_" ta) (String.concat "_" tb))
+  +. (0.1 *. Util.Strdist.levenshtein_sim a b)
+
+let create ?(synonyms = Util.Synonyms.university_domain) () =
+  (* label -> alias names seen in training *)
+  let aliases : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let labels = ref [] in
+  let train examples =
+    Hashtbl.reset aliases;
+    labels := Learner.labels_of_examples examples;
+    List.iter
+      (fun (e : Learner.example) ->
+        let existing = Option.value ~default:[] (Hashtbl.find_opt aliases e.Learner.label) in
+        let name = e.Learner.column.Column.attr in
+        if not (List.mem name existing) then
+          Hashtbl.replace aliases e.Learner.label (name :: existing))
+      examples
+  in
+  let predict (column : Column.t) =
+    List.map
+      (fun label ->
+        let candidates =
+          label :: Option.value ~default:[] (Hashtbl.find_opt aliases label)
+        in
+        let score =
+          List.fold_left
+            (fun acc cand -> Float.max acc (name_sim synonyms column.Column.attr cand))
+            0.0 candidates
+        in
+        (label, score))
+      !labels
+  in
+  { Learner.learner_name = "name"; train; predict }

@@ -1,0 +1,5 @@
+(** Name-based matcher: lexical similarity between the column's
+    attribute name and each label, boosted by aliases observed during
+    training (names of columns previously mapped to the label). *)
+
+val create : ?synonyms:Util.Synonyms.t -> unit -> Learner.t

@@ -1,0 +1,38 @@
+let l2_items counter =
+  let items = Util.Counter.items counter in
+  let norm = sqrt (List.fold_left (fun acc (_, c) -> acc +. (c *. c)) 0.0 items) in
+  if norm <= 0.0 then [] else List.map (fun (k, c) -> (k, c /. norm)) items
+
+let create ?(synonyms = Util.Synonyms.university_domain) () =
+  let profiles : (string, (string * float) list) Hashtbl.t = Hashtbl.create 16 in
+  let labels = ref [] in
+  let train examples =
+    Hashtbl.reset profiles;
+    labels := Learner.labels_of_examples examples;
+    let grouped : (string, Util.Counter.t) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (e : Learner.example) ->
+        let counter =
+          match Hashtbl.find_opt grouped e.Learner.label with
+          | Some c -> c
+          | None ->
+              let c = Util.Counter.create () in
+              Hashtbl.replace grouped e.Learner.label c;
+              c
+        in
+        List.iter (Util.Counter.add counter)
+          (Column.context_tokens ~synonyms e.Learner.column))
+      examples;
+    Hashtbl.iter (fun label c -> Hashtbl.replace profiles label (l2_items c)) grouped
+  in
+  let predict (column : Column.t) =
+    let counter = Util.Counter.create () in
+    List.iter (Util.Counter.add counter) (Column.context_tokens ~synonyms column);
+    let vec = l2_items counter in
+    List.map
+      (fun label ->
+        let profile = Option.value ~default:[] (Hashtbl.find_opt profiles label) in
+        (label, Util.Tfidf.cosine vec profile))
+      !labels
+  in
+  { Learner.learner_name = "structure"; train; predict }

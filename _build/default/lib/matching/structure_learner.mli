@@ -1,0 +1,6 @@
+(** Structure learner: classifies by the column's context — "proximity
+    of attributes, structure of the schema" (Section 4.3.2). A label's
+    profile is the distribution of sibling-attribute tokens observed in
+    training. *)
+
+val create : ?synonyms:Util.Synonyms.t -> unit -> Learner.t

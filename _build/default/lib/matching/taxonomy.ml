@@ -1,0 +1,32 @@
+type t = { concept : string; instances : string list; children : t list }
+
+let rec concepts t = t.concept :: List.concat_map concepts t.children
+
+let make ?(instances = []) concept children =
+  let node = { concept; instances; children } in
+  let names = concepts node in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Taxonomy.make: duplicate concept names";
+  node
+
+let rec find t name =
+  if String.equal t.concept name then Some t
+  else List.find_map (fun c -> find c name) t.children
+
+let rec all_instances t =
+  t.instances @ List.concat_map all_instances t.children
+
+let parent_of t name =
+  (* [search] returns [Some parent] when the concept is found. *)
+  let rec search parent node =
+    if String.equal node.concept name then Some parent
+    else List.find_map (search (Some node.concept)) node.children
+  in
+  Option.join (search None t)
+
+let rec leaves t =
+  match t.children with
+  | [] -> [ t.concept ]
+  | cs -> List.concat_map leaves cs
+
+let rec size t = 1 + List.fold_left (fun acc c -> acc + size c) 0 t.children

@@ -1,0 +1,24 @@
+(** Concept taxonomies — the ontologies GLUE matches (Doan, Madhavan,
+    Domingos, Halevy, WWW'02, cited as [14] by the paper). A taxonomy is
+    a tree of named concepts, each carrying text instances. *)
+
+type t = {
+  concept : string;
+  instances : string list;  (** text instances filed directly here *)
+  children : t list;
+}
+
+val make : ?instances:string list -> string -> t list -> t
+
+val concepts : t -> string list
+(** All concept names, preorder. Raises [Invalid_argument] at
+    construction time on duplicates — see {!make}. *)
+
+val find : t -> string -> t option
+
+val all_instances : t -> string list
+(** Instances of the concept and all its descendants (the extension). *)
+
+val parent_of : t -> string -> string option
+val leaves : t -> string list
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/pdms/answer.ml: Array Catalog Cq List Peer_mapping Printf Reformulate Relalg String

@@ -1,0 +1,1 @@
+lib/pdms/answer.mli: Catalog Cq Reformulate Relalg

@@ -1,0 +1,1 @@
+lib/pdms/cache.ml: Answer Catalog Cq Hashtbl List Printf Reformulate String Updategram

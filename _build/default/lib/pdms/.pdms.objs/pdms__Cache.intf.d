@@ -1,0 +1,1 @@
+lib/pdms/cache.mli: Answer Catalog Cq Reformulate Updategram

@@ -1,0 +1,1 @@
+lib/pdms/catalog.ml: Cq Hashtbl List Peer Peer_mapping Printf Relalg Rewrite Seq Storage_desc String

@@ -1,0 +1,1 @@
+lib/pdms/catalog.mli: Cq Peer Peer_mapping Relalg Storage_desc

@@ -1,0 +1,1 @@
+lib/pdms/distributed.ml: Catalog Cq Float List Network Printf Reformulate Relalg String

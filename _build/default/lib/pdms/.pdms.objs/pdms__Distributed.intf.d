@@ -1,0 +1,1 @@
+lib/pdms/distributed.mli: Catalog Cq Network Reformulate Relalg

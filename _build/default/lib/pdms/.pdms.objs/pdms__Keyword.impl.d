@@ -1,0 +1,1 @@
+lib/pdms/keyword.ml: Array Catalog Distributed List Printf Relalg String Util

@@ -1,0 +1,1 @@
+lib/pdms/keyword.mli: Catalog Relalg

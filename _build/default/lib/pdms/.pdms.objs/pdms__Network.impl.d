@@ -1,0 +1,1 @@
+lib/pdms/network.ml: Array Float Hashtbl List Printf String Topology

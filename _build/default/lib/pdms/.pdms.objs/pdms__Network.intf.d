@@ -1,0 +1,1 @@
+lib/pdms/network.mli: Topology

@@ -1,0 +1,1 @@
+lib/pdms/pdms_file.ml: Array Buffer Catalog Cq List Peer Peer_mapping Printf Relalg Result Rewrite String

@@ -1,0 +1,1 @@
+lib/pdms/pdms_file.mli: Catalog

@@ -1,0 +1,1 @@
+lib/pdms/peer.ml: Cq List Printf Relalg String

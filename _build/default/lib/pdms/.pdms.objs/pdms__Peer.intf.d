@@ -1,0 +1,1 @@
+lib/pdms/peer.mli: Cq Relalg

@@ -1,0 +1,1 @@
+lib/pdms/peer_mapping.ml: Cq Format List Option Rewrite String

@@ -1,0 +1,1 @@
+lib/pdms/peer_mapping.mli: Cq Format Rewrite

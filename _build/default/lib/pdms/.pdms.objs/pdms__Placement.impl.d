@@ -1,0 +1,1 @@
+lib/pdms/placement.ml: Float List Network Option String

@@ -1,0 +1,1 @@
+lib/pdms/placement.mli: Network

@@ -1,0 +1,1 @@
+lib/pdms/propagate.ml: Array Catalog Cq Hashtbl List Reformulate Relalg String Updategram View_maintenance

@@ -1,0 +1,1 @@
+lib/pdms/propagate.mli: Catalog Cq Reformulate Relalg Updategram

@@ -1,0 +1,1 @@
+lib/pdms/reformulate.ml: Array Atom Catalog Containment Cq Format Hashtbl Int List Minimize Option Printf Query Queue Rewrite Set String Subst Term

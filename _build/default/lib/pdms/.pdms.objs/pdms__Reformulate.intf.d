@@ -1,0 +1,1 @@
+lib/pdms/reformulate.mli: Catalog Cq Format

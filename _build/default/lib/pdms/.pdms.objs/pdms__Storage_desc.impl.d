@@ -1,0 +1,1 @@
+lib/pdms/storage_desc.ml: Cq Format List Peer Printf

@@ -1,0 +1,1 @@
+lib/pdms/storage_desc.mli: Cq Format Peer

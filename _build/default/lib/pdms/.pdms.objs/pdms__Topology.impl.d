@@ -1,0 +1,1 @@
+lib/pdms/topology.ml: Array Fun List Printf Queue Util

@@ -1,0 +1,1 @@
+lib/pdms/topology.mli: Util

@@ -1,0 +1,1 @@
+lib/pdms/updategram.ml: Array Hashtbl List Relalg Storage String

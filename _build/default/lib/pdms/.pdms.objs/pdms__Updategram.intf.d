@@ -1,0 +1,1 @@
+lib/pdms/updategram.mli: Relalg Storage

@@ -1,0 +1,1 @@
+lib/pdms/view_maintenance.ml: Array Atom Cq Eval Hashtbl List Query Relalg String Subst Term Updategram

@@ -1,0 +1,1 @@
+lib/pdms/view_maintenance.mli: Cq Relalg Updategram

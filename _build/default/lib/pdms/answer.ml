@@ -1,0 +1,46 @@
+type result = {
+  answers : Relalg.Relation.t;
+  outcome : Reformulate.outcome;
+}
+
+let answer ?pruning catalog q =
+  let outcome = Reformulate.reformulate ?pruning catalog q in
+  let db = Catalog.global_db catalog in
+  let answers =
+    match outcome.Reformulate.rewritings with
+    | [] ->
+        (* No rewriting: empty relation shaped by the query head. *)
+        let arity = Cq.Atom.arity q.Cq.Query.head in
+        Relalg.Relation.create
+          (Relalg.Schema.make q.Cq.Query.head.Cq.Atom.pred
+             (List.init arity (Printf.sprintf "a%d")))
+    | rewritings -> Cq.Eval.run_union db rewritings
+  in
+  { answers; outcome }
+
+let answers_list result =
+  Relalg.Relation.tuples result.answers
+  |> List.map (fun row -> Array.to_list (Array.map Relalg.Value.to_string row))
+  |> List.sort compare
+
+let reachable_peers catalog start =
+  let adjacency =
+    List.concat_map
+      (fun (_, m) ->
+        let ps = Peer_mapping.peers_mentioned m in
+        List.concat_map (fun a -> List.map (fun b -> (a, b)) ps) ps)
+      (Catalog.mappings catalog)
+  in
+  let rec bfs visited = function
+    | [] -> visited
+    | p :: rest ->
+        if List.mem p visited then bfs visited rest
+        else
+          let next =
+            List.filter_map
+              (fun (a, b) -> if String.equal a p then Some b else None)
+              adjacency
+          in
+          bfs (p :: visited) (next @ rest)
+  in
+  List.sort String.compare (bfs [] [ start ])

@@ -1,0 +1,21 @@
+(** End-to-end PDMS query answering: reformulate onto stored relations,
+    then evaluate the union of rewritings over the peers' stored data.
+    "The moment a peer establishes mappings to other sources, it can pose
+    queries using its native schema, which will return answers from all
+    mapped peers" (Example 3.1). *)
+
+type result = {
+  answers : Relalg.Relation.t;
+  outcome : Reformulate.outcome;
+}
+
+val answer : ?pruning:Reformulate.pruning -> Catalog.t -> Cq.Query.t -> result
+
+val answers_list : result -> string list list
+(** Answer tuples rendered as strings, sorted — convenient for tests and
+    examples. *)
+
+val reachable_peers : Catalog.t -> string -> string list
+(** Peers whose data is reachable from the given peer through the
+    mapping graph (including itself) — the "web of data" the paper's
+    Figure 2 caption describes. *)

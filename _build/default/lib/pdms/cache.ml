@@ -1,0 +1,89 @@
+type entry = {
+  key : string;
+  result : Answer.result;
+  reads : string list;  (* stored predicates the rewritings mention *)
+  mutable last_used : int;
+}
+
+type t = {
+  catalog : Catalog.t;
+  capacity : int;
+  mutable store : entry list;
+  mutable clock : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ?(capacity = 64) catalog () =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  { catalog; capacity; store = []; clock = 0; hit_count = 0; miss_count = 0 }
+
+(* Alpha-normalised key: queries equal up to variable renaming share an
+   entry. *)
+let key_of (q : Cq.Query.t) =
+  let mapping = Hashtbl.create 8 in
+  let rename = function
+    | Cq.Term.Var x ->
+        let x' =
+          match Hashtbl.find_opt mapping x with
+          | Some x' -> x'
+          | None ->
+              let x' = Printf.sprintf "v%d" (Hashtbl.length mapping) in
+              Hashtbl.replace mapping x x';
+              x'
+        in
+        Cq.Term.Var x'
+    | Cq.Term.Const _ as c -> c
+  in
+  let head = Cq.Atom.map_terms rename q.Cq.Query.head in
+  let body = List.map (Cq.Atom.map_terms rename) q.Cq.Query.body in
+  Cq.Atom.to_string head ^ ":-"
+  ^ String.concat "," (List.map Cq.Atom.to_string body)
+
+let reads_of (result : Answer.result) =
+  List.concat_map Cq.Query.body_preds result.Answer.outcome.Reformulate.rewritings
+  |> List.sort_uniq String.compare
+
+let answer ?pruning t q =
+  let key = key_of q in
+  t.clock <- t.clock + 1;
+  match List.find_opt (fun e -> String.equal e.key key) t.store with
+  | Some e ->
+      e.last_used <- t.clock;
+      t.hit_count <- t.hit_count + 1;
+      e.result
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      let result = Answer.answer ?pruning t.catalog q in
+      let entry =
+        { key; result; reads = reads_of result; last_used = t.clock }
+      in
+      t.store <- entry :: t.store;
+      if List.length t.store > t.capacity then begin
+        (* Evict the least recently used entry. *)
+        let lru =
+          List.fold_left
+            (fun worst e ->
+              match worst with
+              | None -> Some e
+              | Some w -> if e.last_used < w.last_used then Some e else worst)
+            None t.store
+        in
+        match lru with
+        | Some victim -> t.store <- List.filter (fun e -> e != victim) t.store
+        | None -> ()
+      end;
+      result
+
+let invalidate t (u : Updategram.t) =
+  let before = List.length t.store in
+  t.store <-
+    List.filter
+      (fun e -> not (List.mem u.Updategram.rel e.reads))
+      t.store;
+  before - List.length t.store
+
+let invalidate_all t = t.store <- []
+let hits t = t.hit_count
+let misses t = t.miss_count
+let entries t = List.length t.store

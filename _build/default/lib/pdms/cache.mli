@@ -1,0 +1,24 @@
+(** Cooperative query-result caching (Section 3.1.2: peers should
+    "perform the duties of cooperative web caches"). A cache stores the
+    reformulated rewritings and evaluated answers per query; an incoming
+    updategram invalidates exactly the entries whose rewritings read the
+    touched relation. *)
+
+type t
+
+val create : ?capacity:int -> Catalog.t -> unit -> t
+(** LRU with the given capacity (default 64 entries). *)
+
+val answer : ?pruning:Reformulate.pruning -> t -> Cq.Query.t -> Answer.result
+(** Like {!Answer.answer} but cached: a hit skips both reformulation and
+    evaluation. Queries are matched up to variable renaming. *)
+
+val invalidate : t -> Updategram.t -> int
+(** Drop entries whose rewritings mention the updategram's relation;
+    returns how many were dropped. Call this when applying updates to
+    any peer's stored data. *)
+
+val invalidate_all : t -> unit
+val hits : t -> int
+val misses : t -> int
+val entries : t -> int

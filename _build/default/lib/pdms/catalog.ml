@@ -1,0 +1,139 @@
+type mapping_id = int
+
+type t = {
+  mutable peers : Peer.t list;
+  mutable storage : Storage_desc.t list;
+  mutable mappings : (mapping_id * Peer_mapping.t) list;
+  mutable next_id : mapping_id;
+  (* Derived, rebuilt on mutation: *)
+  mutable rules : (string * (mapping_id option * Cq.Query.t)) list;
+  mutable views_cache : (mapping_id option * Cq.Query.t) list;
+  stored : (string, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    peers = [];
+    storage = [];
+    mappings = [];
+    next_id = 0;
+    rules = [];
+    views_cache = [];
+    stored = Hashtbl.create 16;
+  }
+
+let mapping_pred id reversed =
+  Printf.sprintf "~map%d%s" id (if reversed then "r" else "")
+
+let mapping_id_of_pred pred =
+  if String.length pred > 4 && String.sub pred 0 4 = "~map" then
+    let digits =
+      String.sub pred 4 (String.length pred - 4)
+      |> String.to_seq
+      |> Seq.take_while (fun c -> c >= '0' && c <= '9')
+      |> String.of_seq
+    in
+    int_of_string_opt digits
+  else None
+
+let retarget pred (q : Cq.Query.t) =
+  { q with Cq.Query.head = { q.Cq.Query.head with Cq.Atom.pred = pred } }
+
+(* One GAV rule + one LAV view per mapping direction. *)
+let artifacts_of_mapping (id, mapping) =
+  match mapping with
+  | Peer_mapping.Definitional rule ->
+      ([ (rule.Cq.Query.head.Cq.Atom.pred, (Some id, rule)) ], [])
+  | Peer_mapping.Glav g ->
+      let directions =
+        match g.Rewrite.Glav.kind with
+        | Rewrite.Glav.Inclusion -> [ (false, g) ]
+        | Rewrite.Glav.Equality -> (
+            [ (false, g) ]
+            @
+            match Rewrite.Glav.reversed g with
+            | Some rg -> [ (true, rg) ]
+            | None -> [])
+      in
+      let rules, views =
+        List.fold_left
+          (fun (rules, views) (rev, g) ->
+            let pred = mapping_pred id rev in
+            let rule = retarget pred g.Rewrite.Glav.lhs in
+            let view = retarget pred g.Rewrite.Glav.rhs in
+            ((pred, (Some id, rule)) :: rules, (Some id, view) :: views))
+          ([], []) directions
+      in
+      (rules, views)
+
+let rebuild t =
+  let rules, views =
+    List.fold_left
+      (fun (rules, views) m ->
+        let r, v = artifacts_of_mapping m in
+        (r @ rules, v @ views))
+      ([], []) t.mappings
+  in
+  let storage_views = List.map (fun d -> (None, d.Storage_desc.view)) t.storage in
+  t.rules <- rules;
+  t.views_cache <- storage_views @ views
+
+let add_peer t peer =
+  if List.exists (fun p -> String.equal (Peer.name p) (Peer.name peer)) t.peers
+  then invalid_arg ("Catalog.add_peer: duplicate peer " ^ Peer.name peer);
+  t.peers <- peer :: t.peers;
+  List.iter (fun pred -> Hashtbl.replace t.stored pred ()) (Peer.stored_preds peer)
+
+let peer t name =
+  match List.find_opt (fun p -> String.equal (Peer.name p) name) t.peers with
+  | Some p -> p
+  | None -> invalid_arg ("Catalog.peer: unknown peer " ^ name)
+
+let peers t = List.rev t.peers
+
+let add_storage t desc =
+  t.storage <- desc :: t.storage;
+  Hashtbl.replace t.stored (Storage_desc.stored_pred desc) ();
+  rebuild t
+
+let store_identity t peer ~rel =
+  let attrs = List.assoc rel (Peer.schema peer) in
+  let relation =
+    match Relalg.Database.find_opt (Peer.stored_db peer) (Peer.stored_pred peer rel) with
+    | Some r -> r
+    | None -> Peer.add_stored peer ~rel ~attrs
+  in
+  Hashtbl.replace t.stored (Peer.stored_pred peer rel) ();
+  add_storage t (Storage_desc.identity peer ~rel);
+  relation
+
+let add_mapping t mapping =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.mappings <- (id, mapping) :: t.mappings;
+  rebuild t;
+  id
+
+let mappings t = List.rev t.mappings
+let mapping_count t = List.length t.mappings
+
+let is_stored t pred = Hashtbl.mem t.stored pred
+
+let rules_for t pred =
+  List.filter_map
+    (fun (p, rule) -> if String.equal p pred then Some rule else None)
+    t.rules
+
+let has_rules t pred = List.exists (fun (p, _) -> String.equal p pred) t.rules
+
+let views t = t.views_cache
+
+let global_db t =
+  let db = Relalg.Database.create () in
+  List.iter
+    (fun peer ->
+      List.iter
+        (fun rel -> Relalg.Database.add_relation db rel)
+        (Relalg.Database.relations (Peer.stored_db peer)))
+    t.peers;
+  db

@@ -1,0 +1,119 @@
+type site_plan = {
+  rewriting : Cq.Query.t;
+  site : string;
+  local_reads : int;
+  remote_reads : int;
+  fetch_ms : float;
+  ship_ms : float;
+}
+
+type plan = {
+  at : string;
+  sites : site_plan list;
+  answers : Relalg.Relation.t;
+  central_ms : float;
+  distributed_ms : float;
+}
+
+let owner_of_pred pred =
+  match String.index_opt pred '.' with
+  | Some i when i > 0 && String.length pred > 0 && pred.[String.length pred - 1] = '!'
+    ->
+      Some (String.sub pred 0 i)
+  | Some _ | None -> None
+
+let bytes_per_tuple = 64
+
+let relation_bytes db pred =
+  match Relalg.Database.find_opt db pred with
+  | Some rel -> Relalg.Relation.cardinality rel * bytes_per_tuple
+  | None -> 0
+
+(* Latency helper that tolerates same-peer transfers. *)
+let transfer network ~src ~dst ~size =
+  if String.equal src dst || size = 0 then 0.0
+  else Network.send network ~src ~dst ~size
+
+let plan_rewriting catalog network ~at db (r : Cq.Query.t) =
+  let reads =
+    Cq.Query.body_preds r |> List.filter (Catalog.is_stored catalog)
+  in
+  let owners = List.filter_map owner_of_pred reads in
+  (* Candidate sites: every owner plus the querying peer; pick the one
+     minimising input-shipping cost. *)
+  let candidates = List.sort_uniq String.compare (at :: owners) in
+  let cost_at site =
+    List.fold_left
+      (fun acc pred ->
+        match owner_of_pred pred with
+        | Some owner when not (String.equal owner site) ->
+            acc +. transfer network ~src:owner ~dst:site ~size:(relation_bytes db pred)
+        | Some _ | None -> acc)
+      0.0 reads
+  in
+  let site, fetch_ms =
+    List.fold_left
+      (fun (best_site, best_cost) cand ->
+        let c = cost_at cand in
+        if c < best_cost then (cand, c) else (best_site, best_cost))
+      (at, cost_at at) candidates
+  in
+  let local_reads =
+    List.length
+      (List.filter
+         (fun pred -> owner_of_pred pred = Some site)
+         reads)
+  in
+  let result = Cq.Eval.run db r in
+  let ship_ms =
+    transfer network ~src:site ~dst:at
+      ~size:(Relalg.Relation.cardinality result * bytes_per_tuple)
+  in
+  ( {
+      rewriting = r;
+      site;
+      local_reads;
+      remote_reads = List.length reads - local_reads;
+      fetch_ms;
+      ship_ms;
+    },
+    result )
+
+let execute ?pruning catalog network ~at query =
+  let outcome = Reformulate.reformulate ?pruning catalog query in
+  let db = Catalog.global_db catalog in
+  let planned =
+    List.map (plan_rewriting catalog network ~at db) outcome.Reformulate.rewritings
+  in
+  let sites = List.map fst planned in
+  let answers =
+    match outcome.Reformulate.rewritings with
+    | [] ->
+        let arity = Cq.Atom.arity query.Cq.Query.head in
+        Relalg.Relation.create
+          (Relalg.Schema.make "ans" (List.init arity (Printf.sprintf "a%d")))
+    | rewritings -> Cq.Eval.run_union db rewritings
+  in
+  (* Central baseline: ship every stored relation any rewriting reads to
+     the querying peer, once. *)
+  let all_reads =
+    List.concat_map (fun (p, _) -> Cq.Query.body_preds p.rewriting) planned
+    |> List.filter (Catalog.is_stored catalog)
+    |> List.sort_uniq String.compare
+  in
+  let central_ms =
+    List.fold_left
+      (fun acc pred ->
+        match owner_of_pred pred with
+        | Some owner ->
+            acc +. transfer network ~src:owner ~dst:at ~size:(relation_bytes db pred)
+        | None -> acc)
+      0.0 all_reads
+  in
+  (* Sites run in parallel; each pays fetch + ship. *)
+  let distributed_ms =
+    List.fold_left
+      (fun worst p -> Float.max worst (p.fetch_ms +. p.ship_ms))
+      0.0 sites
+  in
+  { at; sites; answers; central_ms; distributed_ms }

@@ -1,0 +1,40 @@
+(** Peer-based query processing (Section 3.1.2): "distribute each query
+    in the PDMS to the peer that will provide the best performance"
+    instead of funnelling everything through one central server. Each
+    rewriting is executed at the peer owning most of the stored
+    relations it reads; partial results ship back to the querying peer
+    over the simulated network. *)
+
+type site_plan = {
+  rewriting : Cq.Query.t;
+  site : string;  (** peer chosen to execute it *)
+  local_reads : int;  (** stored relations it reads that live at the site *)
+  remote_reads : int;  (** stored relations fetched from elsewhere *)
+  fetch_ms : float;  (** shipping inputs to the site *)
+  ship_ms : float;  (** shipping results back to the querying peer *)
+}
+
+type plan = {
+  at : string;  (** the querying peer *)
+  sites : site_plan list;
+  answers : Relalg.Relation.t;
+  central_ms : float;
+      (** baseline: ship every input relation to the querying peer *)
+  distributed_ms : float;
+      (** the plan's cost: max over sites (parallel execution) *)
+}
+
+val owner_of_pred : string -> string option
+(** The peer owning a stored predicate ("mit.subject!" -> "mit"). *)
+
+val execute :
+  ?pruning:Reformulate.pruning ->
+  Catalog.t ->
+  Network.t ->
+  at:string ->
+  Cq.Query.t ->
+  plan
+(** Reformulate, choose a site per rewriting, evaluate, and price both
+    the distributed plan and the ship-everything-central baseline.
+    Result sizes are estimated from actual relation cardinalities at 64
+    bytes per tuple. *)

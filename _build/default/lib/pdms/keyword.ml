@@ -1,0 +1,43 @@
+type hit = {
+  peer : string;
+  stored_rel : string;
+  tuple : Relalg.Relation.tuple;
+  score : float;
+}
+
+let tuple_tokens tuple =
+  Array.to_list tuple
+  |> List.concat_map (fun v -> Util.Tokenize.words (Relalg.Value.to_string v))
+  |> List.map Util.Stemmer.stem
+
+let search ?(limit = 10) catalog keywords =
+  let db = Catalog.global_db catalog in
+  let entries =
+    List.concat_map
+      (fun rel_name ->
+        let rel = Relalg.Database.find db rel_name in
+        let peer =
+          match Distributed.owner_of_pred rel_name with
+          | Some p -> p
+          | None -> ""
+        in
+        List.map
+          (fun tuple -> (peer, rel_name, tuple, tuple_tokens tuple))
+          (Relalg.Relation.tuples rel))
+      (Relalg.Database.names db)
+  in
+  let corpus = Util.Tfidf.build (List.map (fun (_, _, _, toks) -> toks) entries) in
+  let query_toks = List.map Util.Stemmer.stem (Util.Tokenize.words keywords) in
+  let query_vec = Util.Tfidf.vectorize corpus query_toks in
+  let top = Util.Topk.create limit in
+  List.iter
+    (fun (peer, stored_rel, tuple, toks) ->
+      let score = Util.Tfidf.cosine query_vec (Util.Tfidf.vectorize corpus toks) in
+      if score > 0.0 then Util.Topk.add top score { peer; stored_rel; tuple; score })
+    entries;
+  List.map snd (Util.Topk.to_list top)
+
+let render_hit hit =
+  Printf.sprintf "%.3f %s (%s): %s" hit.score hit.stored_rel hit.peer
+    (String.concat " | "
+       (Array.to_list (Array.map Relalg.Value.to_string hit.tuple)))

@@ -1,0 +1,18 @@
+(** Keyword search over the structured web of data — the U-WORLD query
+    paradigm (Section 1.1: "a set of keywords suffices") pointed at
+    every peer's stored relations. Tuples are treated as documents;
+    results are TF/IDF-ranked across the whole PDMS. *)
+
+type hit = {
+  peer : string;  (** owner of the stored relation, "" if unqualified *)
+  stored_rel : string;
+  tuple : Relalg.Relation.tuple;
+  score : float;
+}
+
+val search : ?limit:int -> Catalog.t -> string -> hit list
+(** [search catalog "ancient history"] ranks every stored tuple in every
+    peer against the keyword query (stemmed tokens, TF/IDF over the
+    tuple corpus); default limit 10, zero scores dropped. *)
+
+val render_hit : hit -> string

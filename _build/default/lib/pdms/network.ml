@@ -1,0 +1,116 @@
+type t = {
+  mutable peer_list : string list;
+  mutable edges : (string * string * float) list;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+let create () = { peer_list = []; edges = []; messages = 0; bytes = 0 }
+
+let add_peer t name =
+  if not (List.mem name t.peer_list) then t.peer_list <- name :: t.peer_list
+
+let connect t a b ~latency_ms =
+  add_peer t a;
+  add_peer t b;
+  t.edges <- (a, b, latency_ms) :: t.edges
+
+let peers t = List.sort String.compare t.peer_list
+
+let of_topology topo ~names ~base_latency_ms =
+  if List.length names < topo.Topology.n then
+    invalid_arg "Network.of_topology: not enough names";
+  let arr = Array.of_list names in
+  let t = create () in
+  Array.iter (add_peer t) (Array.sub arr 0 topo.Topology.n);
+  List.iter
+    (fun (a, b) -> connect t arr.(a) arr.(b) ~latency_ms:base_latency_ms)
+    topo.Topology.edges;
+  t
+
+(* Dijkstra over the small peer graph. *)
+let shortest t src =
+  let dist = Hashtbl.create 16 in
+  let hops = Hashtbl.create 16 in
+  Hashtbl.replace dist src 0.0;
+  Hashtbl.replace hops src 0;
+  let visited = Hashtbl.create 16 in
+  let neighbours p =
+    List.filter_map
+      (fun (a, b, l) ->
+        if String.equal a p then Some (b, l)
+        else if String.equal b p then Some (a, l)
+        else None)
+      t.edges
+  in
+  let rec loop () =
+    (* Pick the unvisited peer with smallest tentative distance. *)
+    let best =
+      Hashtbl.fold
+        (fun p d acc ->
+          if Hashtbl.mem visited p then acc
+          else
+            match acc with
+            | None -> Some (p, d)
+            | Some (_, bd) -> if d < bd then Some (p, d) else acc)
+        dist None
+    in
+    match best with
+    | None -> ()
+    | Some (p, d) ->
+        Hashtbl.replace visited p ();
+        List.iter
+          (fun (q, l) ->
+            let nd = d +. l in
+            let better =
+              match Hashtbl.find_opt dist q with
+              | None -> true
+              | Some old -> nd < old
+            in
+            if better then begin
+              Hashtbl.replace dist q nd;
+              Hashtbl.replace hops q (Hashtbl.find hops p + 1)
+            end)
+          (neighbours p);
+        loop ()
+  in
+  loop ();
+  (dist, hops)
+
+let latency t a b =
+  let dist, _ = shortest t a in
+  Hashtbl.find_opt dist b
+
+let hops t a b =
+  let _, hops = shortest t a in
+  Hashtbl.find_opt hops b
+
+(* 1 KB costs 1 ms of transfer on top of propagation. *)
+let transfer_ms size = float_of_int size /. 1024.0
+
+let send t ~src ~dst ~size =
+  match latency t src dst with
+  | None -> invalid_arg (Printf.sprintf "Network.send: %s cannot reach %s" src dst)
+  | Some l ->
+      t.messages <- t.messages + 1;
+      t.bytes <- t.bytes + size;
+      l +. transfer_ms size
+
+let broadcast t ~src ~size =
+  let dist, _ = shortest t src in
+  Hashtbl.fold
+    (fun p l worst ->
+      if String.equal p src then worst
+      else begin
+        t.messages <- t.messages + 1;
+        t.bytes <- t.bytes + size;
+        Float.max worst (l +. transfer_ms size)
+      end)
+    dist 0.0
+
+let messages_sent t = t.messages
+let bytes_sent t = t.bytes
+
+let reset_counters t =
+  t.messages <- 0;
+  t.bytes <- 0

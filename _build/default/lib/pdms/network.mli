@@ -1,0 +1,32 @@
+(** A deterministic overlay-network simulator: peers exchange messages
+    along mapping edges with per-edge latency. Used to attach simulated
+    wall-clock costs to reformulation and distributed evaluation
+    (Section 3.1.2's peer-based query processing). *)
+
+type t
+
+val create : unit -> t
+val add_peer : t -> string -> unit
+val connect : t -> string -> string -> latency_ms:float -> unit
+val peers : t -> string list
+
+val of_topology : Topology.t -> names:string list -> base_latency_ms:float -> t
+(** Wire the topology's edges between the named peers, all with the same
+    latency. *)
+
+val latency : t -> string -> string -> float option
+(** Shortest-path latency between two peers, [None] if disconnected. *)
+
+val hops : t -> string -> string -> int option
+
+val send : t -> src:string -> dst:string -> size:int -> float
+(** Simulated delivery time in ms: shortest-path latency plus a
+    size-proportional transfer term. Records the message. Raises
+    [Invalid_argument] if disconnected. *)
+
+val broadcast : t -> src:string -> size:int -> float
+(** Deliver to every reachable peer; returns the slowest delivery. *)
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+val reset_counters : t -> unit

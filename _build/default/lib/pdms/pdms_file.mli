@@ -1,0 +1,36 @@
+(** A line-oriented text format describing a whole PDMS — peers, stored
+    data and mappings — so catalogs can live in files and be queried
+    from the command line:
+
+    {v
+    peer uw
+    relation course(code, title)
+    store course
+    row course: cse444 | databases
+
+    peer mit
+    relation subject(id, name)
+    store subject
+    row subject: 6.033 | systems
+
+    mapping equality
+    lhs m(C, T) :- mit.subject(C, T)
+    rhs m(C, T) :- uw.course(C, T)
+
+    mapping definitional
+    rule uw.course(C, T) :- mit.subject(C, T)
+    v}
+
+    [store] registers an identity storage description; [row] loads a
+    tuple (values parsed as int/float/bool when they look like one;
+    single-quote a value, e.g. ['6.830'], to force a string).
+    Within a peer section, declare every [relation] before the first
+    [store]. Mapping queries use the {!Cq.Parser} syntax with qualified
+    predicates. *)
+
+val parse : string -> (Catalog.t, string) result
+val parse_exn : string -> Catalog.t
+
+val render : Catalog.t -> string
+(** Peers, stored rows and mappings in the same format (identity storage
+    descriptions only — the general ones are rendered as comments). *)

@@ -1,0 +1,30 @@
+type t = Definitional of Cq.Query.t | Glav of Rewrite.Glav.t
+
+let definitional rule =
+  if not (Cq.Query.is_safe rule) then
+    invalid_arg "Peer_mapping.definitional: unsafe rule";
+  Definitional rule
+
+let inclusion ~lhs ~rhs = Glav (Rewrite.Glav.make Rewrite.Glav.Inclusion ~lhs ~rhs)
+let equality ~lhs ~rhs = Glav (Rewrite.Glav.make Rewrite.Glav.Equality ~lhs ~rhs)
+
+let peer_of_pred pred =
+  match String.index_opt pred '.' with
+  | Some i when i > 0 -> Some (String.sub pred 0 i)
+  | Some _ | None -> None
+
+let peers_of_query (q : Cq.Query.t) =
+  List.filter_map (fun (a : Cq.Atom.t) -> peer_of_pred a.Cq.Atom.pred) q.Cq.Query.body
+
+let peers_mentioned = function
+  | Definitional rule ->
+      List.sort_uniq String.compare
+        (peers_of_query rule
+        @ Option.to_list (peer_of_pred rule.Cq.Query.head.Cq.Atom.pred))
+  | Glav g ->
+      List.sort_uniq String.compare
+        (peers_of_query g.Rewrite.Glav.lhs @ peers_of_query g.Rewrite.Glav.rhs)
+
+let pp fmt = function
+  | Definitional rule -> Format.fprintf fmt "def: %a" Cq.Query.pp rule
+  | Glav g -> Rewrite.Glav.pp fmt g

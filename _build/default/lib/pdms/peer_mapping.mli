@@ -1,0 +1,23 @@
+(** Semantic mappings between peers (Section 3.1.1). Two forms:
+    definitional (datalog rules defining one peer's relation in terms of
+    others — global-as-view flavoured) and GLAV inclusions/equalities
+    between conjunctive queries over two peers' schemas. *)
+
+type t =
+  | Definitional of Cq.Query.t
+      (** head over the target peer's relation, body over other peers' *)
+  | Glav of Rewrite.Glav.t
+
+val definitional : Cq.Query.t -> t
+(** Raises [Invalid_argument] on unsafe rules. *)
+
+val inclusion : lhs:Cq.Query.t -> rhs:Cq.Query.t -> t
+(** [lhs ⊆ rhs]: the lhs (over the source peer) is contained in the rhs
+    (over the target peer). *)
+
+val equality : lhs:Cq.Query.t -> rhs:Cq.Query.t -> t
+
+val peers_mentioned : t -> string list
+(** Peer names occurring in qualified predicates, sorted. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type workload = {
+  view_name : string;
+  query_freq : (string * float) list;
+  update_rate : float;
+  result_size : int;
+}
+
+type placement = (string * string list) list
+
+let unreachable_penalty = 1.0e6
+
+let replica_cost = 5.0
+(* Maintenance cost per replica per unit update rate. *)
+
+let cost network workloads placement =
+  List.fold_left
+    (fun total w ->
+      let replicas =
+        Option.value ~default:[] (List.assoc_opt w.view_name placement)
+      in
+      let query_cost =
+        List.fold_left
+          (fun acc (peer, freq) ->
+            let best =
+              List.fold_left
+                (fun best replica ->
+                  if String.equal replica peer then Some 0.0
+                  else
+                    match Network.latency network peer replica with
+                    | None -> best
+                    | Some l -> (
+                        let c = l +. (float_of_int w.result_size /. 1024.0) in
+                        match best with
+                        | None -> Some c
+                        | Some b -> Some (Float.min b c)))
+                None replicas
+            in
+            let unit_cost =
+              match best with Some c -> c | None -> unreachable_penalty
+            in
+            acc +. (freq *. unit_cost))
+          0.0 w.query_freq
+      in
+      let maintenance =
+        float_of_int (List.length replicas) *. w.update_rate *. replica_cost
+      in
+      total +. query_cost +. maintenance)
+    0.0 workloads
+
+let greedy network workloads ~initial ~max_replicas =
+  let peers = Network.peers network in
+  let rec improve placement =
+    let current = cost network workloads placement in
+    let candidates =
+      List.concat_map
+        (fun w ->
+          let replicas =
+            Option.value ~default:[] (List.assoc_opt w.view_name placement)
+          in
+          if List.length replicas >= max_replicas then []
+          else
+            List.filter_map
+              (fun peer ->
+                if List.mem peer replicas then None
+                else
+                  let placement' =
+                    (w.view_name, peer :: replicas)
+                    :: List.remove_assoc w.view_name placement
+                  in
+                  let c = cost network workloads placement' in
+                  if c < current then Some (c, placement') else None)
+              peers)
+        workloads
+    in
+    match candidates with
+    | [] -> placement
+    | _ ->
+        let _, best =
+          List.fold_left
+            (fun ((bc, _) as best) ((c, _) as cand) ->
+              if c < bc then cand else best)
+            (List.hd candidates) (List.tl candidates)
+        in
+        improve best
+  in
+  improve initial

@@ -1,0 +1,26 @@
+(** Materialised-view placement: "our ultimate goal is to materialize
+    the best views at each peer to allow answering queries most
+    efficiently, given network constraints" (Section 3.1.2). A greedy
+    cost-based placement: repeatedly add the replica with the largest
+    net saving. *)
+
+type workload = {
+  view_name : string;
+  query_freq : (string * float) list;  (** queries per peer *)
+  update_rate : float;  (** updategrams per unit time, paid per replica *)
+  result_size : int;  (** bytes shipped per remote query *)
+}
+
+type placement = (string * string list) list
+(** view name -> peers holding a replica. *)
+
+val cost : Network.t -> workload list -> placement -> float
+(** Total simulated cost: each query pays latency to its nearest
+    replica times frequency; each replica pays the update rate as
+    maintenance. Unreachable views pay a large penalty. *)
+
+val greedy :
+  Network.t -> workload list -> initial:placement -> max_replicas:int -> placement
+(** Starting from [initial] (each view's authoritative copy), add
+    replicas while the cost strictly decreases, up to [max_replicas]
+    per view. *)

@@ -1,0 +1,82 @@
+type replica = {
+  name : string;
+  at : string;
+  views : View_maintenance.t list;  (* one per rewriting *)
+  reads : string list;
+}
+
+type t = {
+  catalog : Catalog.t;
+  db : Relalg.Database.t;  (* the shared global database *)
+  mutable registry : replica list;
+}
+
+let create catalog = { catalog; db = Catalog.global_db catalog; registry = [] }
+
+let distinct_tuples views =
+  let seen = Hashtbl.create 64 in
+  List.concat_map View_maintenance.tuples views
+  |> List.filter (fun tuple ->
+         let key =
+           String.concat "\x00"
+             (Array.to_list (Array.map Relalg.Value.to_string tuple))
+         in
+         if Hashtbl.mem seen key then false
+         else begin
+           Hashtbl.replace seen key ();
+           true
+         end)
+
+let materialise t ~name ~at ?pruning query =
+  if List.exists (fun r -> String.equal r.name name) t.registry then
+    invalid_arg ("Propagate.materialise: duplicate replica " ^ name);
+  let outcome = Reformulate.reformulate ?pruning t.catalog query in
+  let views =
+    List.map (View_maintenance.create t.db) outcome.Reformulate.rewritings
+  in
+  let reads =
+    List.concat_map Cq.Query.body_preds outcome.Reformulate.rewritings
+    |> List.sort_uniq String.compare
+  in
+  t.registry <- { name; at; views; reads } :: t.registry;
+  List.length (distinct_tuples views)
+
+let find t name =
+  match List.find_opt (fun r -> String.equal r.name name) t.registry with
+  | Some r -> r
+  | None -> invalid_arg ("Propagate: unknown replica " ^ name)
+
+let tuples t ~name = distinct_tuples (find t name).views
+let cardinality t ~name = List.length (tuples t ~name)
+
+let push t (u : Updategram.t) =
+  let dependents =
+    List.filter (fun r -> List.mem u.Updategram.rel r.reads) t.registry
+  in
+  let each_view f =
+    List.iter (fun r -> List.iter f r.views) dependents
+  in
+  match Relalg.Database.find_opt t.db u.Updategram.rel with
+  | None -> []
+  | Some rel ->
+  (* The database is shared by every replica, so the mutation happens
+     exactly once here; each dependent view maintains its counts around
+     it (deletes while the tuple is still present, inserts after it
+     lands). *)
+  List.iter
+    (fun tuple ->
+      if Relalg.Relation.mem rel tuple then begin
+        each_view (fun vm ->
+            View_maintenance.maintain_delete vm ~rel:u.Updategram.rel tuple);
+        ignore (Relalg.Relation.delete rel tuple)
+      end)
+    u.Updategram.deletes;
+  List.iter
+    (fun tuple ->
+      if Relalg.Relation.insert_distinct rel tuple then
+        each_view (fun vm ->
+            View_maintenance.maintain_insert vm ~rel:u.Updategram.rel tuple))
+    u.Updategram.inserts;
+  List.map (fun r -> (r.name, r.at)) dependents
+
+let replicas t = List.map (fun r -> (r.name, r.at)) t.registry

@@ -1,0 +1,31 @@
+(** Update propagation (Section 3.1.2): "Piazza treats updates as
+    first-class citizens ... Updategrams on base data can be combined to
+    create updategrams for views." A propagation registry holds
+    materialised replicas of reformulated queries (e.g. the views that
+    {!Placement} decided to replicate); pushing a base updategram
+    applies it to the shared database once and incrementally maintains
+    exactly the replicas that read the touched relation. *)
+
+type t
+
+val create : Catalog.t -> t
+
+val materialise :
+  t -> name:string -> at:string -> ?pruning:Reformulate.pruning -> Cq.Query.t -> int
+(** Reformulate the query, materialise every rewriting as a maintained
+    view, and register them under [name] (hosted at peer [at]).
+    Returns the number of distinct tuples materialised. Raises
+    [Invalid_argument] on duplicate names. *)
+
+val tuples : t -> name:string -> Relalg.Relation.tuple list
+(** Distinct union across the replica's rewritings. *)
+
+val cardinality : t -> name:string -> int
+
+val push : t -> Updategram.t -> (string * string) list
+(** Apply the updategram to the catalog's global database and maintain
+    dependent replicas incrementally; returns the (name, at) pairs that
+    were touched. Replicas not reading the relation pay nothing. *)
+
+val replicas : t -> (string * string) list
+(** Registered (name, host peer) pairs. *)

@@ -1,0 +1,323 @@
+open Cq
+
+type pruning = {
+  use_history : bool;
+  use_visited : bool;
+  use_goal_memo : bool;
+  use_subsumption : bool;
+  use_minimize : bool;
+  max_depth : int;
+  max_rewritings : int;
+}
+
+let default_pruning =
+  {
+    use_history = true;
+    use_visited = true;
+    use_goal_memo = true;
+    use_subsumption = true;
+    use_minimize = true;
+    max_depth = 128;
+    max_rewritings = 2_000;
+  }
+
+let no_pruning =
+  {
+    use_history = false;
+    use_visited = false;
+    use_goal_memo = false;
+    use_subsumption = false;
+    use_minimize = false;
+    max_depth = 24;
+    max_rewritings = 2_000;
+  }
+
+type stats = {
+  nodes_expanded : int;
+  emitted : int;
+  pruned_history : int;
+  pruned_visited : int;
+  pruned_subsumed : int;
+  pruned_depth : int;
+  lav_invocations : int;
+}
+
+type outcome = { rewritings : Query.t list; stats : stats }
+
+module Iset = Set.Make (Int)
+
+(* A node of the rule-goal tree: a partial reformulation whose body atoms
+   each carry the set of mapping ids on their own derivation path (the
+   per-goal path of the rule-goal tree — sibling subgoals may legally
+   traverse the same mapping). *)
+type node = { head : Atom.t; body : (Atom.t * Iset.t) list }
+
+let plain node = Query.make node.head (List.map fst node.body)
+
+(* Alpha-normalise the node: rename variables in first-occurrence order,
+   then sort (atom, history) pairs by the rendered atom. Returns the
+   atoms-only key plus the tag vector in that order. *)
+let canonical node =
+  let mapping = Hashtbl.create 16 in
+  let rename = function
+    | Term.Var x ->
+        let x' =
+          match Hashtbl.find_opt mapping x with
+          | Some x' -> x'
+          | None ->
+              let x' = Printf.sprintf "v%d" (Hashtbl.length mapping) in
+              Hashtbl.replace mapping x x';
+              x'
+        in
+        Term.Var x'
+    | Term.Const _ as c -> c
+  in
+  let head = Atom.map_terms rename node.head in
+  let tagged =
+    List.map
+      (fun (a, h) -> (Atom.to_string (Atom.map_terms rename a), h))
+      node.body
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let key =
+    Atom.to_string head ^ " :- " ^ String.concat ";" (List.map fst tagged)
+  in
+  (key, List.map snd tagged)
+
+let identity_view pred arity =
+  let args = List.init arity (fun i -> Term.v (Printf.sprintf "I%d" i)) in
+  Query.make (Atom.make pred args) [ Atom.make pred args ]
+
+(* Unfold one tagged atom with a rule; rule-body atoms inherit the
+   atom's history extended with the rule's mapping id. *)
+let expand_tagged ~fresh node (atom, hist) extra (rule : Query.t) =
+  let rule = Query.freshen ~suffix:(fresh ()) rule in
+  match Subst.unify_atom Subst.empty atom rule.Query.head with
+  | None -> None
+  | Some mgu ->
+      let new_hist =
+        match extra with Some id -> Iset.add id hist | None -> hist
+      in
+      let body =
+        List.concat_map
+          (fun (a, h) ->
+            if a == atom then
+              List.map (fun b -> (Subst.apply_atom mgu b, new_hist)) rule.Query.body
+            else [ (Subst.apply_atom mgu a, h) ])
+          node.body
+      in
+      Some { head = Subst.apply_atom mgu node.head; body }
+
+let dedupe_body node =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | (a, h) :: rest ->
+        if List.exists (fun (a', _) -> Atom.equal a a') seen then go seen rest
+        else go ((a, h) :: seen) rest
+  in
+  { node with body = go [] node.body }
+
+let reformulate ?(pruning = default_pruning) catalog (q : Query.t) =
+  let nodes_expanded = ref 0 in
+  let emitted = ref [] in
+  let pruned_history = ref 0 in
+  let pruned_visited = ref 0 in
+  let pruned_subsumed = ref 0 in
+  let pruned_depth = ref 0 in
+  let lav_invocations = ref 0 in
+  (* Goal memo: alpha-normalised CQ keys already enqueued (ignoring
+     histories). Breadth-first order makes the first visit the
+     shortest-path one, so its history is the most permissive in
+     practice — this is the aggressive Piazza heuristic. *)
+  let goal_memo : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* Dominance store: key -> tag vectors already explored. A new node is
+     pruned when an explored vector is pointwise a subset of its own
+     (the earlier node could do strictly more). *)
+  let visited : (string, Iset.t list list) Hashtbl.t = Hashtbl.create 256 in
+  let fresh_counter = ref 0 in
+  let fresh () =
+    incr fresh_counter;
+    Printf.sprintf "~g%d" !fresh_counter
+  in
+  let emit c =
+    let c = Minimize.remove_duplicate_atoms c in
+    let c = if pruning.use_minimize then Minimize.minimize c else c in
+    if
+      pruning.use_subsumption
+      && List.exists (fun e -> Containment.contained_in c e) !emitted
+    then incr pruned_subsumed
+    else emitted := c :: !emitted
+  in
+  let queue : (node * int) Queue.t = Queue.create () in
+  let push node depth =
+    let node = dedupe_body node in
+    if depth > pruning.max_depth then incr pruned_depth
+    else begin
+      let pending_exists =
+        List.exists
+          (fun ((a : Atom.t), _) -> not (Catalog.is_stored catalog a.Atom.pred))
+          node.body
+      in
+      if not pending_exists then
+        (* Complete: enqueue for emission (kept in queue to preserve
+           counting uniformity). *)
+        Queue.add (node, depth) queue
+      else begin
+        let key, tags = canonical node in
+        let memo_pruned =
+          pruning.use_goal_memo
+          &&
+          if Hashtbl.mem goal_memo key then true
+          else begin
+            Hashtbl.replace goal_memo key ();
+            false
+          end
+        in
+        if memo_pruned then incr pruned_visited
+        else
+          let dominance_pruned =
+            pruning.use_visited
+            &&
+            let stored = Option.value ~default:[] (Hashtbl.find_opt visited key) in
+            if
+              List.exists
+                (fun prev ->
+                  List.length prev = List.length tags
+                  && List.for_all2 Iset.subset prev tags)
+                stored
+            then true
+            else begin
+              Hashtbl.replace visited key (tags :: stored);
+              false
+            end
+          in
+          if dominance_pruned then incr pruned_visited
+          else Queue.add (node, depth) queue
+      end
+    end
+  in
+  let process node depth =
+    incr nodes_expanded;
+    let pending =
+      List.filter
+        (fun ((a : Atom.t), _) -> not (Catalog.is_stored catalog a.Atom.pred))
+        node.body
+    in
+    if pending = [] then emit (plain node)
+    else begin
+      (* Step 1: GAV — unfold the first pending atom that has rules
+         (definitional mappings and GLAV mapping predicates). *)
+      let gav =
+        List.find_opt
+          (fun ((a : Atom.t), _) -> Catalog.has_rules catalog a.Atom.pred)
+          pending
+      in
+      match gav with
+      | Some ((atom, hist) as tagged) ->
+          List.iter
+            (fun (mid, rule) ->
+              let blocked =
+                pruning.use_history
+                &&
+                match mid with Some id -> Iset.mem id hist | None -> false
+              in
+              if blocked then incr pruned_history
+              else
+                match expand_tagged ~fresh node tagged mid rule with
+                | None -> ()
+                | Some node' -> push node' (depth + 1))
+            (Catalog.rules_for catalog atom.Atom.pred)
+      | None ->
+          (* Step 2: LAV — answer the whole query with the catalog's
+             views (MiniCon); identity views carry stored atoms through
+             unchanged. View atoms inherit the union of the pending
+             atoms' histories (conservative). *)
+          incr lav_invocations;
+          let union_hist =
+            List.fold_left (fun acc (_, h) -> Iset.union acc h) Iset.empty pending
+          in
+          let usable_views =
+            List.filter_map
+              (fun (mid, view) ->
+                match mid with
+                | Some id when pruning.use_history && Iset.mem id union_hist ->
+                    incr pruned_history;
+                    None
+                | Some _ | None -> Some view)
+              (Catalog.views catalog)
+          in
+          let id_views =
+            node.body
+            |> List.filter_map (fun ((a : Atom.t), _) ->
+                   if Catalog.is_stored catalog a.Atom.pred then
+                     Some (a.Atom.pred, Atom.arity a)
+                   else None)
+            |> List.sort_uniq compare
+            |> List.map (fun (p, n) -> identity_view p n)
+          in
+          let rewritings, _ =
+            Rewrite.Minicon.rewrite ~views:(usable_views @ id_views) (plain node)
+          in
+          List.iter
+            (fun (r : Query.t) ->
+              push
+                {
+                  head = r.Query.head;
+                  body = List.map (fun a -> (a, union_hist)) r.Query.body;
+                }
+                (depth + 1))
+            rewritings
+    end
+  in
+  push
+    { head = q.Query.head; body = List.map (fun a -> (a, Iset.empty)) q.Query.body }
+    0;
+  while
+    (not (Queue.is_empty queue))
+    && List.length !emitted < pruning.max_rewritings
+  do
+    let node, depth = Queue.pop queue in
+    process node depth
+  done;
+  let rewritings = List.rev !emitted in
+  (* Final subsumption sweep: earlier emissions may be contained in
+     later, more general ones (the incremental check only looks
+     backwards). Equivalent pairs keep their first representative. *)
+  let rewritings =
+    if pruning.use_subsumption then begin
+      let arr = Array.of_list rewritings in
+      let n = Array.length arr in
+      let keep = Array.make n true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j && keep.(i) && keep.(j)
+             && Containment.contained_in arr.(i) arr.(j)
+          then
+            if Containment.contained_in arr.(j) arr.(i) then (
+              if j > i then keep.(j) <- false else keep.(i) <- false)
+            else keep.(i) <- false
+        done
+      done;
+      List.filteri (fun i _ -> keep.(i)) (Array.to_list arr)
+    end
+    else rewritings
+  in
+  {
+    rewritings;
+    stats =
+      {
+        nodes_expanded = !nodes_expanded;
+        emitted = List.length rewritings;
+        pruned_history = !pruned_history;
+        pruned_visited = !pruned_visited;
+        pruned_subsumed = !pruned_subsumed;
+        pruned_depth = !pruned_depth;
+        lav_invocations = !lav_invocations;
+      };
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "expanded=%d emitted=%d pruned(history=%d visited=%d subsumed=%d depth=%d) lav=%d"
+    s.nodes_expanded s.emitted s.pruned_history s.pruned_visited
+    s.pruned_subsumed s.pruned_depth s.lav_invocations

@@ -1,0 +1,56 @@
+(** PDMS query reformulation (Section 3.1.1): rewrite a query posed over
+    one peer's schema so it refers only to stored relations, chasing the
+    {e transitive closure} of peer mappings. The algorithm interleaves
+    the two classical directions — global-as-view query unfolding for
+    definitional rules and mapping-predicate rules, and local-as-view
+    answering-queries-using-views (MiniCon) for GLAV right-hand sides and
+    storage descriptions — exactly the hybrid the paper describes.
+
+    Pruning heuristics ("our query answering algorithm is aided by
+    heuristics that prune redundant and irrelevant paths through the
+    space of mappings") are individually switchable for the ablation
+    benchmark. *)
+
+type pruning = {
+  use_history : bool;
+      (** never traverse the same mapping edge twice on one derivation
+          branch (cycle cut) *)
+  use_visited : bool;
+      (** dominance pruning: drop a pending query alpha-equivalent to an
+          already-explored one whose per-atom histories were pointwise
+          subsets (the earlier node could derive strictly more) *)
+  use_goal_memo : bool;
+      (** the aggressive Piazza heuristic: expand each alpha-equivalent
+          pending query only once, regardless of history. Exact on
+          acyclic mapping graphs and on the symmetric-equality cyclic
+          workloads of the benchmarks (breadth-first order makes the
+          first visit the shortest-path one); in adversarial cyclic
+          setups it may prune derivations the slower settings find *)
+  use_subsumption : bool;
+      (** drop emitted rewritings contained in previously emitted ones *)
+  use_minimize : bool;  (** minimize each emitted rewriting *)
+  max_depth : int;  (** expansion-depth cap per branch *)
+  max_rewritings : int;  (** stop after this many emitted rewritings *)
+}
+
+val default_pruning : pruning
+val no_pruning : pruning
+(** Everything off except a (high) depth cap and rewriting cap — used by
+    the E2 ablation to expose the blow-up. *)
+
+type stats = {
+  nodes_expanded : int;
+  emitted : int;
+  pruned_history : int;
+  pruned_visited : int;
+  pruned_subsumed : int;
+  pruned_depth : int;
+  lav_invocations : int;
+}
+
+type outcome = { rewritings : Cq.Query.t list; stats : stats }
+
+val reformulate : ?pruning:pruning -> Catalog.t -> Cq.Query.t -> outcome
+(** The rewritings range over stored predicates only. *)
+
+val pp_stats : Format.formatter -> stats -> unit

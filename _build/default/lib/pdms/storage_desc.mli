@@ -1,0 +1,21 @@
+(** Storage descriptions relate a peer's stored relations to its peer
+    schema: [R = Q(peer relations)] or [R ⊆ Q] (Section 3.1). For
+    reformulation they act as LAV views: the stored relation is a view
+    over the peer relations. *)
+
+type kind = Exact | Containment
+
+type t = { kind : kind; view : Cq.Query.t }
+(** [view]'s head predicate is the stored relation; its body ranges over
+    peer relations. *)
+
+val make : kind -> Cq.Query.t -> t
+(** Raises [Invalid_argument] on unsafe views. *)
+
+val identity : Peer.t -> rel:string -> t
+(** The common case: the peer stores relation [rel] exactly as declared
+    in its schema — [peer.rel! = peer.rel(x̄)]. The stored relation must
+    already have been declared via {!Peer.add_stored}. *)
+
+val stored_pred : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+type kind = Chain | Star | Binary_tree | Ring | Mesh of int | Small_world
+
+type t = { kind : kind; n : int; edges : (int * int) list }
+
+let dedupe_edges edges =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (a, b) ->
+         if a = b then None else if a < b then Some (a, b) else Some (b, a))
+       edges)
+
+let generate ?prng kind ~n =
+  if n < 2 then invalid_arg "Topology.generate: need at least 2 peers";
+  let need_prng () =
+    match prng with
+    | Some p -> p
+    | None -> invalid_arg "Topology.generate: this kind needs ~prng"
+  in
+  let chain = List.init (n - 1) (fun i -> (i, i + 1)) in
+  let edges =
+    match kind with
+    | Chain -> chain
+    | Star -> List.init (n - 1) (fun i -> (0, i + 1))
+    | Binary_tree -> List.init (n - 1) (fun i -> ((i + 1 - 1) / 2, i + 1))
+    | Ring -> (n - 1, 0) :: chain
+    | Mesh d ->
+        let prng = need_prng () in
+        let extra =
+          List.concat_map
+            (fun i ->
+              List.init d (fun _ -> (i, Util.Prng.int prng n)))
+            (List.init n Fun.id)
+        in
+        chain @ extra
+    | Small_world ->
+        let prng = need_prng () in
+        let chords =
+          List.init (max 1 (n / 4)) (fun _ ->
+              (Util.Prng.int prng n, Util.Prng.int prng n))
+        in
+        ((n - 1, 0) :: chain) @ chords
+  in
+  { kind; n; edges = dedupe_edges edges }
+
+let edge_count t = List.length t.edges
+
+let diameter t =
+  let adj = Array.make t.n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    t.edges;
+  let bfs src =
+    let dist = Array.make t.n (-1) in
+    dist.(src) <- 0;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v queue
+          end)
+        adj.(u)
+    done;
+    Array.fold_left max 0 dist
+  in
+  List.fold_left max 0 (List.init t.n bfs)
+
+let kind_name = function
+  | Chain -> "chain"
+  | Star -> "star"
+  | Binary_tree -> "tree"
+  | Ring -> "ring"
+  | Mesh d -> Printf.sprintf "mesh%d" d
+  | Small_world -> "smallworld"

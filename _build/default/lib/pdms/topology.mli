@@ -1,0 +1,19 @@
+(** Mapping-graph topologies for the scalability experiments: which
+    pairs of peers author mappings between themselves. Peers are
+    numbered [0 .. n-1]; an edge [(a, b)] means a mapping is authored
+    between peer [a] and peer [b]. *)
+
+type kind = Chain | Star | Binary_tree | Ring | Mesh of int | Small_world
+
+type t = { kind : kind; n : int; edges : (int * int) list }
+
+val generate : ?prng:Util.Prng.t -> kind -> n:int -> t
+(** [Mesh d] adds [d] random extra edges per node on top of a chain
+    (connected); [Small_world] is a ring plus [n/4] random chords.
+    Random kinds require [prng]. *)
+
+val edge_count : t -> int
+val diameter : t -> int
+(** Longest shortest path (hop count) in the undirected graph. *)
+
+val kind_name : kind -> string

@@ -1,0 +1,70 @@
+type t = {
+  rel : string;
+  inserts : Relalg.Relation.tuple list;
+  deletes : Relalg.Relation.tuple list;
+}
+
+let make ~rel ?(inserts = []) ?(deletes = []) () = { rel; inserts; deletes }
+
+let tuple_equal a b =
+  Array.length a = Array.length b && Array.for_all2 Relalg.Value.equal a b
+
+let remove_one tuple list =
+  let rec go acc = function
+    | [] -> None
+    | x :: rest ->
+        if tuple_equal x tuple then Some (List.rev_append acc rest)
+        else go (x :: acc) rest
+  in
+  go [] list
+
+let of_log events =
+  let order = ref [] in
+  let grams = Hashtbl.create 8 in
+  let get rel =
+    match Hashtbl.find_opt grams rel with
+    | Some g -> g
+    | None ->
+        order := rel :: !order;
+        let g = ref (make ~rel ()) in
+        Hashtbl.replace grams rel g;
+        g
+  in
+  List.iter
+    (fun event ->
+      match event with
+      | Storage.Relation_store.Inserted (rel, tuple) ->
+          let g = get rel in
+          (* A pending delete of the same tuple cancels out. *)
+          (match remove_one tuple !g.deletes with
+          | Some deletes -> g := { !g with deletes }
+          | None -> g := { !g with inserts = !g.inserts @ [ tuple ] })
+      | Storage.Relation_store.Deleted (rel, tuple) ->
+          let g = get rel in
+          (match remove_one tuple !g.inserts with
+          | Some inserts -> g := { !g with inserts }
+          | None -> g := { !g with deletes = !g.deletes @ [ tuple ] }))
+    events;
+  List.rev_map (fun rel -> !(Hashtbl.find grams rel)) !order
+
+let apply db t =
+  let rel = Relalg.Database.find db t.rel in
+  List.iter (fun tuple -> ignore (Relalg.Relation.delete rel tuple)) t.deletes;
+  List.iter (fun tuple -> ignore (Relalg.Relation.insert_distinct rel tuple)) t.inserts
+
+let compose a b =
+  if not (String.equal a.rel b.rel) then
+    invalid_arg "Updategram.compose: different relations";
+  (* b's deletes cancel a's pending inserts; survivors accumulate. *)
+  let inserts, deletes =
+    List.fold_left
+      (fun (ins, dels) d ->
+        match remove_one d ins with
+        | Some ins' -> (ins', dels)
+        | None -> (ins, dels @ [ d ]))
+      (a.inserts, a.deletes) b.deletes
+  in
+  { rel = a.rel; inserts = inserts @ b.inserts; deletes }
+
+let size t = List.length t.inserts + List.length t.deletes
+let is_empty t = t.inserts = [] && t.deletes = []

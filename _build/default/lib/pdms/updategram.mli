@@ -1,0 +1,32 @@
+(** Updategrams (Section 3.1.2): "Piazza treats updates as first-class
+    citizens, as any other data source" — a batch of inserts and deletes
+    against one relation that can be shipped, composed, and applied to
+    views incrementally. *)
+
+type t = {
+  rel : string;
+  inserts : Relalg.Relation.tuple list;
+  deletes : Relalg.Relation.tuple list;
+}
+
+val make :
+  rel:string ->
+  ?inserts:Relalg.Relation.tuple list ->
+  ?deletes:Relalg.Relation.tuple list ->
+  unit ->
+  t
+
+val of_log : Storage.Relation_store.event list -> t list
+(** Fold a change log into one updategram per relation (insert-then-
+    delete of the same tuple cancels). *)
+
+val apply : Relalg.Database.t -> t -> unit
+(** Deletes first, then distinct inserts. Missing relation raises
+    [Not_found]. *)
+
+val compose : t -> t -> t
+(** Sequential composition (same relation required): the right operand
+    happens after the left. *)
+
+val size : t -> int
+val is_empty : t -> bool

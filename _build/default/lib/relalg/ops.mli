@@ -1,0 +1,38 @@
+(** Relational algebra operators. All operators are functional: they
+    return fresh relations and never mutate their inputs. *)
+
+type agg = Count | Sum of string | Min of string | Max of string | Avg of string
+
+val select : (Relation.tuple -> bool) -> Relation.t -> Relation.t
+
+val select_eq : string -> Value.t -> Relation.t -> Relation.t
+(** Equality selection on a named attribute (index-assisted). *)
+
+val project : string list -> Relation.t -> Relation.t
+(** Set-semantics projection. Raises [Not_found] on unknown attributes. *)
+
+val rename : string -> Relation.t -> Relation.t
+
+val rename_attrs : (string * string) list -> Relation.t -> Relation.t
+(** [(old, new)] pairs; attributes not mentioned are kept. *)
+
+val natural_join : Relation.t -> Relation.t -> Relation.t
+(** Hash join on all shared attribute names; output attributes are the
+    left attributes followed by the right-only attributes. *)
+
+val product : Relation.t -> Relation.t -> Relation.t
+(** Raises [Invalid_argument] if the two schemas share attribute names. *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+(** Set union; arities must agree (schema of the left operand wins). *)
+
+val diff : Relation.t -> Relation.t -> Relation.t
+val intersect : Relation.t -> Relation.t -> Relation.t
+
+val group_by : string list -> agg list -> Relation.t -> Relation.t
+(** [group_by keys aggs r]: one output tuple per distinct key combination;
+    output attributes are [keys] followed by derived aggregate names
+    ([count], [sum_a], ...). *)
+
+val distinct : Relation.t -> Relation.t
+val sort_by : string -> Relation.t -> Relation.t

@@ -1,0 +1,94 @@
+type tuple = Value.t array
+
+type t = {
+  schema : Schema.t;
+  mutable rows : tuple list;
+  mutable count : int;
+  (* col -> (value -> tuples); rebuilt on demand after mutation. *)
+  mutable indexes : (int, (Value.t, tuple list) Hashtbl.t) Hashtbl.t;
+}
+
+let create schema =
+  { schema; rows = []; count = 0; indexes = Hashtbl.create 4 }
+
+let schema t = t.schema
+let cardinality t = t.count
+
+let invalidate t = if Hashtbl.length t.indexes > 0 then t.indexes <- Hashtbl.create 4
+
+let check_arity t row =
+  if Array.length row <> Schema.arity t.schema then
+    invalid_arg
+      (Printf.sprintf "Relation.insert: arity mismatch for %s (got %d, want %d)"
+         (Schema.name t.schema) (Array.length row) (Schema.arity t.schema))
+
+let insert t row =
+  check_arity t row;
+  t.rows <- row :: t.rows;
+  t.count <- t.count + 1;
+  invalidate t
+
+let tuple_equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let mem t row = List.exists (tuple_equal row) t.rows
+
+let insert_distinct t row =
+  check_arity t row;
+  if mem t row then false
+  else begin
+    insert t row;
+    true
+  end
+
+let delete t row =
+  let before = t.count in
+  t.rows <- List.filter (fun r -> not (tuple_equal r row)) t.rows;
+  t.count <- List.length t.rows;
+  invalidate t;
+  before - t.count
+
+let tuples t = t.rows
+let iter f t = List.iter f t.rows
+let fold f init t = List.fold_left f init t.rows
+
+let build_index t col =
+  let idx = Hashtbl.create (max 16 t.count) in
+  List.iter
+    (fun row ->
+      let key = row.(col) in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt idx key) in
+      Hashtbl.replace idx key (row :: existing))
+    t.rows;
+  Hashtbl.replace t.indexes col idx;
+  idx
+
+let find_by t col v =
+  if col < 0 || col >= Schema.arity t.schema then
+    invalid_arg "Relation.find_by: column out of range";
+  let idx =
+    match Hashtbl.find_opt t.indexes col with
+    | Some idx -> idx
+    | None -> build_index t col
+  in
+  Option.value ~default:[] (Hashtbl.find_opt idx v)
+
+let of_tuples schema rows =
+  let t = create schema in
+  List.iter (insert t) rows;
+  t
+
+let copy t = of_tuples t.schema t.rows
+
+let clear t =
+  t.rows <- [];
+  t.count <- 0;
+  invalidate t
+
+let pp fmt t =
+  Format.fprintf fmt "%a [%d rows]" Schema.pp t.schema t.count;
+  List.iteri
+    (fun i row ->
+      if i < 20 then
+        Format.fprintf fmt "@\n  (%s)"
+          (String.concat ", " (Array.to_list (Array.map Value.to_string row))))
+    t.rows

@@ -1,0 +1,34 @@
+(** An in-memory relation: a schema and a bag of tuples with optional
+    set semantics and per-column hash indexes (built lazily, invalidated
+    on insertion). *)
+
+type tuple = Value.t array
+type t
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val cardinality : t -> int
+
+val insert : t -> tuple -> unit
+(** Raises [Invalid_argument] on arity mismatch. Duplicates are kept
+    (bag semantics); use [insert_distinct] for set semantics. *)
+
+val insert_distinct : t -> tuple -> bool
+(** Returns [false] (and does nothing) if an equal tuple is present. *)
+
+val delete : t -> tuple -> int
+(** Removes all equal tuples; returns how many were removed. *)
+
+val tuples : t -> tuple list
+val iter : (tuple -> unit) -> t -> unit
+val fold : ('a -> tuple -> 'a) -> 'a -> t -> 'a
+
+val find_by : t -> int -> Value.t -> tuple list
+(** [find_by t col v] returns tuples whose [col]-th value equals [v],
+    via a lazily built hash index. *)
+
+val mem : t -> tuple -> bool
+val of_tuples : Schema.t -> tuple list -> t
+val copy : t -> t
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type t = { name : string; attrs : string array }
+
+let make name attrs =
+  let sorted = List.sort_uniq String.compare attrs in
+  if List.length sorted <> List.length attrs then
+    invalid_arg ("Schema.make: duplicate attribute in " ^ name);
+  { name; attrs = Array.of_list attrs }
+
+let name t = t.name
+let attrs t = Array.to_list t.attrs
+let arity t = Array.length t.attrs
+
+let index_of_opt t a =
+  let n = Array.length t.attrs in
+  let rec go i =
+    if i >= n then None else if String.equal t.attrs.(i) a then Some i else go (i + 1)
+  in
+  go 0
+
+let index_of t a =
+  match index_of_opt t a with Some i -> i | None -> raise Not_found
+
+let has_attr t a = Option.is_some (index_of_opt t a)
+
+let rename t name = { t with name }
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%s)" t.name (String.concat ", " (attrs t))
+
+let equal a b =
+  String.equal a.name b.name
+  && Array.length a.attrs = Array.length b.attrs
+  && Array.for_all2 String.equal a.attrs b.attrs

@@ -1,0 +1,20 @@
+(** Atomic data values. The S-WORLD substrate is dynamically typed: the
+    repository built from annotated web pages may hold dirty data
+    (Section 2.3), so a column is not statically forced to one type. *)
+
+type t = Null | Bool of bool | Int of int | Float of float | Str of string
+
+type ty = Tnull | Tbool | Tint | Tfloat | Tstr
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val type_of : t -> ty
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t
+(** Best-effort parse: int, then float, then bool, else string. *)
+
+val str : string -> t
+val int : int -> t

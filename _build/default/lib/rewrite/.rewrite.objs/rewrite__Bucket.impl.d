@@ -1,0 +1,1 @@
+lib/rewrite/bucket.ml: Array Atom Build Cover Cq List Minicon Minimize Printf Query

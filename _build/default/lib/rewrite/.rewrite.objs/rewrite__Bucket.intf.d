@@ -1,0 +1,1 @@
+lib/rewrite/bucket.mli: Cq

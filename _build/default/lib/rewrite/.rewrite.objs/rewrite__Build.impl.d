@@ -1,0 +1,1 @@
+lib/rewrite/build.ml: Array Atom Cover Cq Hashtbl List Option Query Relalg String Subst Term Util

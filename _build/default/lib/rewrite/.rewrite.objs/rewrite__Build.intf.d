@@ -1,0 +1,1 @@
+lib/rewrite/build.mli: Cover Cq

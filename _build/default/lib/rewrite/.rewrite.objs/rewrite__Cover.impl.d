@@ -1,0 +1,1 @@
+lib/rewrite/cover.ml: Atom Cq List Printf Query Relalg String Subst Term

@@ -1,0 +1,1 @@
+lib/rewrite/glav.ml: Atom Cq Format Query

@@ -1,0 +1,1 @@
+lib/rewrite/glav.mli: Cq Format

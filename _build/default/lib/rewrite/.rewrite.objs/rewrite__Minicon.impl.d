@@ -1,0 +1,1 @@
+lib/rewrite/minicon.ml: Array Atom Build Containment Cover Cq Fun Hashtbl Int List Minimize Printf Query Set String Subst Term Unfold

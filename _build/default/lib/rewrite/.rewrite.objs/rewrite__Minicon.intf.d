@@ -1,0 +1,1 @@
+lib/rewrite/minicon.mli: Cq

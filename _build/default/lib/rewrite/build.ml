@@ -1,0 +1,106 @@
+open Cq
+
+type piece = {
+  view : Query.t;
+  state : Cover.state;
+  covered : int list;
+  covered_qvars : string list;
+}
+
+let piece ~view ~state ~covered ~query =
+  let body = Array.of_list query.Query.body in
+  let qvars =
+    List.concat_map (fun i -> Atom.vars body.(i)) covered
+    |> List.sort_uniq String.compare
+  in
+  { view; state; covered; covered_qvars = qvars }
+
+exception Conflict
+
+let assemble ~fresh (q : Query.t) pieces =
+  let uf = Util.Union_find.create () in
+  (* Query variables mapped to the same distinguished view variable by
+     one piece are equated in the rewriting. *)
+  List.iter
+    (fun p ->
+      let by_image = Hashtbl.create 8 in
+      List.iter
+        (fun x ->
+          match Cover.image p.state x with
+          | Term.Var v when not (String.equal v x) ->
+              let group = Option.value ~default:[] (Hashtbl.find_opt by_image v) in
+              Hashtbl.replace by_image v (x :: group)
+          | Term.Var _ | Term.Const _ -> ())
+        p.covered_qvars;
+      Hashtbl.iter
+        (fun _ group ->
+          match group with
+          | [] | [ _ ] -> ()
+          | x :: rest -> List.iter (Util.Union_find.union uf x) rest)
+        by_image)
+    pieces;
+  let repr x = Util.Union_find.find uf x in
+  (* Rewriting-side term for each (representative) query variable. *)
+  let global : (string, Term.t) Hashtbl.t = Hashtbl.create 16 in
+  try
+    List.iter
+      (fun p ->
+        List.iter
+          (fun x ->
+            let key = repr x in
+            match Cover.image p.state x with
+            | Term.Const c -> (
+                match Hashtbl.find_opt global key with
+                | Some (Term.Const c') when not (Relalg.Value.equal c c') ->
+                    raise Conflict
+                | Some (Term.Const _) -> ()
+                | Some (Term.Var _) | None ->
+                    Hashtbl.replace global key (Term.Const c))
+            | Term.Var v ->
+                if
+                  (not (String.equal v x))
+                  && Query.is_distinguished p.view v
+                  && not (Hashtbl.mem global key)
+                then Hashtbl.replace global key (Term.Var key))
+          p.covered_qvars)
+      pieces;
+    let atom_of_piece p =
+      (* Reverse map: distinguished view var -> covered query vars. *)
+      let exposing = Hashtbl.create 8 in
+      List.iter
+        (fun x ->
+          match Cover.image p.state x with
+          | Term.Var v when not (String.equal v x) ->
+              if not (Hashtbl.mem exposing v) then Hashtbl.replace exposing v x
+          | Term.Var _ | Term.Const _ -> ())
+        p.covered_qvars;
+      let args =
+        List.map
+          (fun head_arg ->
+            match Subst.walk p.state head_arg with
+            | Term.Const c -> Term.Const c
+            | Term.Var v -> (
+                match Hashtbl.find_opt exposing v with
+                | Some x -> (
+                    match Hashtbl.find_opt global (repr x) with
+                    | Some t -> t
+                    | None -> Term.Var (repr x))
+                | None -> Term.Var (fresh ())))
+          p.view.Query.head.Atom.args
+      in
+      Atom.make p.view.Query.head.Atom.pred args
+    in
+    let body = List.map atom_of_piece pieces in
+    let head_args =
+      List.map
+        (fun t ->
+          match t with
+          | Term.Const _ -> t
+          | Term.Var x -> (
+              match Hashtbl.find_opt global (repr x) with
+              | Some t -> t
+              | None -> raise Conflict (* head variable not exposed *)))
+        q.Query.head.Atom.args
+    in
+    Some { Query.head = Atom.make q.Query.head.Atom.pred head_args; body }
+  with Conflict -> None

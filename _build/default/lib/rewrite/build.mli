@@ -1,0 +1,23 @@
+(** Assembling a candidate rewriting from per-view cover pieces.
+
+    Both Bucket and MiniCon end with the same construction problem: given
+    a set of views, each covering some query subgoals under a cover
+    state, emit a conjunctive query over the view predicates whose head
+    is the original query head. *)
+
+type piece = {
+  view : Cq.Query.t;  (** freshened view (head predicate = view name) *)
+  state : Cover.state;
+  covered : int list;  (** indices of covered query subgoals *)
+  covered_qvars : string list;
+      (** query variables occurring in the covered subgoals *)
+}
+
+val piece : view:Cq.Query.t -> state:Cover.state -> covered:int list
+  -> query:Cq.Query.t -> piece
+(** Computes [covered_qvars] from the query body. *)
+
+val assemble : fresh:(unit -> string) -> Cq.Query.t -> piece list -> Cq.Query.t option
+(** [assemble ~fresh q pieces] builds the rewriting, or [None] when the
+    pieces impose conflicting constant constraints or fail to expose a
+    distinguished variable of [q]. *)

@@ -1,0 +1,29 @@
+open Cq
+
+type kind = Inclusion | Equality
+
+type t = { kind : kind; lhs : Query.t; rhs : Query.t }
+
+let make kind ~lhs ~rhs =
+  if Atom.arity lhs.Query.head <> Atom.arity rhs.Query.head then
+    invalid_arg "Glav.make: head arity mismatch";
+  if not (Query.is_safe lhs && Query.is_safe rhs) then
+    invalid_arg "Glav.make: both sides must be safe";
+  { kind; lhs; rhs }
+
+let gav ~lhs ~rhs = make Equality ~lhs ~rhs
+
+let retarget pred (q : Query.t) =
+  { q with Query.head = { q.Query.head with Atom.pred } }
+
+let split t ~mapping_pred =
+  (retarget mapping_pred t.lhs, retarget mapping_pred t.rhs)
+
+let reversed t =
+  match t.kind with
+  | Inclusion -> None
+  | Equality -> Some { t with lhs = t.rhs; rhs = t.lhs }
+
+let pp fmt t =
+  let op = match t.kind with Inclusion -> "⊆" | Equality -> "=" in
+  Format.fprintf fmt "%a %s %a" Query.pp t.lhs op Query.pp t.rhs

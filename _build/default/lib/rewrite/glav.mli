@@ -1,0 +1,30 @@
+(** GLAV (global-local-as-view) mappings: [Q_l(x̄) ⊆ Q_r(x̄)] or
+    [Q_l(x̄) = Q_r(x̄)], where the two sides are conjunctive queries over
+    different schemas sharing head variables. This is the mapping
+    formalism the paper adopts for Piazza (Section 3.1.1, citing
+    Friedman-Levy-Millstein). *)
+
+type kind = Inclusion | Equality
+
+type t = { kind : kind; lhs : Cq.Query.t; rhs : Cq.Query.t }
+
+val make : kind -> lhs:Cq.Query.t -> rhs:Cq.Query.t -> t
+(** Raises [Invalid_argument] unless both sides are safe and share head
+    arity. *)
+
+val gav : lhs:Cq.Query.t -> rhs:Cq.Query.t -> t
+(** Equality shorthand. *)
+
+val split : t -> mapping_pred:string -> Cq.Query.t * Cq.Query.t
+(** [split m ~mapping_pred] decomposes the GLAV statement through a fresh
+    mapping predicate [M]: returns [(rule, view)] where [rule] is the
+    GAV-style rule [M(x̄) :- body(lhs)] and [view] is the LAV-style view
+    definition [M(x̄) :- body(rhs)]. Reformulation first rewrites the
+    query using [view] (answering queries using views), then unfolds
+    [M] through [rule]. *)
+
+val reversed : t -> t option
+(** For an [Equality] mapping, the mapping with sides swapped; [None]
+    for inclusions (they are directional). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,136 @@
+open Cq
+
+type stats = {
+  mcds_formed : int;
+  combinations_tried : int;
+  rewritings_produced : int;
+}
+
+type mcd = { view : Query.t; state : Cover.state; covered : int list }
+
+module Iset = Set.Make (Int)
+
+(* All MCDs of [view] for query [q]. Each MCD starts from one (subgoal,
+   view-atom) seed and is closed under the forced-coverage rule: a query
+   variable mapped to an existential view variable drags every subgoal
+   mentioning it into the MCD. *)
+let mcds_of_view (q : Query.t) view =
+  let body = Array.of_list q.Query.body in
+  let n = Array.length body in
+  let head_vars = Query.head_vars q in
+  let subgoals_with x =
+    List.filter (fun j -> List.mem x (Atom.vars body.(j))) (List.init n Fun.id)
+  in
+  let results = ref [] in
+  (* Returns the subgoals forced by the variables of subgoal [j], or None
+     when a distinguished query variable maps to an existential view
+     variable (condition C1 of MiniCon). *)
+  let forced_by st j =
+    List.fold_left
+      (fun acc x ->
+        match acc with
+        | None -> None
+        | Some forced ->
+            if Cover.maps_to_existential ~view st x then
+              if List.mem x head_vars then None
+              else Some (subgoals_with x @ forced)
+            else Some forced)
+      (Some []) (Atom.vars body.(j))
+  in
+  let rec close st covered = function
+    | [] -> results := (st, covered) :: !results
+    | j :: rest when Iset.mem j covered -> close st covered rest
+    | j :: rest ->
+        List.iter
+          (fun b ->
+            match Cover.match_subgoal ~view st body.(j) b with
+            | None -> ()
+            | Some st' -> (
+                match forced_by st' j with
+                | None -> ()
+                | Some forced -> close st' (Iset.add j covered) (forced @ rest)))
+          view.Query.body
+  in
+  (* Seed from every subgoal; dedupe solutions afterwards. *)
+  for i = 0 to n - 1 do
+    close Cover.empty Iset.empty [ i ]
+  done;
+  let canonical (st, covered) =
+    let bindings =
+      List.map
+        (fun (x, t) -> x ^ "=" ^ Term.to_string (Subst.walk st t))
+        (Subst.bindings st)
+    in
+    String.concat ";" (List.map string_of_int (Iset.elements covered))
+    ^ "|" ^ String.concat "," bindings
+  in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (st, covered) ->
+      let key = canonical (st, covered) in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.replace seen key ();
+        Some { view; state = st; covered = Iset.elements covered }
+      end)
+    !results
+
+let rewrite ~views (q : Query.t) =
+  let views = Cover.prepare_views views in
+  let mcds = List.concat_map (mcds_of_view q) views in
+  let n = Query.size q in
+  let full = Iset.of_list (List.init n Fun.id) in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "~f%d" !counter
+  in
+  let combinations = ref 0 in
+  let rewritings = ref [] in
+  (* Exact-partition combination (justified by MCD minimality). *)
+  let rec combine covered chosen =
+    if Iset.equal covered full then begin
+      incr combinations;
+      let pieces =
+        List.rev_map
+          (fun m -> Build.piece ~view:m.view ~state:m.state ~covered:m.covered ~query:q)
+          chosen
+      in
+      match Build.assemble ~fresh q pieces with
+      | Some r -> rewritings := Minimize.remove_duplicate_atoms r :: !rewritings
+      | None -> ()
+    end
+    else
+      let j = Iset.min_elt (Iset.diff full covered) in
+      List.iter
+        (fun m ->
+          let mset = Iset.of_list m.covered in
+          if Iset.mem j mset && Iset.is_empty (Iset.inter mset covered) then
+            combine (Iset.union covered mset) (m :: chosen))
+        mcds
+  in
+  if n > 0 then combine Iset.empty [];
+  (* Syntactic dedupe on sorted bodies. *)
+  let normalize (r : Query.t) =
+    { r with Query.body = List.sort Atom.compare r.Query.body }
+  in
+  let deduped =
+    List.fold_left
+      (fun acc r ->
+        let nr = normalize r in
+        if List.exists (fun r' -> Query.equal (normalize r') nr) acc then acc
+        else r :: acc)
+      [] !rewritings
+    |> List.rev
+  in
+  ( deduped,
+    {
+      mcds_formed = List.length mcds;
+      combinations_tried = !combinations;
+      rewritings_produced = List.length deduped;
+    } )
+
+let expand ~views r = Unfold.expand views r
+
+let is_contained_rewriting ~views r q =
+  List.for_all (fun e -> Containment.contained_in e q) (expand ~views r)

@@ -1,0 +1,1 @@
+lib/storage/ntriples.ml: Buffer List Printf Provenance Relalg Result String Triple_store

@@ -1,0 +1,1 @@
+lib/storage/ntriples.mli: Triple_store

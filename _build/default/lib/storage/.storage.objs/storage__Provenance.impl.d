@@ -1,0 +1,1 @@
+lib/storage/provenance.ml: Format String

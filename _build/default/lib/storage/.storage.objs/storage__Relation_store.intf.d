@@ -1,0 +1,1 @@
+lib/storage/relation_store.mli: Relalg

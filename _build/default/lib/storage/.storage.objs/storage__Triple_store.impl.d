@@ -1,0 +1,1 @@
+lib/storage/triple_store.ml: Cq Hashtbl List Option Provenance Relalg String

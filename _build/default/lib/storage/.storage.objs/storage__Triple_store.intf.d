@@ -1,0 +1,1 @@
+lib/storage/triple_store.mli: Cq Provenance Relalg

@@ -1,0 +1,11 @@
+type t = { source_url : string; author : string option; timestamp : int }
+
+let make ?author ~source_url ~timestamp () = { source_url; author; timestamp }
+
+let in_scope t prefix =
+  String.length t.source_url >= String.length prefix
+  && String.sub t.source_url 0 (String.length prefix) = prefix
+
+let pp fmt t =
+  Format.fprintf fmt "%s@@t%d%s" t.source_url t.timestamp
+    (match t.author with None -> "" | Some a -> " by " ^ a)

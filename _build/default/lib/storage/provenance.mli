@@ -1,0 +1,15 @@
+(** Provenance of published data. Section 2.3: "The source URL of the
+    data is stored in the database and can serve as an important resource
+    for cleaning up the data." Timestamps are logical (a global publish
+    counter), keeping runs deterministic. *)
+
+type t = { source_url : string; author : string option; timestamp : int }
+
+val make : ?author:string -> source_url:string -> timestamp:int -> unit -> t
+
+val in_scope : t -> string -> bool
+(** [in_scope p prefix]: does the source URL fall under [prefix]? Used by
+    cleaning policies such as "take the phone number from the faculty
+    member's own web space". *)
+
+val pp : Format.formatter -> t -> unit

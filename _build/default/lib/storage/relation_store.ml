@@ -1,0 +1,48 @@
+type event =
+  | Inserted of string * Relalg.Relation.tuple
+  | Deleted of string * Relalg.Relation.tuple
+
+type t = {
+  db : Relalg.Database.t;
+  mutable log_rev : event list;
+  mutable log_len : int;
+  mutable subscribers : (event -> unit) list;
+}
+
+let create () =
+  { db = Relalg.Database.create (); log_rev = []; log_len = 0; subscribers = [] }
+
+let database t = t.db
+
+let declare t name attrs =
+  match Relalg.Database.find_opt t.db name with
+  | None -> ignore (Relalg.Database.create_relation t.db name attrs)
+  | Some rel ->
+      if Relalg.Schema.arity (Relalg.Relation.schema rel) <> List.length attrs then
+        invalid_arg ("Relation_store.declare: arity clash for " ^ name)
+
+let emit t event =
+  t.log_rev <- event :: t.log_rev;
+  t.log_len <- t.log_len + 1;
+  List.iter (fun f -> f event) t.subscribers
+
+let insert t name tuple =
+  let rel = Relalg.Database.find t.db name in
+  let added = Relalg.Relation.insert_distinct rel tuple in
+  if added then emit t (Inserted (name, tuple));
+  added
+
+let delete t name tuple =
+  let rel = Relalg.Database.find t.db name in
+  let removed = Relalg.Relation.delete rel tuple > 0 in
+  if removed then emit t (Deleted (name, tuple));
+  removed
+
+let subscribe t f = t.subscribers <- f :: t.subscribers
+let log t = List.rev t.log_rev
+
+let truncate_log t =
+  t.log_rev <- [];
+  t.log_len <- 0
+
+let log_length t = t.log_len

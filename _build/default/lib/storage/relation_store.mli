@@ -1,0 +1,31 @@
+(** A relation store with a change log and subscriber notifications —
+    the substrate both for instant-gratification application refresh
+    (Section 2.2: "applications are immediately updated") and for
+    updategram-based view maintenance (Section 3.1.2). *)
+
+type event =
+  | Inserted of string * Relalg.Relation.tuple
+  | Deleted of string * Relalg.Relation.tuple
+
+type t
+
+val create : unit -> t
+val database : t -> Relalg.Database.t
+
+val declare : t -> string -> string list -> unit
+(** Create an empty relation; no-op if it already exists with the same
+    arity, raises [Invalid_argument] otherwise. *)
+
+val insert : t -> string -> Relalg.Relation.tuple -> bool
+(** Distinct insert; returns whether the tuple was new. Events fire and
+    log entries are appended only for effective changes. *)
+
+val delete : t -> string -> Relalg.Relation.tuple -> bool
+
+val subscribe : t -> (event -> unit) -> unit
+
+val log : t -> event list
+(** Chronological change log since creation (or the last [truncate_log]). *)
+
+val truncate_log : t -> unit
+val log_length : t -> int

@@ -1,0 +1,162 @@
+type triple = {
+  subj : string;
+  pred : string;
+  obj : Relalg.Value.t;
+  prov : Provenance.t;
+}
+
+(* Three single-component indexes; lookups intersect by filtering the
+   most selective posting list. *)
+type t = {
+  mutable all : triple list;
+  mutable size : int;
+  by_subj : (string, triple list) Hashtbl.t;
+  by_pred : (string, triple list) Hashtbl.t;
+  by_obj : (Relalg.Value.t, triple list) Hashtbl.t;
+}
+
+let create () =
+  {
+    all = [];
+    size = 0;
+    by_subj = Hashtbl.create 64;
+    by_pred = Hashtbl.create 64;
+    by_obj = Hashtbl.create 64;
+  }
+
+let push tbl key triple =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+  Hashtbl.replace tbl key (triple :: existing)
+
+let same_statement a b =
+  String.equal a.subj b.subj && String.equal a.pred b.pred
+  && Relalg.Value.equal a.obj b.obj
+  && String.equal a.prov.Provenance.source_url b.prov.Provenance.source_url
+
+let add t ~subj ~pred ~obj ~prov =
+  let triple = { subj; pred; obj; prov } in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.by_subj subj) in
+  if not (List.exists (same_statement triple) existing) then begin
+    t.all <- triple :: t.all;
+    t.size <- t.size + 1;
+    push t.by_subj subj triple;
+    push t.by_pred pred triple;
+    push t.by_obj obj triple
+  end
+
+let rebuild t remaining =
+  t.all <- remaining;
+  t.size <- List.length remaining;
+  Hashtbl.reset t.by_subj;
+  Hashtbl.reset t.by_pred;
+  Hashtbl.reset t.by_obj;
+  List.iter
+    (fun tr ->
+      push t.by_subj tr.subj tr;
+      push t.by_pred tr.pred tr;
+      push t.by_obj tr.obj tr)
+    remaining
+
+let remove_source t url =
+  let keep, drop =
+    List.partition
+      (fun tr -> not (String.equal tr.prov.Provenance.source_url url))
+      t.all
+  in
+  if drop <> [] then rebuild t keep;
+  List.length drop
+
+let size t = t.size
+let triples t = t.all
+
+let sources t =
+  List.fold_left
+    (fun acc tr ->
+      let url = tr.prov.Provenance.source_url in
+      if List.mem url acc then acc else url :: acc)
+    [] t.all
+  |> List.sort String.compare
+
+let select ?subj ?pred ?obj t =
+  let candidates =
+    match (subj, pred, obj) with
+    | Some s, _, _ -> Option.value ~default:[] (Hashtbl.find_opt t.by_subj s)
+    | None, _, Some o -> Option.value ~default:[] (Hashtbl.find_opt t.by_obj o)
+    | None, Some p, None -> Option.value ~default:[] (Hashtbl.find_opt t.by_pred p)
+    | None, None, None -> t.all
+  in
+  List.filter
+    (fun tr ->
+      (match subj with None -> true | Some s -> String.equal tr.subj s)
+      && (match pred with None -> true | Some p -> String.equal tr.pred p)
+      && match obj with None -> true | Some o -> Relalg.Value.equal tr.obj o)
+    candidates
+
+type pattern = { psubj : Cq.Term.t; ppred : Cq.Term.t; pobj : Cq.Term.t }
+
+let pat psubj ppred pobj = { psubj; ppred; pobj }
+
+type binding = Relalg.Value.t Cq.Eval.Smap.t
+
+module Smap = Cq.Eval.Smap
+
+let resolve (b : binding) = function
+  | Cq.Term.Const v -> Some v
+  | Cq.Term.Var x -> Smap.find_opt x b
+
+let as_string = function
+  | Relalg.Value.Str s -> Some s
+  | Relalg.Value.Null | Relalg.Value.Bool _ | Relalg.Value.Int _
+  | Relalg.Value.Float _ ->
+      None
+
+(* Match one pattern under a binding, returning extended bindings paired
+   with the matched triple. *)
+let match_pattern t (b : binding) p : (binding * triple) list =
+  let subj = Option.bind (resolve b p.psubj) as_string in
+  let pred = Option.bind (resolve b p.ppred) as_string in
+  let obj = resolve b p.pobj in
+  let candidates = select ?subj ?pred ?obj t in
+  List.filter_map
+    (fun tr ->
+      let bind_str acc term value =
+        match acc with
+        | None -> None
+        | Some b -> (
+            match term with
+            | Cq.Term.Const v ->
+                if Relalg.Value.equal v value then Some b else None
+            | Cq.Term.Var x -> (
+                match Smap.find_opt x b with
+                | Some v -> if Relalg.Value.equal v value then Some b else None
+                | None -> Some (Smap.add x value b)))
+      in
+      let acc = Some b in
+      let acc = bind_str acc p.psubj (Relalg.Value.Str tr.subj) in
+      let acc = bind_str acc p.ppred (Relalg.Value.Str tr.pred) in
+      let acc = bind_str acc p.pobj tr.obj in
+      Option.map (fun b -> (b, tr)) acc)
+    candidates
+
+(* Order patterns most-constant-first. *)
+let selectivity p =
+  let k = function Cq.Term.Const _ -> 1 | Cq.Term.Var _ -> 0 in
+  k p.psubj + k p.ppred + k p.pobj
+
+let query_provenanced t patterns =
+  let patterns =
+    List.stable_sort (fun a b -> compare (selectivity b) (selectivity a)) patterns
+  in
+  List.fold_left
+    (fun states p ->
+      List.concat_map
+        (fun (b, provs) ->
+          List.map
+            (fun (b', tr) -> (b', tr.prov :: provs))
+            (match_pattern t b p))
+        states)
+    [ (Smap.empty, []) ]
+    patterns
+  |> List.map (fun (b, provs) -> (b, List.rev provs))
+
+let query t patterns = List.map fst (query_provenanced t patterns)

@@ -1,0 +1,51 @@
+(** The annotation repository: an indexed subject/predicate/object store
+    with per-triple provenance and basic-graph-pattern queries. This
+    plays the role Jena plays in the paper (Section 2.2): annotations are
+    stored here the moment a user publishes, so applications never touch
+    HTML at query time. *)
+
+type triple = {
+  subj : string;
+  pred : string;
+  obj : Relalg.Value.t;
+  prov : Provenance.t;
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> subj:string -> pred:string -> obj:Relalg.Value.t -> prov:Provenance.t -> unit
+(** Duplicate (subj, pred, obj) triples from the same source are
+    collapsed; the same statement from different sources is kept twice
+    (its provenance differs — the cleaning layer wants that). *)
+
+val remove_source : t -> string -> int
+(** Retract all triples whose provenance URL equals the given URL
+    (re-publishing a page replaces its previous contribution). Returns
+    the number of triples removed. *)
+
+val size : t -> int
+val triples : t -> triple list
+val sources : t -> string list
+
+val select :
+  ?subj:string -> ?pred:string -> ?obj:Relalg.Value.t -> t -> triple list
+(** All triples matching the given components. *)
+
+(** {2 Basic graph patterns} *)
+
+type pattern = { psubj : Cq.Term.t; ppred : Cq.Term.t; pobj : Cq.Term.t }
+(** Subject/predicate positions match string values; a constant there
+    must be a [Str]. *)
+
+val pat : Cq.Term.t -> Cq.Term.t -> Cq.Term.t -> pattern
+
+type binding = Relalg.Value.t Cq.Eval.Smap.t
+
+val query : t -> pattern list -> binding list
+(** All satisfying assignments, most-selective-pattern-first. *)
+
+val query_provenanced : t -> pattern list -> (binding * Provenance.t list) list
+(** Like [query], also returning the provenance of the triples each
+    binding matched (one entry per pattern). *)

@@ -1,0 +1,1 @@
+lib/util/strdist.ml: Array List Set String

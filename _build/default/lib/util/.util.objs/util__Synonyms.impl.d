@@ -1,0 +1,1 @@
+lib/util/synonyms.ml: List Map String

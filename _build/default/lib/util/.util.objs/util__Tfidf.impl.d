@@ -1,0 +1,1 @@
+lib/util/tfidf.ml: List Map Option String

@@ -1,0 +1,1 @@
+lib/util/tokenize.mli:

@@ -1,0 +1,38 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let pad_to n row =
+  let len = List.length row in
+  if len >= n then row else row @ List.init (n - len) (fun _ -> "")
+
+let render t =
+  let ncols = List.length t.headers in
+  let rows = List.rev_map (pad_to ncols) t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let fmt_row row =
+    let cells =
+      List.map2
+        (fun cell w -> cell ^ String.make (w - String.length cell) ' ')
+        row widths
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  String.concat "\n" (fmt_row t.headers :: rule :: List.map fmt_row rows)
+
+let print t = print_endline (render t)
+
+let cell_f x = Printf.sprintf "%.3f" x
+let cell_i n = string_of_int n

@@ -1,0 +1,21 @@
+(** Plain-text table rendering for the benchmark harness: every experiment
+    prints its rows in the same aligned format. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells. *)
+
+val render : t -> string
+(** Aligned, pipe-separated rendering with a header rule. *)
+
+val print : t -> unit
+(** [render] followed by a newline on stdout. *)
+
+val cell_f : float -> string
+(** Fixed 3-decimal float cell. *)
+
+val cell_i : int -> string

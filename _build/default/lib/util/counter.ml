@@ -1,0 +1,33 @@
+type t = { tbl : (string, float) Hashtbl.t; mutable total : float }
+
+let create () = { tbl = Hashtbl.create 64; total = 0.0 }
+
+let add ?(weight = 1.0) t key =
+  let current = Option.value ~default:0.0 (Hashtbl.find_opt t.tbl key) in
+  Hashtbl.replace t.tbl key (current +. weight);
+  t.total <- t.total +. weight
+
+let count t key = Option.value ~default:0.0 (Hashtbl.find_opt t.tbl key)
+let total t = t.total
+let distinct t = Hashtbl.length t.tbl
+let mem t key = Hashtbl.mem t.tbl key
+
+let items t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+  |> List.sort (fun (k1, v1) (k2, v2) ->
+         match Float.compare v2 v1 with 0 -> String.compare k1 k2 | c -> c)
+
+let top t n =
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  take n (items t)
+
+let frequency t key = if t.total <= 0.0 then 0.0 else count t key /. t.total
+
+let merge a b =
+  let out = create () in
+  Hashtbl.iter (fun k v -> add ~weight:v out k) a.tbl;
+  Hashtbl.iter (fun k v -> add ~weight:v out k) b.tbl;
+  out

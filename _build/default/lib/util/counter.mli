@@ -1,0 +1,22 @@
+(** Frequency counter over strings — the workhorse of the corpus
+    statistics layer. *)
+
+type t
+
+val create : unit -> t
+val add : ?weight:float -> t -> string -> unit
+val count : t -> string -> float
+val total : t -> float
+val distinct : t -> int
+val mem : t -> string -> bool
+
+val items : t -> (string * float) list
+(** All (key, count) pairs, sorted by decreasing count then key. *)
+
+val top : t -> int -> (string * float) list
+
+val frequency : t -> string -> float
+(** [count / total], or 0 when empty. *)
+
+val merge : t -> t -> t
+(** Pointwise sum; inputs are not mutated. *)

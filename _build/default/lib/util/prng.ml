@@ -1,0 +1,101 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let split t = { state = mix64 (next_int64 t) }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Keep 62 bits so the value stays non-negative as a native int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let gaussian t ~mean ~stddev =
+  (* Box-Muller; one value per call is plenty for our workloads. *)
+  let u1 = Float.max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let pick_arr t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick_arr: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let sample t k xs =
+  let shuffled = shuffle t xs in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  take k shuffled
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (_, w) -> acc +. Float.max 0.0 w) 0.0 choices in
+  if total <= 0.0 then invalid_arg "Prng.weighted: weights must be positive";
+  let target = float t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Prng.weighted: empty choices"
+    | [ (x, _) ] -> x
+    | (x, w) :: rest ->
+        let acc = acc +. Float.max 0.0 w in
+        if target < acc then x else go acc rest
+  in
+  go 0.0 choices
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  (* Direct inversion over the (small) support; our sweeps keep n modest. *)
+  let h = ref 0.0 in
+  let weights =
+    Array.init n (fun i ->
+        let w = 1.0 /. Float.pow (float_of_int (i + 1)) s in
+        h := !h +. w;
+        w)
+  in
+  let target = float t !h in
+  let rec go i acc =
+    if i >= n - 1 then n
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i + 1 else go (i + 1) acc
+  in
+  go 0 0.0

@@ -1,0 +1,52 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomized components of the library (workload generators, learners
+    with random initialisation, the network simulator) take an explicit
+    [Prng.t] so that every experiment is reproducible from a single seed.
+    The generator is SplitMix64. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+
+val pick : t -> 'a list -> 'a
+(** [pick t xs] is a uniform element of [xs]. Raises [Invalid_argument] on
+    the empty list. *)
+
+val pick_arr : t -> 'a array -> 'a
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [min k (length xs)] elements without
+    replacement, preserving no particular order. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val weighted : t -> ('a * float) list -> 'a
+(** [weighted t choices] picks proportionally to the (positive) weights. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] draws a rank in [\[1, n\]] under a Zipf distribution
+    with exponent [s]. *)

@@ -1,0 +1,50 @@
+let sum = List.fold_left ( +. ) 0.0
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+      let m = mean xs in
+      let var =
+        sum (List.map (fun x -> (x -. m) ** 2.0) xs)
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | xs ->
+      let sorted = List.sort Float.compare xs in
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int n)) |> max 1 |> min n
+      in
+      List.nth sorted (rank - 1)
+
+let median xs = percentile 50.0 xs
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: rest -> List.fold_left Float.min x rest
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: rest -> List.fold_left Float.max x rest
+
+let histogram ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  match xs with
+  | [] -> []
+  | _ ->
+      let lo = minimum xs and hi = maximum xs in
+      let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+      let counts = Array.make bins 0 in
+      List.iter
+        (fun x ->
+          let i = int_of_float ((x -. lo) /. width) |> max 0 |> min (bins - 1) in
+          counts.(i) <- counts.(i) + 1)
+        xs;
+      List.init bins (fun i -> (lo +. (float_of_int i *. width), counts.(i)))

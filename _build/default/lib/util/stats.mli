@@ -1,0 +1,16 @@
+(** Descriptive statistics for benchmark reporting. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val median : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0, 100\]], nearest-rank on the sorted
+    values. Raises [Invalid_argument] on the empty list. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+val sum : float list -> float
+
+val histogram : bins:int -> float list -> (float * int) list
+(** [(lower-bound, count)] per bin across the value range. *)

@@ -1,0 +1,141 @@
+(* Classic Porter (1980) algorithm. The word being stemmed is an
+   immutable string; each rule produces a fresh string. *)
+
+let rec is_consonant w i =
+  match w.[i] with
+  | 'a' | 'e' | 'i' | 'o' | 'u' -> false
+  | 'y' -> if i = 0 then true else not (is_consonant w (i - 1))
+  | _ -> true
+
+(* Number of VC patterns in w.[0 .. len-1]. *)
+let measure_prefix w len =
+  let m = ref 0 in
+  let prev_vowel = ref false in
+  for i = 0 to len - 1 do
+    let c = is_consonant w i in
+    if c && !prev_vowel then incr m;
+    prev_vowel := not c
+  done;
+  !m
+
+let measure w = measure_prefix w (String.length w)
+
+let contains_vowel w len =
+  let rec go i = i < len && ((not (is_consonant w i)) || go (i + 1)) in
+  go 0
+
+let ends_with w suffix =
+  let lw = String.length w and ls = String.length suffix in
+  lw >= ls && String.sub w (lw - ls) ls = suffix
+
+let chop w n = String.sub w 0 (String.length w - n)
+
+let ends_double_consonant w =
+  let n = String.length w in
+  n >= 2 && w.[n - 1] = w.[n - 2] && is_consonant w (n - 1)
+
+(* Stem ends consonant-vowel-consonant where the final consonant is not
+   w, x or y: the *o condition of the original paper. *)
+let ends_cvc w =
+  let n = String.length w in
+  n >= 3
+  && is_consonant w (n - 3)
+  && (not (is_consonant w (n - 2)))
+  && is_consonant w (n - 1)
+  && (match w.[n - 1] with 'w' | 'x' | 'y' -> false | _ -> true)
+
+(* Try rules (suffix, replacement, condition-on-stem) in order; apply the
+   first whose suffix matches (condition failing still consumes the
+   match, per the original algorithm's longest-match semantics). *)
+let apply_rules w rules =
+  let rec go = function
+    | [] -> w
+    | (suffix, repl, cond) :: rest ->
+        if ends_with w suffix then
+          let stem = chop w (String.length suffix) in
+          if cond stem then stem ^ repl else w
+        else go rest
+  in
+  go rules
+
+let m_gt n stem = measure stem > n
+
+let step_1a w =
+  if ends_with w "sses" then chop w 2
+  else if ends_with w "ies" then chop w 2
+  else if ends_with w "ss" then w
+  else if ends_with w "s" then chop w 1
+  else w
+
+let step_1b w =
+  if ends_with w "eed" then (if m_gt 0 (chop w 3) then chop w 1 else w)
+  else
+    let stripped =
+      if ends_with w "ed" && contains_vowel w (String.length w - 2) then
+        Some (chop w 2)
+      else if ends_with w "ing" && contains_vowel w (String.length w - 3) then
+        Some (chop w 3)
+      else None
+    in
+    match stripped with
+    | None -> w
+    | Some s ->
+        if ends_with s "at" || ends_with s "bl" || ends_with s "iz" then s ^ "e"
+        else if
+          ends_double_consonant s
+          && not (ends_with s "l" || ends_with s "s" || ends_with s "z")
+        then chop s 1
+        else if measure s = 1 && ends_cvc s then s ^ "e"
+        else s
+
+let step_1c w =
+  if ends_with w "y" && contains_vowel w (String.length w - 1) then
+    chop w 1 ^ "i"
+  else w
+
+let step_2 w =
+  apply_rules w
+    [ ("ational", "ate", m_gt 0); ("tional", "tion", m_gt 0);
+      ("enci", "ence", m_gt 0); ("anci", "ance", m_gt 0);
+      ("izer", "ize", m_gt 0); ("abli", "able", m_gt 0);
+      ("alli", "al", m_gt 0); ("entli", "ent", m_gt 0);
+      ("eli", "e", m_gt 0); ("ousli", "ous", m_gt 0);
+      ("ization", "ize", m_gt 0); ("ation", "ate", m_gt 0);
+      ("ator", "ate", m_gt 0); ("alism", "al", m_gt 0);
+      ("iveness", "ive", m_gt 0); ("fulness", "ful", m_gt 0);
+      ("ousness", "ous", m_gt 0); ("aliti", "al", m_gt 0);
+      ("iviti", "ive", m_gt 0); ("biliti", "ble", m_gt 0) ]
+
+let step_3 w =
+  apply_rules w
+    [ ("icate", "ic", m_gt 0); ("ative", "", m_gt 0); ("alize", "al", m_gt 0);
+      ("iciti", "ic", m_gt 0); ("ical", "ic", m_gt 0); ("ful", "", m_gt 0);
+      ("ness", "", m_gt 0) ]
+
+let step_4 w =
+  let ion_cond stem = m_gt 1 stem && (ends_with stem "s" || ends_with stem "t") in
+  apply_rules w
+    [ ("ement", "", m_gt 1); ("ance", "", m_gt 1); ("ence", "", m_gt 1);
+      ("able", "", m_gt 1); ("ible", "", m_gt 1); ("ment", "", m_gt 1);
+      ("ant", "", m_gt 1); ("ent", "", m_gt 1); ("ion", "", ion_cond);
+      ("ism", "", m_gt 1); ("ate", "", m_gt 1); ("iti", "", m_gt 1);
+      ("ous", "", m_gt 1); ("ive", "", m_gt 1); ("ize", "", m_gt 1);
+      ("al", "", m_gt 1); ("er", "", m_gt 1); ("ic", "", m_gt 1);
+      ("ou", "", m_gt 1) ]
+
+let step_5a w =
+  if ends_with w "e" then
+    let stem = chop w 1 in
+    let m = measure stem in
+    if m > 1 || (m = 1 && not (ends_cvc stem)) then stem else w
+  else w
+
+let step_5b w =
+  if m_gt 1 w && ends_double_consonant w && ends_with w "l" then chop w 1
+  else w
+
+let stem word =
+  let w = String.lowercase_ascii word in
+  if String.length w <= 2 then w
+  else w |> step_1a |> step_1b |> step_1c |> step_2 |> step_3 |> step_4
+       |> step_5a |> step_5b

@@ -1,0 +1,10 @@
+(** Porter stemmer.
+
+    The corpus statistics of Section 4.2 are maintained in several
+    variants, one of which folds morphological variation ("instructor",
+    "instructors", "instructing" share a stem). This is a full
+    implementation of the classic Porter (1980) algorithm. *)
+
+val stem : string -> string
+(** [stem w] stems a lowercase English word. Words of length <= 2 are
+    returned unchanged; the input is lowercased first. *)

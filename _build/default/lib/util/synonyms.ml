@@ -1,0 +1,65 @@
+module Smap = Map.Make (String)
+
+(* word -> (representative, group). Groups are small, so storing the full
+   group per member keeps lookups trivial. *)
+type t = (string * string list) Smap.t
+
+let empty = Smap.empty
+
+let add_group t group =
+  let group = List.map String.lowercase_ascii group in
+  match group with
+  | [] -> t
+  | repr :: _ ->
+      (* Merge with any groups the new words already belong to. *)
+      let full =
+        List.fold_left
+          (fun acc w ->
+            match Smap.find_opt w t with
+            | Some (_, g) -> g @ acc
+            | None -> w :: acc)
+          [] group
+        |> List.sort_uniq String.compare
+      in
+      List.fold_left (fun acc w -> Smap.add w (repr, full) acc) t full
+
+let of_groups groups = List.fold_left add_group empty groups
+
+let canonical t w =
+  let w = String.lowercase_ascii w in
+  match Smap.find_opt w t with Some (repr, _) -> repr | None -> w
+
+let synonymous t a b = String.equal (canonical t a) (canonical t b)
+
+let expand t w =
+  let w = String.lowercase_ascii w in
+  match Smap.find_opt w t with Some (_, group) -> group | None -> [ w ]
+
+let university_domain =
+  of_groups
+    [ [ "course"; "class"; "subject"; "corso" ];
+      [ "instructor"; "teacher"; "professor"; "lecturer"; "faculty"; "docente" ];
+      [ "student"; "pupil"; "studente" ];
+      [ "title"; "name"; "titolo"; "nome" ];
+      [ "enrollment"; "size"; "capacity"; "seats" ];
+      [ "department"; "dept"; "division"; "dipartimento" ];
+      [ "schedule"; "calendar"; "timetable"; "orario" ];
+      [ "room"; "location"; "venue"; "place"; "aula" ];
+      [ "phone"; "telephone"; "tel"; "telefono" ];
+      [ "email"; "mail"; "contact" ];
+      [ "ta"; "assistant"; "grader" ];
+      [ "textbook"; "book"; "text"; "libro" ];
+      [ "grade"; "mark"; "score"; "voto" ];
+      [ "semester"; "term"; "quarter"; "semestre" ];
+      [ "prerequisite"; "prereq"; "requirement" ];
+      [ "lecture"; "session"; "meeting"; "lezione" ];
+      [ "office"; "bureau"; "ufficio" ];
+      [ "homework"; "assignment"; "problem" ];
+      [ "exam"; "test"; "final"; "midterm"; "esame" ];
+      [ "college"; "school"; "university"; "universita" ];
+      [ "hour"; "time"; "ora" ];
+      [ "day"; "weekday"; "giorno" ];
+      [ "credit"; "unit"; "credito" ];
+      [ "publication"; "paper"; "article" ];
+      [ "talk"; "seminar"; "colloquium" ];
+      [ "building"; "hall"; "edificio" ] ]

@@ -1,0 +1,50 @@
+module Smap = Map.Make (String)
+
+type corpus = { df : float Smap.t; n : int }
+type vector = (string * float) list
+
+let build docs =
+  let df =
+    List.fold_left
+      (fun acc doc ->
+        let distinct = List.sort_uniq String.compare doc in
+        List.fold_left
+          (fun acc tok ->
+            Smap.update tok
+              (function None -> Some 1.0 | Some c -> Some (c +. 1.0))
+              acc)
+          acc distinct)
+      Smap.empty docs
+  in
+  { df; n = List.length docs }
+
+let num_docs c = c.n
+
+let idf c tok =
+  let df = Option.value ~default:0.0 (Smap.find_opt tok c.df) in
+  log ((float_of_int c.n +. 1.0) /. (df +. 1.0)) +. 1.0
+
+let vectorize c doc =
+  let tf =
+    List.fold_left
+      (fun acc tok ->
+        Smap.update tok
+          (function None -> Some 1.0 | Some x -> Some (x +. 1.0))
+          acc)
+      Smap.empty doc
+  in
+  let weighted = Smap.mapi (fun tok f -> f *. idf c tok) tf in
+  let norm =
+    sqrt (Smap.fold (fun _ w acc -> acc +. (w *. w)) weighted 0.0)
+  in
+  let weighted = if norm > 0.0 then Smap.map (fun w -> w /. norm) weighted else weighted in
+  Smap.bindings weighted
+
+let cosine va vb =
+  let mb = List.fold_left (fun acc (k, v) -> Smap.add k v acc) Smap.empty vb in
+  List.fold_left
+    (fun acc (k, v) ->
+      match Smap.find_opt k mb with None -> acc | Some w -> acc +. (v *. w))
+    0.0 va
+
+let similarity c da db = cosine (vectorize c da) (vectorize c db)

@@ -1,0 +1,23 @@
+(** TF/IDF vector space — the U-WORLD technique the paper explicitly
+    transplants into the S-WORLD (Section 4). Documents are bags of
+    tokens; vectors are sparse. *)
+
+type corpus
+type vector = (string * float) list
+(** Sparse vector: token -> weight, tokens unique. *)
+
+val build : string list list -> corpus
+(** [build docs] computes document frequencies over tokenised documents. *)
+
+val num_docs : corpus -> int
+
+val idf : corpus -> string -> float
+(** Smoothed: [log ((n + 1) / (df + 1)) + 1]. *)
+
+val vectorize : corpus -> string list -> vector
+(** TF (raw count) * IDF, L2-normalised. *)
+
+val cosine : vector -> vector -> float
+
+val similarity : corpus -> string list -> string list -> float
+(** Cosine of the two vectorised documents. *)

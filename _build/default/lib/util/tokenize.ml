@@ -1,0 +1,54 @@
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_lower c = c >= 'a' && c <= 'z'
+
+(* Boundaries: non-alphanumeric separators, lower->Upper transitions, and
+   Upper+Upper+lower sequences like "XMLFile" -> "xml"/"file". *)
+let split_identifier s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := String.lowercase_ascii (Buffer.contents buf) :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    let c = s.[i] in
+    if not (is_alpha c) then flush ()
+    else begin
+      let boundary =
+        i > 0
+        && ((is_lower s.[i - 1] && is_upper c)
+           || (is_upper c
+              && i + 1 < n
+              && is_upper s.[i - 1]
+              && is_lower s.[i + 1]))
+      in
+      if boundary then flush ();
+      Buffer.add_char buf c
+    end
+  done;
+  flush ();
+  List.rev !tokens
+
+let words text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := String.lowercase_ascii (Buffer.contents buf) :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    let c = text.[i] in
+    if is_alpha c || is_digit c then Buffer.add_char buf c else flush ()
+  done;
+  flush ();
+  List.rev !tokens
+
+let normalize s = String.concat "_" (split_identifier s)

@@ -1,0 +1,18 @@
+(** Tokenisation of schema identifiers and free text.
+
+    Schema names in the corpus arrive as [courseTitle], [course_title],
+    [COURSE-TITLE], etc.; the statistics layer (Section 4 of the paper)
+    needs them broken into comparable word tokens. *)
+
+val split_identifier : string -> string list
+(** [split_identifier s] splits on underscores, dashes, dots, digits and
+    camelCase boundaries, lowercasing every token:
+    [split_identifier "courseTitle2" = ["course"; "title"]]. *)
+
+val words : string -> string list
+(** [words text] extracts lowercase alphanumeric word tokens from free
+    text, dropping punctuation. *)
+
+val normalize : string -> string
+(** [normalize s] is the canonical single-string form of an identifier:
+    tokens joined by ["_"]. *)

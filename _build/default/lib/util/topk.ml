@@ -1,0 +1,27 @@
+(* A simple sorted-list implementation: k is small (tens) in every use
+   site, so O(k) insertion is fine and keeps the code obvious. *)
+type 'a t = { k : int; mutable items : (float * 'a) list; mutable size : int }
+
+let create k =
+  if k <= 0 then invalid_arg "Topk.create: k must be positive";
+  { k; items = []; size = 0 }
+
+let add t score x =
+  let rec insert = function
+    | [] -> [ (score, x) ]
+    | (s, _) :: _ as rest when score > s -> (score, x) :: rest
+    | item :: rest -> item :: insert rest
+  in
+  t.items <- insert t.items;
+  t.size <- t.size + 1;
+  if t.size > t.k then begin
+    t.items <- List.filteri (fun i _ -> i < t.k) t.items;
+    t.size <- t.k
+  end
+
+let to_list t = t.items
+
+let min_score t =
+  if t.size < t.k then None
+  else
+    match List.rev t.items with [] -> None | (s, _) :: _ -> Some s

@@ -1,0 +1,15 @@
+(** Bounded best-k accumulator for ranked retrieval (DesignAdvisor,
+    semantic search). *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create k] keeps the [k] highest-scoring items. *)
+
+val add : 'a t -> float -> 'a -> unit
+
+val to_list : 'a t -> (float * 'a) list
+(** Best first. *)
+
+val min_score : 'a t -> float option
+(** Score of the weakest retained item, if the accumulator is full. *)

@@ -1,0 +1,12 @@
+(** Union-find over strings, used to cluster co-occurring attribute names
+    in the corpus statistics. *)
+
+type t
+
+val create : unit -> t
+val find : t -> string -> string
+val union : t -> string -> string -> unit
+val connected : t -> string -> string -> bool
+
+val groups : t -> string list list
+(** All classes with at least one recorded element. *)

@@ -1,0 +1,1 @@
+lib/workload/data_gen.ml: Corpus List Util Vocab

@@ -1,0 +1,1 @@
+lib/workload/pages.ml: List Mangrove Printf Util Vocab Xmlmodel

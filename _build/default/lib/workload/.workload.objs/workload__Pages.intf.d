@@ -1,0 +1,1 @@
+lib/workload/pages.mli: Mangrove Util

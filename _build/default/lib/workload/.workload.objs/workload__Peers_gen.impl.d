@@ -1,0 +1,1 @@
+lib/workload/peers_gen.ml: Array Cq List Pdms Printf Relalg Vocab

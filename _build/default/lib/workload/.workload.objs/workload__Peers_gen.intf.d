@@ -1,0 +1,1 @@
+lib/workload/peers_gen.mli: Cq Pdms Util

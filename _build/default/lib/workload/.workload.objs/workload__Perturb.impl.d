@@ -1,0 +1,1 @@
+lib/workload/perturb.ml: Corpus Data_gen Hashtbl List Matching Printf String Util

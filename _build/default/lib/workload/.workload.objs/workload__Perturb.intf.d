@@ -1,0 +1,1 @@
+lib/workload/perturb.mli: Corpus Matching Util

@@ -1,0 +1,1 @@
+lib/workload/university.ml: Array Corpus Cq List Pdms Perturb Printf Relalg Util Vocab Xmlmodel

@@ -1,0 +1,1 @@
+lib/workload/university.mli: Corpus Cq Pdms Util Xmlmodel

@@ -1,0 +1,69 @@
+type kind =
+  | Person_name
+  | Phone
+  | Email
+  | Room
+  | Time
+  | Day
+  | Title
+  | Code
+  | Year
+  | Count
+  | Department
+  | Free_text
+
+let kind_of_attr attr =
+  let canon =
+    Util.Tokenize.split_identifier attr
+    |> List.map (Util.Synonyms.canonical Util.Synonyms.university_domain)
+  in
+  let has t = List.mem t canon in
+  if has "phone" then Phone
+  else if has "email" then Email
+  else if has "room" || has "office" || has "building" then Room
+  else if has "hour" || has "when" then Time
+  else if has "day" then Day
+  else if has "instructor" || has "ta" || has "speaker" || has "author"
+          || has "student" then Person_name
+  else if has "name" || has "title" then Title
+  else if has "code" || has "id" then Code
+  else if has "year" then Year
+  else if has "enrollment" || has "credit" || has "count" then Count
+  else if has "department" || has "college" then Department
+  else Free_text
+
+let value prng = function
+  | Person_name -> Vocab.person_name prng
+  | Phone -> Vocab.phone prng
+  | Email -> Vocab.email prng ~name:(Vocab.person_name prng)
+  | Room -> Vocab.room prng
+  | Time -> Util.Prng.pick_arr prng Vocab.times
+  | Day -> Util.Prng.pick_arr prng Vocab.days
+  | Title -> Vocab.course_title prng
+  | Code -> Vocab.course_code prng
+  | Year -> Vocab.year prng
+  | Count -> string_of_int (5 + Util.Prng.int prng 300)
+  | Department -> Util.Prng.pick_arr prng Vocab.departments
+  | Free_text -> Vocab.course_title prng
+
+let values prng kind n = List.init n (fun _ -> value prng kind)
+
+let populate prng ~samples (s : Corpus.Schema_model.t) =
+  let relations =
+    List.map
+      (fun (r : Corpus.Schema_model.relation) ->
+        {
+          r with
+          Corpus.Schema_model.attributes =
+            List.map
+              (fun (a : Corpus.Schema_model.attribute) ->
+                {
+                  a with
+                  Corpus.Schema_model.sample_values =
+                    values prng (kind_of_attr a.Corpus.Schema_model.attr_name) samples;
+                })
+              r.Corpus.Schema_model.attributes;
+        })
+      s.Corpus.Schema_model.relations
+  in
+  { s with Corpus.Schema_model.relations }

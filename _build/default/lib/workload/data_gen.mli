@@ -1,0 +1,28 @@
+(** Sample-value generation keyed by what an attribute {e means} (its
+    canonical tokens), so perturbed schemas produce comparable data —
+    the signal the LSD content and format learners rely on. *)
+
+type kind =
+  | Person_name
+  | Phone
+  | Email
+  | Room
+  | Time
+  | Day
+  | Title
+  | Code
+  | Year
+  | Count
+  | Department
+  | Free_text
+
+val kind_of_attr : string -> kind
+(** Inferred from the attribute name's canonical tokens; defaults to
+    [Free_text]. *)
+
+val value : Util.Prng.t -> kind -> string
+val values : Util.Prng.t -> kind -> int -> string list
+
+val populate : Util.Prng.t -> samples:int -> Corpus.Schema_model.t -> Corpus.Schema_model.t
+(** A copy of the schema with [samples] generated values per attribute
+    (existing sample values are replaced). *)

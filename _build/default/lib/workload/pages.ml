@@ -1,0 +1,117 @@
+module Xml = Xmlmodel.Xml
+
+type annotated_page = {
+  doc : Mangrove.Html.t;
+  plan : (int list * string) list;
+}
+
+let span value = Xml.element "span" [ Xml.text value ]
+let h1 title = Xml.element "h1" [ Xml.text title ]
+
+(* A block of fields: a div whose children are spans in a fixed order;
+   the plan annotates the div with [instance_tag] and child [i] with
+   [field_tags.(i)]. *)
+let block ~at ~instance_tag fields =
+  let div = Xml.element "div" (List.map (fun (_, value) -> span value) fields) in
+  let plan =
+    (at, instance_tag)
+    :: List.mapi (fun i (tag, _) -> (at @ [ i ], tag)) fields
+  in
+  (div, plan)
+
+let page ~url ~title blocks =
+  let divs, plans =
+    List.split
+      (List.mapi (fun i make_block -> make_block ~at:[ i + 1 ]) blocks)
+  in
+  let body = Xml.element "html" (h1 title :: divs) in
+  { doc = Mangrove.Html.make ~url ~title body; plan = List.concat plans }
+
+let course_page prng ~host ~page_id ~courses =
+  let url = Vocab.url ~host ~path:(Printf.sprintf "courses/%d.html" page_id) in
+  let blocks =
+    List.init courses (fun _ ->
+        let fields =
+          [ ("code", Vocab.course_code prng);
+            ("title", Vocab.course_title prng);
+            ("instructor", Vocab.person_name prng);
+            ("room", Vocab.room prng);
+            ("time", Util.Prng.pick_arr prng Vocab.times);
+            ("day", Util.Prng.pick_arr prng Vocab.days) ]
+        in
+        block ~instance_tag:"course" fields)
+  in
+  page ~url ~title:(host ^ " course listings") blocks
+
+let person_page prng ~host ~person_id =
+  let name = Vocab.person_name prng in
+  let url = Vocab.url ~host ~path:(Printf.sprintf "people/%d.html" person_id) in
+  let fields =
+    [ ("name", name);
+      ("phone", Vocab.phone prng);
+      ("email", Vocab.email prng ~name);
+      ("office", Vocab.room prng) ]
+  in
+  page ~url ~title:(name ^ "'s home page") [ block ~instance_tag:"person" fields ]
+
+let talk_page prng ~host ~talks =
+  let url = Vocab.url ~host ~path:"talks.html" in
+  let blocks =
+    List.init talks (fun _ ->
+        let fields =
+          [ ("speaker", Vocab.person_name prng);
+            ("topic", Vocab.course_title prng);
+            ("venue", Vocab.room prng);
+            ("when", Util.Prng.pick_arr prng Vocab.days
+                     ^ " " ^ Util.Prng.pick_arr prng Vocab.times) ]
+        in
+        block ~instance_tag:"talk" fields)
+  in
+  page ~url ~title:(host ^ " colloquium calendar") blocks
+
+let publication_page prng ~host ~author ~papers =
+  let slug =
+    match Util.Tokenize.words author with w :: _ -> w | [] -> "anon"
+  in
+  let url = Vocab.url ~host ~path:(Printf.sprintf "pubs/%s.html" slug) in
+  let blocks =
+    List.init papers (fun _ ->
+        let fields =
+          [ ("author", author);
+            ("paper_title", Vocab.course_title prng);
+            ("forum", Util.Prng.pick_arr prng Vocab.venues);
+            ("year", Vocab.year prng) ]
+        in
+        block ~instance_tag:"publication" fields)
+  in
+  page ~url ~title:(author ^ "'s publications") blocks
+
+let department prng ~host ~people ~course_pages ~courses_per_page =
+  let person_pages = List.init people (fun i -> person_page prng ~host ~person_id:i) in
+  let course_pages =
+    List.init course_pages (fun i ->
+        course_page prng ~host ~page_id:i ~courses:courses_per_page)
+  in
+  let talks = talk_page prng ~host ~talks:(max 1 (people / 2)) in
+  let pubs =
+    List.init people (fun _ ->
+        publication_page prng ~host ~author:(Vocab.person_name prng) ~papers:2)
+  in
+  person_pages @ course_pages @ [ talks ] @ pubs
+
+let annotate annotator plan =
+  List.iter
+    (fun (node, tag) -> Mangrove.Annotator.annotate_exn annotator ~node ~tag)
+    plan
+
+let publish_department prng ~repo ~host ~people ~course_pages ~courses_per_page =
+  let pages = department prng ~host ~people ~course_pages ~courses_per_page in
+  List.iter
+    (fun p ->
+      let annotator =
+        Mangrove.Annotator.start ~schema:Mangrove.Lightweight_schema.department p.doc
+      in
+      annotate annotator p.plan;
+      ignore (Mangrove.Repository.publish repo annotator))
+    pages;
+  List.length pages

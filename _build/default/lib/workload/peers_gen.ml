@@ -1,0 +1,69 @@
+type generated = {
+  catalog : Pdms.Catalog.t;
+  peers : Pdms.Peer.t array;
+  topology : Pdms.Topology.t;
+}
+
+let course_attrs = [ "code"; "title"; "instructor" ]
+let instr_attrs = [ "code"; "person" ]
+
+let generate prng ~topology ~tuples_per_peer ?(with_join = false) () =
+  let catalog = Pdms.Catalog.create () in
+  let n = topology.Pdms.Topology.n in
+  let peers =
+    Array.init n (fun i ->
+        let schema =
+          ("course", course_attrs)
+          :: (if with_join then [ ("instr", instr_attrs) ] else [])
+        in
+        let peer = Pdms.Peer.create ~name:(Printf.sprintf "p%d" i) ~schema in
+        Pdms.Catalog.add_peer catalog peer;
+        peer)
+  in
+  Array.iter
+    (fun peer ->
+      let stored = Pdms.Catalog.store_identity catalog peer ~rel:"course" in
+      for _ = 1 to tuples_per_peer do
+        let code = Vocab.course_code prng in
+        Relalg.Relation.insert stored
+          [| Relalg.Value.Str code;
+             Relalg.Value.Str (Vocab.course_title prng);
+             Relalg.Value.Str (Vocab.person_name prng) |]
+      done;
+      if with_join then begin
+        let stored_instr = Pdms.Catalog.store_identity catalog peer ~rel:"instr" in
+        for _ = 1 to tuples_per_peer do
+          Relalg.Relation.insert stored_instr
+            [| Relalg.Value.Str (Vocab.course_code prng);
+               Relalg.Value.Str (Vocab.person_name prng) |]
+        done
+      end)
+    peers;
+  let add_equality rel attrs a b =
+    let args = List.mapi (fun i _ -> Cq.Term.v (Printf.sprintf "M%d" i)) attrs in
+    let lhs =
+      Cq.Query.make (Cq.Atom.make "m" args) [ Pdms.Peer.atom peers.(a) rel args ]
+    in
+    let rhs =
+      Cq.Query.make (Cq.Atom.make "m" args) [ Pdms.Peer.atom peers.(b) rel args ]
+    in
+    ignore (Pdms.Catalog.add_mapping catalog (Pdms.Peer_mapping.equality ~lhs ~rhs))
+  in
+  List.iter
+    (fun (a, b) ->
+      add_equality "course" course_attrs a b;
+      if with_join then add_equality "instr" instr_attrs a b)
+    topology.Pdms.Topology.edges;
+  { catalog; peers; topology }
+
+let course_query g ~at =
+  let args = List.map (fun a -> Cq.Term.v ("Q" ^ a)) course_attrs in
+  Cq.Query.make (Cq.Atom.make "ans" args) [ Pdms.Peer.atom g.peers.(at) "course" args ]
+
+let join_query g ~at =
+  let peer = g.peers.(at) in
+  Cq.Query.make
+    (Cq.Atom.make "ans" [ Cq.Term.v "Title"; Cq.Term.v "Person" ])
+    [ Pdms.Peer.atom peer "course"
+        [ Cq.Term.v "Code"; Cq.Term.v "Title"; Cq.Term.v "I" ];
+      Pdms.Peer.atom peer "instr" [ Cq.Term.v "Code"; Cq.Term.v "Person" ] ]

@@ -1,0 +1,26 @@
+(** PDMS generation over arbitrary topologies — the workload of the E1
+    and E2 reformulation-scalability benchmarks. Every peer carries a
+    course relation (and, for join workloads, an instructor relation);
+    equality mappings are authored along each topology edge. *)
+
+type generated = {
+  catalog : Pdms.Catalog.t;
+  peers : Pdms.Peer.t array;
+  topology : Pdms.Topology.t;
+}
+
+val generate :
+  Util.Prng.t ->
+  topology:Pdms.Topology.t ->
+  tuples_per_peer:int ->
+  ?with_join:bool ->
+  unit ->
+  generated
+(** [with_join] adds a second relation per peer plus its mappings
+    (default false). *)
+
+val course_query : generated -> at:int -> Cq.Query.t
+(** Select-all over the course relation of peer [at]. *)
+
+val join_query : generated -> at:int -> Cq.Query.t
+(** Course-instructor join at peer [at]; requires [with_join]. *)

@@ -1,0 +1,132 @@
+type t = {
+  perturbed : Corpus.Schema_model.t;
+  truth : ((string * string) * (string * string)) list;
+}
+
+let label_of (rel, attr) = rel ^ "." ^ attr
+
+let swap_token synonyms prng tok =
+  let group = Util.Synonyms.expand synonyms tok in
+  match List.filter (fun w -> not (String.equal w tok)) group with
+  | [] -> tok
+  | others -> Util.Prng.pick prng others
+
+let abbreviate tok =
+  if String.length tok > 4 then String.sub tok 0 3 else tok
+
+let perturb_name synonyms prng ~level name =
+  let tokens = Util.Tokenize.split_identifier name in
+  let tokens = match tokens with [] -> [ name ] | ts -> ts in
+  let tokens =
+    List.map
+      (fun tok ->
+        let tok =
+          if Util.Prng.bernoulli prng level then swap_token synonyms prng tok
+          else tok
+        in
+        if Util.Prng.bernoulli prng (level *. 0.4) then abbreviate tok else tok)
+      tokens
+  in
+  (* Occasionally drop a qualifier token from multi-token names. *)
+  let tokens =
+    match tokens with
+    | _ :: _ :: _ when Util.Prng.bernoulli prng (level *. 0.3) ->
+        List.filteri (fun i _ -> i > 0) tokens
+    | ts -> ts
+  in
+  String.concat "_" tokens
+
+(* Ensure attribute names stay unique within a relation. *)
+let uniquify names =
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun n ->
+      match Hashtbl.find_opt seen n with
+      | None ->
+          Hashtbl.replace seen n 1;
+          n
+      | Some k ->
+          Hashtbl.replace seen n (k + 1);
+          Printf.sprintf "%s%d" n (k + 1))
+    names
+
+let perturb ?name ?(synonyms = Util.Synonyms.university_domain) prng ~level
+    (base : Corpus.Schema_model.t) =
+  let truth = ref [] in
+  let perturbed_relations =
+    List.concat_map
+      (fun (r : Corpus.Schema_model.relation) ->
+        let rel = r.Corpus.Schema_model.rel_name in
+        let new_rel = perturb_name synonyms prng ~level rel in
+        (* Keep or drop each attribute. *)
+        let kept =
+          List.filter
+            (fun (_ : Corpus.Schema_model.attribute) ->
+              not (Util.Prng.bernoulli prng (level *. 0.15)))
+            r.Corpus.Schema_model.attributes
+        in
+        let kept = if kept = [] then r.Corpus.Schema_model.attributes else kept in
+        let renamed =
+          uniquify
+            (List.map
+               (fun (a : Corpus.Schema_model.attribute) ->
+                 perturb_name synonyms prng ~level a.Corpus.Schema_model.attr_name)
+               kept)
+        in
+        let pairs = List.combine kept renamed in
+        (* Structural split: peel off a suffix of a wide relation. *)
+        let split =
+          List.length pairs >= 4 && Util.Prng.bernoulli prng (level *. 0.6)
+        in
+        let emit rel_name pairs =
+          List.iter
+            (fun ((a : Corpus.Schema_model.attribute), new_attr) ->
+              truth :=
+                ((rel, a.Corpus.Schema_model.attr_name), (rel_name, new_attr))
+                :: !truth)
+            pairs;
+          {
+            Corpus.Schema_model.rel_name;
+            attributes =
+              List.map
+                (fun ((a : Corpus.Schema_model.attribute), new_attr) ->
+                  { a with Corpus.Schema_model.attr_name = new_attr })
+                pairs;
+          }
+        in
+        if split then begin
+          let n = List.length pairs in
+          let cut = n - (n / 3) in
+          let main = List.filteri (fun i _ -> i < cut) pairs in
+          let moved = List.filteri (fun i _ -> i >= cut) pairs in
+          let side_name =
+            match moved with
+            | ((a : Corpus.Schema_model.attribute), _) :: _ ->
+                perturb_name synonyms prng ~level:(level *. 0.5)
+                  (a.Corpus.Schema_model.attr_name ^ "_info")
+            | [] -> new_rel ^ "_info"
+          in
+          [ emit new_rel main; emit side_name moved ]
+        end
+        else [ emit new_rel pairs ])
+      base.Corpus.Schema_model.relations
+  in
+  let schema_name =
+    match name with
+    | Some n -> n
+    | None -> base.Corpus.Schema_model.schema_name ^ "_variant"
+  in
+  let perturbed =
+    Corpus.Schema_model.make ~name:schema_name perturbed_relations
+    |> Data_gen.populate prng ~samples:25
+  in
+  { perturbed; truth = List.rev !truth }
+
+let truth_correspondences t =
+  List.map
+    (fun (base_key, (rel, attr)) ->
+      {
+        Matching.Evaluate.src = (rel, attr);
+        dst = label_of base_key;
+      })
+    t.truth

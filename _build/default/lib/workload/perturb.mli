@@ -1,0 +1,33 @@
+(** Schema perturbation with ground truth — the engine of the matching
+    experiments. Models the heterogeneity the paper attributes to
+    "different domains and tastes in schema design": synonym renamings,
+    abbreviations, token drops, relation splits, attribute drops, and
+    independently regenerated sample data. *)
+
+type t = {
+  perturbed : Corpus.Schema_model.t;
+  truth : ((string * string) * (string * string)) list;
+      (** base (rel, attr) -> perturbed (rel, attr); dropped attributes
+          have no entry *)
+}
+
+val label_of : string * string -> string
+(** Render a base element as a mediated-schema label ("rel.attr"). *)
+
+val perturb :
+  ?name:string ->
+  ?synonyms:Util.Synonyms.t ->
+  Util.Prng.t ->
+  level:float ->
+  Corpus.Schema_model.t ->
+  t
+(** [level] in [0, 1] controls how aggressive every operator is. Sample
+    values are regenerated from the attribute's semantic kind, so data
+    remains comparable while names diverge. [synonyms] is the renaming
+    vocabulary (default: the university table); pass an exotic table to
+    produce renamings that name-based matchers cannot undo. *)
+
+val truth_correspondences :
+  t -> Matching.Evaluate.correspondence list
+(** Ground truth in the evaluator's format: perturbed column -> base
+    label. *)

@@ -1,0 +1,78 @@
+let first_names =
+  [| "alice"; "bruno"; "carla"; "daniel"; "elena"; "felix"; "grace"; "hugo";
+     "irene"; "jamal"; "keiko"; "liang"; "maria"; "nadia"; "omar"; "priya";
+     "quentin"; "rosa"; "stefan"; "tara"; "umberto"; "vera"; "wei"; "xenia";
+     "yusuf"; "zoe" |]
+
+let last_names =
+  [| "anderson"; "bianchi"; "chen"; "dubois"; "evans"; "fischer"; "garcia";
+     "haruki"; "ivanov"; "johnson"; "kim"; "lopez"; "moretti"; "nakamura";
+     "okafor"; "patel"; "quinn"; "rossi"; "schmidt"; "tanaka"; "unger";
+     "varga"; "wang"; "xu"; "yamamoto"; "zhang" |]
+
+let course_topics =
+  [| "databases"; "ancient history"; "machine learning"; "compilers";
+     "operating systems"; "linear algebra"; "organic chemistry";
+     "microeconomics"; "renaissance art"; "quantum mechanics";
+     "distributed systems"; "roman law"; "number theory"; "genetics";
+     "information retrieval"; "game theory"; "thermodynamics";
+     "medieval literature"; "signal processing"; "epidemiology" |]
+
+let course_levels = [| "introduction to"; "intermediate"; "advanced"; "seminar in"; "topics in" |]
+
+let departments =
+  [| "computer science"; "history"; "mathematics"; "physics"; "chemistry";
+     "economics"; "biology"; "literature"; "philosophy"; "engineering" |]
+
+let buildings =
+  [| "allen"; "gates"; "meb"; "sieg"; "loew"; "savery"; "kane"; "guggenheim" |]
+
+let days = [| "monday"; "tuesday"; "wednesday"; "thursday"; "friday" |]
+
+let times =
+  [| "8:30"; "9:30"; "10:30"; "11:30"; "12:30"; "13:30"; "14:30"; "15:30"; "16:30" |]
+
+let venues = [| "CIDR"; "SIGMOD"; "VLDB"; "ICDE"; "WWW"; "AAAI" |]
+
+let universities =
+  [| "stanford"; "oxford"; "mit"; "tsinghua"; "roma"; "berkeley" |]
+
+let person_name prng =
+  Util.Prng.pick_arr prng first_names ^ " " ^ Util.Prng.pick_arr prng last_names
+
+let course_code prng =
+  let dept_code =
+    match Util.Prng.int prng 4 with
+    | 0 -> "cse"
+    | 1 -> "hist"
+    | 2 -> "math"
+    | _ -> "phys"
+  in
+  Printf.sprintf "%s%d" dept_code (100 + Util.Prng.int prng 500)
+
+let course_title prng =
+  Util.Prng.pick_arr prng course_levels ^ " " ^ Util.Prng.pick_arr prng course_topics
+
+let phone prng =
+  Printf.sprintf "%d-%d-%d"
+    (200 + Util.Prng.int prng 700)
+    (100 + Util.Prng.int prng 900)
+    (1000 + Util.Prng.int prng 9000)
+
+let email prng ~name =
+  let user =
+    match Util.Tokenize.words name with
+    | first :: _ -> first
+    | [] -> "someone"
+  in
+  Printf.sprintf "%s%d@%s.edu" user (Util.Prng.int prng 100)
+    (Util.Prng.pick_arr prng universities)
+
+let room prng =
+  Printf.sprintf "%s %d"
+    (Util.Prng.pick_arr prng buildings)
+    (100 + Util.Prng.int prng 500)
+
+let year prng = string_of_int (1995 + Util.Prng.int prng 10)
+
+let url ~host ~path = Printf.sprintf "http://%s.edu/%s" host path

@@ -1,0 +1,1 @@
+lib/xmlmodel/dtd.ml: Format List Printf String Xml

@@ -1,0 +1,1 @@
+lib/xmlmodel/dtd.mli: Format Xml

@@ -1,0 +1,1 @@
+lib/xmlmodel/path.ml: List String Xml

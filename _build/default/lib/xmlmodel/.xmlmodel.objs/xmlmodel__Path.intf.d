@@ -1,0 +1,1 @@
+lib/xmlmodel/path.mli: Xml

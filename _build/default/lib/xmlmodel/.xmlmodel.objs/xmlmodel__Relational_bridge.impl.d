@@ -1,0 +1,1 @@
+lib/xmlmodel/relational_bridge.ml: Array List Relalg Xml

@@ -1,0 +1,1 @@
+lib/xmlmodel/relational_bridge.mli: Relalg Xml

@@ -1,0 +1,1 @@
+lib/xmlmodel/template.ml: List Path Printf Xml

@@ -1,0 +1,1 @@
+lib/xmlmodel/template.mli: Path Xml

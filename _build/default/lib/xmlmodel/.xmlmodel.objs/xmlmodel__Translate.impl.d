@@ -1,0 +1,1 @@
+lib/xmlmodel/translate.ml: List Path String Template Xml

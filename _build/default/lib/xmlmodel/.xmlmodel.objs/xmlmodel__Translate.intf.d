@@ -1,0 +1,1 @@
+lib/xmlmodel/translate.mli: Path Template Xml

@@ -1,0 +1,1 @@
+lib/xmlmodel/xml.ml: Buffer Format List Printf String

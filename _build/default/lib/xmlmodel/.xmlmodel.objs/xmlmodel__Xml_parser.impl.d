@@ -1,0 +1,1 @@
+lib/xmlmodel/xml_parser.ml: Buffer List Printf Result String Xml

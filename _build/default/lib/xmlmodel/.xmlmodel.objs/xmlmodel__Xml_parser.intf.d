@@ -1,0 +1,1 @@
+lib/xmlmodel/xml_parser.mli: Xml

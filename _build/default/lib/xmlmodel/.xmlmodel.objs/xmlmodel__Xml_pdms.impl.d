@@ -1,0 +1,1 @@
+lib/xmlmodel/xml_pdms.ml: Dtd List Path String Template Translate Xml

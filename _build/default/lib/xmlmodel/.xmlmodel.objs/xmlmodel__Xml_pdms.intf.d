@@ -1,0 +1,1 @@
+lib/xmlmodel/xml_pdms.mli: Dtd Path Template Xml

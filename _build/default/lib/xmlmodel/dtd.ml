@@ -1,0 +1,92 @@
+type multiplicity = One | Optional | Many | Many1
+
+type decl = Children of (string * multiplicity) list | Pcdata
+
+type t = { root : string; decls : (string * decl) list }
+
+let make ~root decls =
+  let names = List.map fst decls in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Dtd.make: duplicate element declaration";
+  if not (List.mem root names) then invalid_arg "Dtd.make: undeclared root";
+  { root; decls }
+
+let root t = t.root
+let elements t = List.map fst t.decls
+let decl_of t name = List.assoc_opt name t.decls
+
+let leaf_elements t =
+  List.filter_map
+    (fun (name, d) -> match d with Pcdata -> Some name | Children _ -> None)
+    t.decls
+
+let multiplicity_ok m count =
+  match m with
+  | One -> count = 1
+  | Optional -> count <= 1
+  | Many -> true
+  | Many1 -> count >= 1
+
+let validate t xml =
+  let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
+  let rec check node =
+    match node with
+    | Xml.Text _ -> Ok ()
+    | Xml.Element (name, _, children) -> (
+        match decl_of t name with
+        | None -> fail "undeclared element <%s>" name
+        | Some Pcdata ->
+            if List.for_all (function Xml.Text _ -> true | Xml.Element _ -> false) children
+            then Ok ()
+            else fail "<%s> must contain only text" name
+        | Some (Children allowed) ->
+            let child_elems =
+              List.filter_map
+                (function Xml.Element (n, _, _) -> Some n | Xml.Text _ -> None)
+                children
+            in
+            let bad =
+              List.find_opt (fun n -> not (List.mem_assoc n allowed)) child_elems
+            in
+            (match bad with
+            | Some n -> fail "<%s> may not contain <%s>" name n
+            | None ->
+                let rec check_counts = function
+                  | [] -> Ok ()
+                  | (child, m) :: rest ->
+                      let count =
+                        List.length (List.filter (String.equal child) child_elems)
+                      in
+                      if multiplicity_ok m count then check_counts rest
+                      else
+                        fail "<%s> has %d <%s> children (multiplicity violated)"
+                          name count child
+                in
+                (match check_counts allowed with
+                | Error _ as e -> e
+                | Ok () ->
+                    List.fold_left
+                      (fun acc c -> match acc with Error _ -> acc | Ok () -> check c)
+                      (Ok ()) children)))
+  in
+  match xml with
+  | Xml.Element (name, _, _) when String.equal name t.root -> check xml
+  | Xml.Element (name, _, _) ->
+      fail "root is <%s>, expected <%s>" name t.root
+  | Xml.Text _ -> fail "root must be an element"
+
+let pp fmt t =
+  List.iter
+    (fun (name, d) ->
+      match d with
+      | Pcdata -> Format.fprintf fmt "Element %s(#PCDATA)@\n" name
+      | Children cs ->
+          let star = function
+            | One -> ""
+            | Optional -> "?"
+            | Many -> "*"
+            | Many1 -> "+"
+          in
+          Format.fprintf fmt "Element %s(%s)@\n" name
+            (String.concat ", " (List.map (fun (c, m) -> c ^ star m) cs)))
+    t.decls

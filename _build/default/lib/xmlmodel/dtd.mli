@@ -1,0 +1,30 @@
+(** Simplified DTDs, expressive enough for the Figure-3 peer schemas:
+    each element declares its allowed child elements with multiplicities,
+    or is a PCDATA leaf. Child order is not enforced (annotated HTML data
+    is too dirty for that to be useful). *)
+
+type multiplicity = One | Optional | Many | Many1
+
+type decl =
+  | Children of (string * multiplicity) list
+  | Pcdata
+
+type t
+
+val make : root:string -> (string * decl) list -> t
+(** Raises [Invalid_argument] on duplicate declarations or an undeclared
+    root. *)
+
+val root : t -> string
+val elements : t -> string list
+val decl_of : t -> string -> decl option
+
+val leaf_elements : t -> string list
+(** Elements declared [Pcdata]. *)
+
+val validate : t -> Xml.t -> (unit, string) result
+(** Check the tree against the DTD; the error describes the first
+    violation found. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders in the paper's style: [Element course(title, size)]. *)

@@ -1,0 +1,48 @@
+type step = Child of string | Descendant of string
+
+type t = { steps : step list; text : bool }
+
+let of_string s =
+  (* Split on '/', with "//" marking the next step as descendant. *)
+  let parts = String.split_on_char '/' s in
+  let rec go descendant acc = function
+    | [] -> List.rev acc
+    | "" :: rest -> go true acc rest
+    | "text()" :: rest ->
+        if rest <> [] then invalid_arg "Path.of_string: text() must be last";
+        List.rev (`Text :: acc)
+    | name :: rest ->
+        let step = if descendant then Descendant name else Child name in
+        go false (`Step step :: acc) rest
+  in
+  (* A leading "/" produces a leading "" which would flag the first step
+     as descendant; treat a single leading slash as a plain child step. *)
+  let parts = match parts with "" :: rest -> rest | parts -> parts in
+  let items = go false [] parts in
+  let steps =
+    List.filter_map (function `Step st -> Some st | `Text -> None) items
+  in
+  let text = List.exists (function `Text -> true | `Step _ -> false) items in
+  if steps = [] && not text then invalid_arg "Path.of_string: empty path";
+  { steps; text }
+
+let to_string t =
+  let step_str = function Child n -> "/" ^ n | Descendant n -> "//" ^ n in
+  let s = String.concat "" (List.map step_str t.steps) in
+  let s =
+    if String.length s > 1 && s.[0] = '/' && s.[1] <> '/' then
+      String.sub s 1 (String.length s - 1)
+    else s
+  in
+  if t.text then s ^ "/text()" else s
+
+let select node t =
+  let apply nodes = function
+    | Child name -> List.concat_map (fun n -> Xml.children_named n name) nodes
+    | Descendant name -> List.concat_map (fun n -> Xml.descendants_named n name) nodes
+  in
+  List.fold_left apply [ node ] t.steps
+
+let select_text node t = List.map Xml.text_content (select node t)
+
+let append a b = { steps = a.steps @ b.steps; text = b.text }

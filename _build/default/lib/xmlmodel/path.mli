@@ -1,0 +1,27 @@
+(** Limited path expressions — the subset the paper's mapping language
+    supports ("hierarchical XML construction and limited path
+    expressions", Section 3.1.1). *)
+
+type step = Child of string | Descendant of string
+
+type t = { steps : step list; text : bool }
+(** [text = true] means the path ends in [text()]. *)
+
+val of_string : string -> t
+(** Parses ["schedule/college/dept"], ["//course/title/text()"],
+    [".../text()"]. A leading ["/"] is ignored (paths are evaluated
+    relative to a context node); ["//x"] makes a descendant step.
+    Raises [Invalid_argument] on empty steps. *)
+
+val to_string : t -> string
+
+val select : Xml.t -> t -> Xml.t list
+(** Nodes reached by the steps (ignores the [text] flag). The context
+    node's own tag is not consumed: [a/b] from node [n] selects the
+    [b]-children of the [a]-children of [n]. *)
+
+val select_text : Xml.t -> t -> string list
+(** Text content of the selected nodes. *)
+
+val append : t -> t -> t
+(** Concatenate steps; the suffix's [text] flag wins. *)

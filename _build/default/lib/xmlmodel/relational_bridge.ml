@@ -1,0 +1,60 @@
+let shred xml =
+  let db = Relalg.Database.create () in
+  let node_rel = Relalg.Database.create_relation db "node" [ "id"; "tag" ] in
+  let edge_rel =
+    Relalg.Database.create_relation db "edge" [ "parent"; "child"; "position" ]
+  in
+  let content_rel = Relalg.Database.create_relation db "content" [ "id"; "value" ] in
+  let counter = ref 0 in
+  let next () =
+    incr counter;
+    !counter
+  in
+  let vi i = Relalg.Value.Int i and vs s = Relalg.Value.Str s in
+  let rec go node =
+    let id = next () in
+    (match node with
+    | Xml.Text s ->
+        Relalg.Relation.insert node_rel [| vi id; vs "#text" |];
+        Relalg.Relation.insert content_rel [| vi id; vs s |]
+    | Xml.Element (tag, _, children) ->
+        Relalg.Relation.insert node_rel [| vi id; vs tag |];
+        List.iteri
+          (fun pos child ->
+            let child_id = go child in
+            Relalg.Relation.insert edge_rel [| vi id; vi child_id; vi pos |])
+          children);
+    id
+  in
+  ignore (go xml);
+  db
+
+let extract xml ~tag ~fields =
+  List.map
+    (fun node ->
+      Array.of_list
+        (List.map
+           (fun field ->
+             match Xml.child_named node field with
+             | Some child -> Relalg.Value.of_string (Xml.text_content child)
+             | None -> Relalg.Value.Null)
+           fields))
+    (Xml.descendants_named xml tag)
+
+let relation_of xml ~name ~tag ~fields =
+  Relalg.Relation.of_tuples (Relalg.Schema.make name fields) (extract xml ~tag ~fields)
+
+let to_xml rel ~root ~row_tag =
+  let schema = Relalg.Relation.schema rel in
+  let attrs = Relalg.Schema.attrs schema in
+  let rows =
+    List.map
+      (fun row ->
+        Xml.element row_tag
+          (List.mapi
+             (fun i attr ->
+               Xml.element attr [ Xml.text (Relalg.Value.to_string row.(i)) ])
+             attrs))
+      (Relalg.Relation.tuples rel)
+  in
+  Xml.element root rows

@@ -1,0 +1,22 @@
+(** Bridging XML instances and the relational substrate. Peers store
+    "relations" in a very loose sense (the paper's footnote 1: "any flat
+    or hierarchical structure, including XML"); this module shreds XML
+    into relations the CQ machinery can evaluate, and rebuilds XML from
+    relations. *)
+
+val shred : Xml.t -> Relalg.Database.t
+(** Generic edge shredding: relations [node(id, tag)],
+    [edge(parent, child, position)] and [content(id, value)]. *)
+
+val extract :
+  Xml.t -> tag:string -> fields:string list -> Relalg.Relation.tuple list
+(** For every descendant element named [tag], one tuple whose columns
+    are the text contents of its [fields] children ([Null] when a field
+    is missing — annotated data is allowed to be partial). *)
+
+val relation_of :
+  Xml.t -> name:string -> tag:string -> fields:string list -> Relalg.Relation.t
+
+val to_xml :
+  Relalg.Relation.t -> root:string -> row_tag:string -> Xml.t
+(** One [row_tag] element per tuple, one child per attribute. *)

@@ -1,0 +1,65 @@
+type source = Document of string | Variable of string
+
+type node =
+  | Elem of elem
+  | Text_from of string * Path.t
+  | Literal of string
+
+and elem = {
+  tag : string;
+  binding : (string * source * Path.t) option;
+  children : node list;
+}
+
+type t = { root : node }
+
+let elem ?binding tag children = Elem { tag; binding; children }
+let template root = { root }
+
+let apply t ~docs =
+  let doc name =
+    match List.assoc_opt name docs with
+    | Some d -> d
+    | None -> invalid_arg ("Template.apply: unknown document " ^ name)
+  in
+  let lookup env var =
+    match List.assoc_opt var env with
+    | Some n -> n
+    | None -> invalid_arg ("Template.apply: unbound variable $" ^ var)
+  in
+  let rec inst env node : Xml.t list =
+    match node with
+    | Literal s -> [ Xml.text s ]
+    | Text_from (var, path) ->
+        List.map Xml.text (Path.select_text (lookup env var) path)
+    | Elem { tag; binding = None; children } ->
+        [ Xml.element tag (List.concat_map (inst env) children) ]
+    | Elem { tag; binding = Some (var, src, path); children } ->
+        let roots =
+          match src with
+          | Document d -> [ doc d ]
+          | Variable v -> [ lookup env v ]
+        in
+        let matches = List.concat_map (fun r -> Path.select r path) roots in
+        List.map
+          (fun n ->
+            Xml.element tag (List.concat_map (inst ((var, n) :: env)) children))
+          matches
+  in
+  inst [] t.root
+
+let apply_single t ~docs =
+  match apply t ~docs with
+  | [ x ] -> x
+  | xs ->
+      invalid_arg
+        (Printf.sprintf "Template.apply_single: %d root instances" (List.length xs))
+
+let target_dtd_elements t =
+  let rec go acc = function
+    | Literal _ | Text_from _ -> acc
+    | Elem { tag; children; _ } ->
+        let acc = if List.mem tag acc then acc else tag :: acc in
+        List.fold_left go acc children
+  in
+  List.rev (go [] t.root)

@@ -1,0 +1,45 @@
+(** The Piazza mapping language of Figure 4: a template shaped like the
+    target schema, annotated with brace-delimited bindings that describe
+    how variables range over the source document.
+
+    {[
+      <catalog>
+        <course> {$c = document("Berkeley.xml")/schedule/college/dept}
+          <name> $c/name/text() </name>
+          <subject> {$s = $c/course}
+            <title> $s/title/text() </title>
+            <enrollment> $s/size/text() </enrollment>
+          </subject>
+        </course>
+      </catalog>
+    ]} *)
+
+type source = Document of string | Variable of string
+
+type node =
+  | Elem of elem
+  | Text_from of string * Path.t  (** [$var/path/text()] *)
+  | Literal of string
+
+and elem = {
+  tag : string;
+  binding : (string * source * Path.t) option;
+      (** [{$var = source/path}] — the element is replicated once per
+          node the path selects. *)
+  children : node list;
+}
+
+type t = { root : node }
+
+val elem : ?binding:string * source * Path.t -> string -> node list -> node
+val template : node -> t
+
+val apply : t -> docs:(string * Xml.t) list -> Xml.t list
+(** Instantiate against source documents. Raises [Invalid_argument] on a
+    reference to an unbound variable or unknown document. *)
+
+val apply_single : t -> docs:(string * Xml.t) list -> Xml.t
+(** Like [apply] but requires exactly one root instance. *)
+
+val target_dtd_elements : t -> string list
+(** Tags the template can emit (for checking against a target DTD). *)

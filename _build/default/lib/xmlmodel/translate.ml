@@ -1,0 +1,109 @@
+type resolution = { doc : string; path : Path.t }
+
+(* env maps template variables to absolute (doc, path) locations. *)
+let extend_env env (var, src, path) =
+  match src with
+  | Template.Document d -> (var, { doc = d; path }) :: env
+  | Template.Variable v -> (
+      match List.assoc_opt v env with
+      | None -> invalid_arg ("Translate.resolve: unbound variable $" ^ v)
+      | Some r -> (var, { r with path = Path.append r.path path }) :: env)
+
+let resolve tpl (target : Path.t) =
+  List.iter
+    (function
+      | Path.Descendant _ ->
+          invalid_arg "Translate.resolve: descendant steps not supported"
+      | Path.Child _ -> ())
+    target.Path.steps;
+  let rec walk env node steps =
+    match node with
+    | Template.Literal _ -> []
+    | Template.Text_from (var, path) -> (
+        (* Only reachable when the remaining target path is text(). *)
+        match steps with
+        | [] when target.Path.text -> (
+            match List.assoc_opt var env with
+            | None -> []
+            | Some r -> [ { r with path = Path.append r.path path } ])
+        | _ -> [])
+    | Template.Elem { tag; binding; children } -> (
+        match steps with
+        | Path.Child name :: rest when String.equal name tag ->
+            let env =
+              match binding with Some b -> extend_env env b | None -> env
+            in
+            if rest = [] then
+              if target.Path.text then
+                (* Collect the text sources among the children. *)
+                List.concat_map (fun c -> walk env c []) children
+              else
+                (* The element itself: its data source is its binding. *)
+                (match binding with
+                | Some (var, _, _) -> (
+                    match List.assoc_opt var env with Some r -> [ r ] | None -> [])
+                | None -> [])
+            else List.concat_map (fun c -> walk env c rest) children
+        | Path.Child _ :: _ -> []
+        | Path.Descendant _ :: _ -> []
+        | [] -> [])
+  in
+  walk [] tpl.Template.root target.Path.steps
+
+let root_tag (tpl : Template.t) =
+  match tpl.Template.root with
+  | Template.Elem e -> e.Template.tag
+  | Template.Text_from _ | Template.Literal _ ->
+      invalid_arg "Translate.resolve_chain: template root is not an element"
+
+(* Resolved paths are relative to the source document's root element,
+   while [resolve] consumes root-inclusive paths — so between hops each
+   intermediate path is re-anchored at the upstream template's root
+   tag (the upstream output *is* that intermediate document). *)
+let resolve_chain templates target =
+  let rec go rev_templates targets =
+    match rev_templates with
+    | [] -> targets
+    | tpl :: rest -> (
+        let resolved =
+          List.concat_map (fun (r : resolution) -> resolve tpl r.path) targets
+        in
+        match rest with
+        | [] -> resolved
+        | upstream :: _ ->
+            let anchor = root_tag upstream in
+            go rest
+              (List.map
+                 (fun r ->
+                   {
+                     r with
+                     path =
+                       {
+                         Path.steps = Path.Child anchor :: r.path.Path.steps;
+                         text = r.path.Path.text;
+                       };
+                   })
+                 resolved))
+  in
+  go (List.rev templates) [ { doc = "~target"; path = target } ]
+
+let equivalent_on tpl ~docs target =
+  let outputs = Template.apply tpl ~docs in
+  (* Evaluating [target] over the template output: the first step names
+     the output root itself, so wrap outputs under a synthetic node. *)
+  let wrapped = Xml.element "~root" outputs in
+  let via_target =
+    if target.Path.text then Path.select_text wrapped target
+    else List.map Xml.text_content (Path.select wrapped target)
+  in
+  let via_source =
+    List.concat_map
+      (fun r ->
+        match List.assoc_opt r.doc docs with
+        | None -> []
+        | Some d ->
+            if r.path.Path.text || target.Path.text then Path.select_text d r.path
+            else List.map Xml.text_content (Path.select d r.path))
+      (resolve tpl target)
+  in
+  List.sort compare via_target = List.sort compare via_source

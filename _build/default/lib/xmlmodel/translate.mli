@@ -1,0 +1,30 @@
+(** Query translation through a template mapping: a path query phrased
+    against the {e target} schema is resolved to the source-document
+    locations that populate it. This is the XML-level counterpart of the
+    relational reformulation the PDMS performs. *)
+
+type resolution = { doc : string; path : Path.t }
+(** An absolute location: a path evaluated from the root of a named
+    source document. *)
+
+val resolve : Template.t -> Path.t -> resolution list
+(** [resolve tpl target_path] follows [target_path] (child steps only;
+    the first step names the template root) through the template,
+    composing binding paths. An empty result means the target location
+    is not populated from source data. Raises [Invalid_argument] on
+    descendant steps (not supported by the mapping language). *)
+
+val resolve_chain : Template.t list -> Path.t -> resolution list
+(** Compose translations along a chain of mappings: the path is resolved
+    through the {e last} template; each resulting source location (a
+    path over that template's source document) is treated as a target
+    path for the previous template, and so on. The templates are listed
+    source-first (as the data flows), e.g.
+    [resolve_chain [berkeley_to_mit; mit_to_x] path_over_x] yields
+    Berkeley locations. *)
+
+val equivalent_on :
+  Template.t -> docs:(string * Xml.t) list -> Path.t -> bool
+(** Check (for a given source instance) that evaluating [target_path]
+    over the template output equals evaluating the resolved source paths
+    directly — the correctness statement for [resolve], used in tests. *)

@@ -1,0 +1,13 @@
+(** A small XML parser covering the subset {!Xml.to_string} emits:
+    elements with attributes, text, self-closing tags, comments, an
+    optional XML declaration, and the five predefined entities. No
+    namespaces, CDATA, or DTD-internal subsets. *)
+
+val parse : string -> (Xml.t, string) result
+(** Parse one document (a single root element). *)
+
+val parse_exn : string -> Xml.t
+
+val roundtrip : Xml.t -> Xml.t
+(** [parse_exn (Xml.to_string t)] with whitespace-only text dropped —
+    used by tests to check the parser against the printer. *)

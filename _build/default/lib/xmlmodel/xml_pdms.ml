@@ -1,0 +1,97 @@
+type mapping = { source : string; target : string; template : Template.t }
+
+type t = {
+  mutable docs : (string * Xml.t) list;
+  mutable mappings : mapping list;
+}
+
+let create () = { docs = []; mappings = [] }
+
+let add_peer t ~name ?dtd doc =
+  if List.mem_assoc name t.docs then
+    invalid_arg ("Xml_pdms.add_peer: duplicate peer " ^ name);
+  (match dtd with
+  | Some dtd -> (
+      match Dtd.validate dtd doc with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Xml_pdms.add_peer: " ^ name ^ ": " ^ msg))
+  | None -> ());
+  t.docs <- (name, doc) :: t.docs
+
+let add_mapping t ~source ~target template =
+  if not (List.mem_assoc source t.docs) then
+    invalid_arg ("Xml_pdms.add_mapping: unknown source " ^ source);
+  if not (List.mem_assoc target t.docs) then
+    invalid_arg ("Xml_pdms.add_mapping: unknown target " ^ target);
+  t.mappings <- { source; target; template } :: t.mappings
+
+let peers t = List.sort String.compare (List.map fst t.docs)
+
+let document t name =
+  match List.assoc_opt name t.docs with
+  | Some doc -> doc
+  | None -> invalid_arg ("Xml_pdms.document: unknown peer " ^ name)
+
+(* Evaluate a path directly on a document; the first step names the
+   document root, so wrap. *)
+let eval_on doc path =
+  let wrapped = Xml.element "~root" [ doc ] in
+  if path.Path.text then Path.select_text wrapped path
+  else List.map Xml.text_content (Path.select wrapped path)
+
+let query_local t ~at path = eval_on (document t at) path
+
+(* Depth-first over inbound mapping chains: a mapping source->target
+   means data can flow from [source] to queries at [target]. *)
+let rec answers t ~at path visited =
+  let local = eval_on (document t at) path in
+  let inbound =
+    List.filter (fun m -> String.equal m.target at) t.mappings
+  in
+  let remote =
+    List.concat_map
+      (fun m ->
+        if List.mem m.source visited then []
+        else
+          (* Translate the path through this mapping into source-side
+             locations, then answer those at the source peer
+             (recursively, so chains compose). Binding paths are
+             root-element-relative; query paths are root-inclusive, so
+             re-anchor at the source document's root tag. *)
+          let source_root =
+            match Xml.name (document t m.source) with
+            | Some tag -> tag
+            | None -> invalid_arg "Xml_pdms: source document has no root element"
+          in
+          Translate.resolve m.template path
+          |> List.concat_map (fun (r : Translate.resolution) ->
+                 let anchored =
+                   {
+                     Path.steps = Path.Child source_root :: r.Translate.path.Path.steps;
+                     text = r.Translate.path.Path.text;
+                   }
+                 in
+                 answers t ~at:m.source anchored (at :: visited)))
+      inbound
+  in
+  local @ remote
+
+let query t ~at path =
+  answers t ~at path [] |> List.sort_uniq String.compare
+
+let reachable t start =
+  let rec go visited frontier =
+    match frontier with
+    | [] -> visited
+    | p :: rest ->
+        if List.mem p visited then go visited rest
+        else
+          let sources =
+            List.filter_map
+              (fun m ->
+                if String.equal m.target p then Some m.source else None)
+              t.mappings
+          in
+          go (p :: visited) (sources @ rest)
+  in
+  List.sort String.compare (go [] [ start ])

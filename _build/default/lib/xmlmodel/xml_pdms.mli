@@ -1,0 +1,33 @@
+(** The XML face of Piazza (Section 3.1.1): peers hold XML documents
+    conforming to their own DTDs; template mappings (Figure 4) relate
+    pairs of peers; a path query posed against one peer's schema is
+    answered from its own document {e and}, by translating the path
+    through chains of mappings, from every transitively mapped peer. *)
+
+type t
+
+val create : unit -> t
+
+val add_peer : t -> name:string -> ?dtd:Dtd.t -> Xml.t -> unit
+(** Register a peer with its document. When a DTD is supplied the
+    document must validate ([Invalid_argument] otherwise). *)
+
+val add_mapping :
+  t -> source:string -> target:string -> Template.t -> unit
+(** A template whose bindings read [source]'s document (under the name
+    ["<source>.xml"]) and whose shape matches [target]'s schema. *)
+
+val peers : t -> string list
+val document : t -> string -> Xml.t
+
+val query : t -> at:string -> Path.t -> string list
+(** All text results of the path, evaluated on the peer's own document
+    and on every source reachable through mapping chains (the path is
+    translated through the chain, then evaluated directly on the remote
+    document — no materialisation). Duplicates removed, sorted. *)
+
+val query_local : t -> at:string -> Path.t -> string list
+(** The peer's own document only, for comparison. *)
+
+val reachable : t -> string -> string list
+(** Peers whose data can flow to the given peer (including itself). *)

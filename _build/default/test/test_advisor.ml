@@ -1,0 +1,190 @@
+(* Tests for DesignAdvisor, the design critique, and the corpus-based
+   query reformulator. *)
+
+module Sm = Corpus.Schema_model
+
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+
+let prng () = Util.Prng.create 42
+
+(* An unrelated decoy schema with plausible data. *)
+let library_schema p =
+  Sm.make ~name:"library"
+    [ Sm.relation "book"
+        [ Sm.attribute ~values:(Workload.Data_gen.values p Workload.Data_gen.Title 20) "isbn";
+          Sm.attribute ~values:(Workload.Data_gen.values p Workload.Data_gen.Title 20) "shelf" ];
+      Sm.relation "loan"
+        [ Sm.attribute ~values:(Workload.Data_gen.values p Workload.Data_gen.Year 20) "due";
+          Sm.attribute ~values:(Workload.Data_gen.values p Workload.Data_gen.Count 20) "copies" ] ]
+
+(* A corpus containing university variants plus the decoy, which should
+   rank last. *)
+let corpus_with_decoy () =
+  let p = prng () in
+  let corpus = Workload.University.corpus_of_variants p ~n:5 ~level:0.25 in
+  Corpus.Corpus_store.add_schema corpus (library_schema p);
+  corpus
+
+(* The coordinator's partial schema: just a course fragment. *)
+let partial_schema () =
+  let p = Util.Prng.create 7 in
+  Workload.Data_gen.populate p ~samples:20
+    (Sm.make ~name:"partial"
+       [ Sm.relation "course"
+           [ Sm.attribute "title"; Sm.attribute "instructor"; Sm.attribute "room" ] ])
+
+let test_rank_prefers_university_schemas () =
+  let advisor = Advisor.Design_advisor.build (corpus_with_decoy ()) in
+  let suggestions = Advisor.Design_advisor.rank advisor ~partial:(partial_schema ()) in
+  check_b "non-empty" true (suggestions <> []);
+  (match suggestions with
+  | best :: _ ->
+      check_b "best is a university variant" true
+        (best.Advisor.Design_advisor.candidate.Sm.schema_name <> "library")
+  | [] -> ());
+  (* The decoy must not outrank any university variant. *)
+  let scores =
+    List.map
+      (fun s ->
+        (s.Advisor.Design_advisor.candidate.Sm.schema_name,
+         s.Advisor.Design_advisor.score))
+      suggestions
+  in
+  match List.assoc_opt "library" scores with
+  | None -> ()
+  | Some decoy_score ->
+      check_b "decoy scores lowest" true
+        (List.for_all (fun (n, s) -> n = "library" || s >= decoy_score) scores)
+
+let test_autocomplete_proposes_missing_elements () =
+  let advisor = Advisor.Design_advisor.build (corpus_with_decoy ()) in
+  let missing = Advisor.Design_advisor.autocomplete advisor ~partial:(partial_schema ()) in
+  (* The partial schema has 3 course attributes; a full variant has ~20
+     elements, so plenty should be proposed. *)
+  check_b "proposes completions" true (List.length missing >= 3)
+
+let test_preference_rewards_popularity () =
+  let usage name = if name = "popular" then 50 else 1 in
+  let small =
+    Sm.make ~name:"popular" [ Sm.relation "r" [ Sm.attribute "a" ] ]
+  in
+  let unpopular =
+    Sm.make ~name:"fresh" [ Sm.relation "r" [ Sm.attribute "a" ] ]
+  in
+  check_b "popularity matters" true
+    (Advisor.Similarity.preference ~usage_count:usage small
+    > Advisor.Similarity.preference ~usage_count:usage unpopular)
+
+(* ------------------------------------------------------------------ *)
+(* Critique: the TA example from the paper *)
+
+let test_critique_ta_case () =
+  (* Corpus where TA info always lives in its own relation. *)
+  let corpus = Corpus.Corpus_store.create () in
+  List.iteri
+    (fun i _ ->
+      Corpus.Corpus_store.add_schema corpus
+        (Sm.make ~name:(Printf.sprintf "u%d" i)
+           [ Sm.relation "course"
+               [ Sm.attribute "title"; Sm.attribute "instructor"; Sm.attribute "room" ];
+             Sm.relation "ta"
+               [ Sm.attribute "ta_name"; Sm.attribute "contact_phone" ] ]))
+    [ (); (); (); () ];
+  let stats = Corpus.Basic_stats.build ~variant:Corpus.Basic_stats.Raw corpus in
+  (* The coordinator wrongly folded TA fields into course. *)
+  let draft =
+    Sm.make ~name:"draft"
+      [ Sm.relation "course"
+          [ Sm.attribute "title"; Sm.attribute "instructor"; Sm.attribute "room";
+            Sm.attribute "ta_name"; Sm.attribute "contact_phone" ] ]
+  in
+  match Advisor.Critique.decompositions ~stats ~corpus draft with
+  | [ advice ] ->
+      Alcotest.(check string) "critiques course" "course" advice.Advisor.Critique.relation;
+      check_i "two attrs move out" 2 (List.length advice.Advisor.Critique.move_out);
+      check_b "ta_name moves" true
+        (List.mem "ta_name" advice.Advisor.Critique.move_out);
+      check_b "suggests the ta relation" true
+        (advice.Advisor.Critique.suggested_relation = Some "ta");
+      check_b "confident" true (advice.Advisor.Critique.confidence > 0.5)
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 advice, got %d" (List.length other))
+
+let test_critique_silent_on_conforming_schema () =
+  let corpus = Corpus.Corpus_store.create () in
+  List.iteri
+    (fun i _ ->
+      Corpus.Corpus_store.add_schema corpus
+        (Sm.make ~name:(Printf.sprintf "u%d" i)
+           [ Sm.relation "course" [ Sm.attribute "title"; Sm.attribute "room" ] ]))
+    [ (); (); () ];
+  let stats = Corpus.Basic_stats.build ~variant:Corpus.Basic_stats.Raw corpus in
+  let draft =
+    Sm.make ~name:"draft"
+      [ Sm.relation "course" [ Sm.attribute "title"; Sm.attribute "room" ] ]
+  in
+  check_i "no advice" 0
+    (List.length (Advisor.Critique.decompositions ~stats ~corpus draft))
+
+(* ------------------------------------------------------------------ *)
+(* Query reformulator (Section 4.4) *)
+
+let target_schema =
+  Sm.make ~name:"target"
+    [ Sm.relation "course" [ Sm.attribute "title"; Sm.attribute "instructor" ];
+      Sm.relation "person" [ Sm.attribute "name"; Sm.attribute "phone" ] ]
+
+let test_query_reformulation_by_synonym () =
+  (* User says 'class', target says 'course'. *)
+  let q =
+    Cq.Query.make
+      (Cq.Atom.make "ans" [ Cq.Term.v "T" ])
+      [ Cq.Atom.make "class" [ Cq.Term.v "T"; Cq.Term.v "I" ] ]
+  in
+  match Advisor.Query_reformulator.reformulate ~target:target_schema q with
+  | best :: _ ->
+      check_b "renamed to course" true
+        (List.mem ("class", "course") best.Advisor.Query_reformulator.substitutions);
+      check_b "well-formed body" true
+        (List.for_all
+           (fun (a : Cq.Atom.t) -> a.Cq.Atom.pred = "course")
+           best.Advisor.Query_reformulator.reformulated.Cq.Query.body)
+  | [] -> Alcotest.fail "no candidates"
+
+let test_query_reformulation_arity_guard () =
+  (* Arity 3 matches nothing in the target schema. *)
+  let q =
+    Cq.Query.make
+      (Cq.Atom.make "ans" [ Cq.Term.v "T" ])
+      [ Cq.Atom.make "class" [ Cq.Term.v "T"; Cq.Term.v "I"; Cq.Term.v "R" ] ]
+  in
+  check_i "no candidate" 0
+    (List.length (Advisor.Query_reformulator.reformulate ~target:target_schema q))
+
+let test_query_reformulation_multi_atom () =
+  let q =
+    Cq.Query.make
+      (Cq.Atom.make "ans" [ Cq.Term.v "T"; Cq.Term.v "P" ])
+      [ Cq.Atom.make "class" [ Cq.Term.v "T"; Cq.Term.v "I" ];
+        Cq.Atom.make "persons" [ Cq.Term.v "I"; Cq.Term.v "P" ] ]
+  in
+  match Advisor.Query_reformulator.reformulate ~target:target_schema q with
+  | best :: _ ->
+      check_b "both renamed" true
+        (List.length best.Advisor.Query_reformulator.substitutions = 2)
+  | [] -> Alcotest.fail "no candidates"
+
+let () =
+  Alcotest.run "advisor"
+    [ ("design_advisor",
+       [ Alcotest.test_case "ranking" `Slow test_rank_prefers_university_schemas;
+         Alcotest.test_case "autocomplete" `Slow test_autocomplete_proposes_missing_elements;
+         Alcotest.test_case "preference" `Quick test_preference_rewards_popularity ]);
+      ("critique",
+       [ Alcotest.test_case "ta case" `Quick test_critique_ta_case;
+         Alcotest.test_case "silent when conforming" `Quick
+           test_critique_silent_on_conforming_schema ]);
+      ("query_reformulator",
+       [ Alcotest.test_case "synonym" `Quick test_query_reformulation_by_synonym;
+         Alcotest.test_case "arity guard" `Quick test_query_reformulation_arity_guard;
+         Alcotest.test_case "multi atom" `Quick test_query_reformulation_multi_atom ]) ]

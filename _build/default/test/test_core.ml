@@ -1,0 +1,121 @@
+(* End-to-end tests for the REVERE facade: the annotate -> publish ->
+   sync -> share pipeline, and the DElearning join flow. *)
+
+module Xml = Xmlmodel.Xml
+
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+
+let prng () = Util.Prng.create 2003
+
+(* ------------------------------------------------------------------ *)
+(* Revere node: Mangrove -> Peer pipeline *)
+
+let test_revere_pipeline () =
+  let node =
+    Core.Revere.create ~name:"uw"
+      ~peer_schema:[ ("course", [ "code"; "title"; "instructor" ]) ]
+      ()
+  in
+  let catalog = Pdms.Catalog.create () in
+  Pdms.Catalog.add_peer catalog (Core.Revere.peer node);
+  (* Annotate and publish two course pages. *)
+  let p = prng () in
+  List.iter
+    (fun i ->
+      let page = Workload.Pages.course_page p ~host:"uw" ~page_id:i ~courses:3 in
+      let a = Core.Revere.annotator node page.Workload.Pages.doc in
+      Workload.Pages.annotate a page.Workload.Pages.plan;
+      ignore (Core.Revere.publish node a))
+    [ 0; 1 ];
+  (* Sync repository entities into the peer's stored relation. *)
+  let n =
+    Core.Revere.sync node ~catalog ~rel:"course" ~tag:"course"
+      ~fields:[ "code"; "title"; "instructor" ]
+  in
+  check_i "six courses synced" 6 n;
+  (* The peer's own query sees the data through the PDMS. *)
+  let query =
+    Cq.Query.make
+      (Cq.Atom.make "ans" [ Cq.Term.v "C"; Cq.Term.v "T"; Cq.Term.v "I" ])
+      [ Pdms.Peer.atom (Core.Revere.peer node) "course"
+          [ Cq.Term.v "C"; Cq.Term.v "T"; Cq.Term.v "I" ] ]
+  in
+  let result = Pdms.Answer.answer catalog query in
+  check_i "queryable" 6 (Relalg.Relation.cardinality result.Pdms.Answer.answers);
+  (* Re-sync is idempotent (distinct inserts). *)
+  check_i "idempotent sync" 0
+    (Core.Revere.sync node ~catalog ~rel:"course" ~tag:"course"
+       ~fields:[ "code"; "title"; "instructor" ])
+
+let test_schema_model_of_peer_carries_data () =
+  let node =
+    Core.Revere.create ~name:"uw" ~peer_schema:[ ("course", [ "code"; "title" ]) ] ()
+  in
+  let catalog = Pdms.Catalog.create () in
+  Pdms.Catalog.add_peer catalog (Core.Revere.peer node);
+  let stored = Pdms.Catalog.store_identity catalog (Core.Revere.peer node) ~rel:"course" in
+  Relalg.Relation.insert stored
+    [| Relalg.Value.Str "cse444"; Relalg.Value.Str "databases" |];
+  let model = Core.Revere.schema_model_of_peer (Core.Revere.peer node) ~rel:"course" in
+  match model.Corpus.Schema_model.relations with
+  | [ r ] ->
+      check_i "two attrs" 2 (List.length r.Corpus.Schema_model.attributes);
+      check_b "values sampled" true
+        (List.exists
+           (fun (a : Corpus.Schema_model.attribute) ->
+             a.Corpus.Schema_model.sample_values <> [])
+           r.Corpus.Schema_model.attributes)
+  | _ -> Alcotest.fail "expected one relation"
+
+(* ------------------------------------------------------------------ *)
+(* DElearning scenario *)
+
+let test_delearning_join_flow () =
+  let p = prng () in
+  let scenario = Core.Delearning.build p ~courses_per_peer:3 in
+  (* Before joining: 6 peers x 3 courses visible anywhere (distinct
+     titles; the generator may occasionally collide on a title). *)
+  let before = Core.Delearning.courses_visible_at scenario "mit" in
+  check_b "sees every peer's courses" true (List.length before >= 15);
+  (* Trento joins with an Italian schema, mapping advised by the corpus. *)
+  let report =
+    Core.Delearning.join_university scenario p ~name:"trento"
+      ~rel:"corso" ~attrs:[ "titolo"; "iscritti" ] ~courses:4
+  in
+  check_b "mapped to somebody" true (report.Core.Delearning.mapped_to <> "");
+  check_b "correspondences proposed" true
+    (report.Core.Delearning.correspondences <> []);
+  (* Trento now sees everything reachable, and others see Trento. *)
+  let at_trento = Core.Delearning.courses_visible_at scenario "trento" in
+  check_b "trento sees remote courses" true (List.length at_trento > 4);
+  let at_mit = Core.Delearning.courses_visible_at scenario "mit" in
+  check_b "mit gains trento courses" true
+    (List.length at_mit > List.length before);
+  (* The paper's leverage argument: Trento mapped to ONE existing peer,
+     not to all of them (the fixture starts with 10 mappings: course +
+     instructor per Figure-2 edge). *)
+  check_i "exactly one new mapping" 11
+    (Pdms.Catalog.mapping_count scenario.Core.Delearning.delearning.Workload.University.catalog)
+
+let test_delearning_reachability () =
+  let p = prng () in
+  let scenario = Core.Delearning.build p ~courses_per_peer:1 in
+  let catalog = scenario.Core.Delearning.delearning.Workload.University.catalog in
+  List.iter
+    (fun name ->
+      check_i
+        (Printf.sprintf "%s reaches all" name)
+        6
+        (List.length (Pdms.Answer.reachable_peers catalog name)))
+    (Array.to_list Workload.Vocab.universities)
+
+let () =
+  Alcotest.run "core"
+    [ ("revere",
+       [ Alcotest.test_case "pipeline" `Quick test_revere_pipeline;
+         Alcotest.test_case "schema model of peer" `Quick
+           test_schema_model_of_peer_carries_data ]);
+      ("delearning",
+       [ Alcotest.test_case "join flow" `Slow test_delearning_join_flow;
+         Alcotest.test_case "reachability" `Quick test_delearning_reachability ]) ]

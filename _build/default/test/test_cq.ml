@@ -1,0 +1,481 @@
+(* Tests for conjunctive queries: evaluation, containment, minimization,
+   unfolding and datalog. *)
+
+open Cq
+
+let v = Term.v
+let s = Term.str
+let atom = Atom.make
+let q head body = Query.make head body
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+
+(* A small university edb:
+   course(id, title, dept)    teaches(prof, id)    office(prof, room) *)
+let edb () =
+  let db = Relalg.Database.create () in
+  let course = Relalg.Database.create_relation db "course" [ "id"; "title"; "dept" ] in
+  let teaches = Relalg.Database.create_relation db "teaches" [ "prof"; "id" ] in
+  let office = Relalg.Database.create_relation db "office" [ "prof"; "room" ] in
+  let vs x = Relalg.Value.Str x in
+  List.iter (Relalg.Relation.insert course)
+    [ [| vs "cse444"; vs "databases"; vs "cs" |];
+      [| vs "cse446"; vs "ml"; vs "cs" |];
+      [| vs "hist101"; vs "ancient history"; vs "history" |] ];
+  List.iter (Relalg.Relation.insert teaches)
+    [ [| vs "alon"; vs "cse444" |];
+      [| vs "oren"; vs "cse446" |];
+      [| vs "mary"; vs "hist101" |] ];
+  List.iter (Relalg.Relation.insert office)
+    [ [| vs "alon"; vs "ac101" |]; [| vs "oren"; vs "ac202" |] ];
+  db
+
+(* ------------------------------------------------------------------ *)
+(* Eval *)
+
+let test_eval_join () =
+  let db = edb () in
+  (* Who teaches a cs course, and where is their office? *)
+  let query =
+    q (atom "ans" [ v "P"; v "R" ])
+      [ atom "course" [ v "C"; v "T"; s "cs" ];
+        atom "teaches" [ v "P"; v "C" ];
+        atom "office" [ v "P"; v "R" ] ]
+  in
+  let result = Eval.run db query in
+  check_i "two cs profs with offices" 2 (Relalg.Relation.cardinality result)
+
+let test_eval_constant_filter () =
+  let db = edb () in
+  let query =
+    q (atom "ans" [ v "T" ]) [ atom "course" [ s "cse444"; v "T"; v "D" ] ]
+  in
+  let result = Eval.run db query in
+  check_i "one title" 1 (Relalg.Relation.cardinality result)
+
+let test_eval_repeated_var () =
+  let db = Relalg.Database.create () in
+  let r = Relalg.Database.create_relation db "r" [ "a"; "b" ] in
+  Relalg.Relation.insert r [| Relalg.Value.Int 1; Relalg.Value.Int 1 |];
+  Relalg.Relation.insert r [| Relalg.Value.Int 1; Relalg.Value.Int 2 |];
+  let query = q (atom "ans" [ v "X" ]) [ atom "r" [ v "X"; v "X" ] ] in
+  check_i "diagonal only" 1 (Relalg.Relation.cardinality (Eval.run db query))
+
+let test_eval_missing_relation () =
+  let db = edb () in
+  let query = q (atom "ans" [ v "X" ]) [ atom "nosuch" [ v "X" ] ] in
+  check_i "missing relation is empty" 0 (Relalg.Relation.cardinality (Eval.run db query))
+
+let test_eval_unsafe_raises () =
+  let db = edb () in
+  let query = q (atom "ans" [ v "Z" ]) [ atom "office" [ v "P"; v "R" ] ] in
+  check_b "raises" true
+    (try
+       ignore (Eval.run db query);
+       false
+     with Invalid_argument _ -> true)
+
+let test_eval_cartesian () =
+  let db = edb () in
+  let query =
+    q (atom "ans" [ v "P"; v "C" ])
+      [ atom "office" [ v "P"; v "R" ]; atom "course" [ v "C"; v "T"; v "D" ] ]
+  in
+  check_i "2 x 3 pairs" 6 (Relalg.Relation.cardinality (Eval.run db query))
+
+(* ------------------------------------------------------------------ *)
+(* Containment *)
+
+let test_containment_classic () =
+  (* q1(x) :- r(x,y), r(y,z)  is contained in  q2(x) :- r(x,y). *)
+  let q1 =
+    q (atom "q" [ v "X" ]) [ atom "r" [ v "X"; v "Y" ]; atom "r" [ v "Y"; v "Z" ] ]
+  in
+  let q2 = q (atom "q" [ v "X" ]) [ atom "r" [ v "X"; v "Y" ] ] in
+  check_b "q1 in q2" true (Containment.contained_in q1 q2);
+  check_b "q2 not in q1" false (Containment.contained_in q2 q1)
+
+let test_containment_constants () =
+  let q1 = q (atom "q" [ v "X" ]) [ atom "r" [ v "X"; s "cs" ] ] in
+  let q2 = q (atom "q" [ v "X" ]) [ atom "r" [ v "X"; v "Y" ] ] in
+  check_b "specific in general" true (Containment.contained_in q1 q2);
+  check_b "general not in specific" false (Containment.contained_in q2 q1)
+
+let test_containment_head_mismatch () =
+  let q1 = q (atom "q" [ v "X"; v "Y" ]) [ atom "r" [ v "X"; v "Y" ] ] in
+  let q2 = q (atom "q" [ v "X" ]) [ atom "r" [ v "X"; v "Y" ] ] in
+  check_b "arity mismatch" false (Containment.contained_in q1 q2)
+
+let test_containment_equivalence () =
+  (* Same query up to variable renaming and atom order. *)
+  let q1 =
+    q (atom "q" [ v "A" ]) [ atom "r" [ v "A"; v "B" ]; atom "t" [ v "B" ] ]
+  in
+  let q2 =
+    q (atom "q" [ v "X" ]) [ atom "t" [ v "Y" ]; atom "r" [ v "X"; v "Y" ] ]
+  in
+  check_b "equivalent" true (Containment.equivalent q1 q2)
+
+let test_containment_union () =
+  let q1 = q (atom "q" [ v "X" ]) [ atom "r" [ v "X"; s "a" ] ] in
+  let qa = q (atom "q" [ v "X" ]) [ atom "r" [ v "X"; s "b" ] ] in
+  let qb = q (atom "q" [ v "X" ]) [ atom "r" [ v "X"; v "Y" ] ] in
+  check_b "in union via second" true (Containment.contained_in_union q1 [ qa; qb ]);
+  check_b "not in union" false (Containment.contained_in_union qb [ q1; qa ])
+
+(* ------------------------------------------------------------------ *)
+(* Minimize *)
+
+let test_minimize_redundant_atom () =
+  (* q(x) :- r(x,y), r(x,z) minimizes to a single atom. *)
+  let query =
+    q (atom "q" [ v "X" ]) [ atom "r" [ v "X"; v "Y" ]; atom "r" [ v "X"; v "Z" ] ]
+  in
+  let m = Minimize.minimize query in
+  check_i "one atom" 1 (Query.size m);
+  check_b "still equivalent" true (Containment.equivalent m query)
+
+let test_minimize_keeps_necessary () =
+  let query =
+    q (atom "q" [ v "X" ]) [ atom "r" [ v "X"; v "Y" ]; atom "t" [ v "Y" ] ]
+  in
+  check_i "nothing removable" 2 (Query.size (Minimize.minimize query))
+
+let test_minimize_duplicates () =
+  let query =
+    q (atom "q" [ v "X" ]) [ atom "r" [ v "X"; v "Y" ]; atom "r" [ v "X"; v "Y" ] ]
+  in
+  check_i "exact duplicate dropped" 1 (Query.size (Minimize.remove_duplicate_atoms query))
+
+(* ------------------------------------------------------------------ *)
+(* Unfold *)
+
+let test_unfold_simple () =
+  (* cs_course(C) :- course(C, T, 'cs'); query over cs_course unfolds. *)
+  let rule =
+    q (atom "cs_course" [ v "C" ]) [ atom "course" [ v "C"; v "T"; s "cs" ] ]
+  in
+  let query = q (atom "ans" [ v "X" ]) [ atom "cs_course" [ v "X" ] ] in
+  match Unfold.expand [ rule ] query with
+  | [ expanded ] ->
+      check_i "one atom" 1 (Query.size expanded);
+      let db = edb () in
+      check_i "two cs courses" 2 (Relalg.Relation.cardinality (Eval.run db expanded))
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 expansion, got %d" (List.length other))
+
+let test_unfold_union () =
+  (* Two rules for the same predicate: expansion is a UCQ. *)
+  let r1 = q (atom "p" [ v "X" ]) [ atom "r" [ v "X" ] ] in
+  let r2 = q (atom "p" [ v "X" ]) [ atom "t" [ v "X" ] ] in
+  let query = q (atom "ans" [ v "X" ]) [ atom "p" [ v "X" ] ] in
+  check_i "two expansions" 2 (List.length (Unfold.expand [ r1; r2 ] query))
+
+let test_unfold_two_defined_atoms () =
+  let r1 = q (atom "p" [ v "X" ]) [ atom "r" [ v "X" ] ] in
+  let r2 = q (atom "p" [ v "X" ]) [ atom "t" [ v "X" ] ] in
+  let query =
+    q (atom "ans" [ v "X"; v "Y" ]) [ atom "p" [ v "X" ]; atom "p" [ v "Y" ] ]
+  in
+  check_i "cross product of choices" 4 (List.length (Unfold.expand [ r1; r2 ] query))
+
+let test_unfold_depth_cutoff () =
+  (* Recursive rule: expansion terminates (and yields nothing since the
+     base case is absent). *)
+  let rec_rule =
+    q (atom "p" [ v "X" ]) [ atom "e" [ v "X"; v "Y" ]; atom "p" [ v "Y" ] ]
+  in
+  let query = q (atom "ans" [ v "X" ]) [ atom "p" [ v "X" ] ] in
+  check_i "no base case, no expansion" 0
+    (List.length (Unfold.expand ~max_depth:5 [ rec_rule ] query))
+
+(* ------------------------------------------------------------------ *)
+(* Datalog *)
+
+let test_datalog_transitive_closure () =
+  let db = Relalg.Database.create () in
+  let edge = Relalg.Database.create_relation db "edge" [ "src"; "dst" ] in
+  let vi i = Relalg.Value.Int i in
+  List.iter (Relalg.Relation.insert edge)
+    [ [| vi 1; vi 2 |]; [| vi 2; vi 3 |]; [| vi 3; vi 4 |] ];
+  let program =
+    [ q (atom "path" [ v "X"; v "Y" ]) [ atom "edge" [ v "X"; v "Y" ] ];
+      q (atom "path" [ v "X"; v "Z" ])
+        [ atom "edge" [ v "X"; v "Y" ]; atom "path" [ v "Y"; v "Z" ] ] ]
+  in
+  let result = Datalog.eval db program in
+  check_i "paths" 6 (Relalg.Relation.cardinality (Relalg.Database.find result "path"));
+  check_i "edb preserved" 3
+    (Relalg.Relation.cardinality (Relalg.Database.find result "edge"));
+  (* Input database untouched. *)
+  check_b "input unmodified" false (Relalg.Database.mem db "path")
+
+let test_datalog_unsafe_rule_rejected () =
+  let db = Relalg.Database.create () in
+  let bad = q (atom "p" [ v "X" ]) [ atom "r" [ v "Y" ] ] in
+  check_b "raises" true
+    (try
+       ignore (Datalog.eval db [ bad ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Query helpers *)
+
+let test_query_helpers () =
+  let query =
+    q (atom "ans" [ v "X" ])
+      [ atom "r" [ v "X"; v "Y" ]; atom "t" [ v "Y" ]; atom "r" [ v "X"; s "k" ] ]
+  in
+  check_b "vars order" true (Query.vars query = [ "X"; "Y" ]);
+  check_b "existential" true (Query.existential_vars query = [ "Y" ]);
+  check_b "body preds dedupe" true (Query.body_preds query = [ "r"; "t" ]);
+  let fresh = Query.freshen ~suffix:"_1" query in
+  check_b "freshen renames" true (Query.vars fresh = [ "X_1"; "Y_1" ]);
+  check_b "freshen keeps consts" true
+    (List.exists
+       (fun (a : Atom.t) -> List.exists (Term.equal (s "k")) a.Atom.args)
+       fresh.Query.body);
+  let renamed = Query.rename_preds (fun p -> "x_" ^ p) query in
+  check_b "preds renamed" true (Query.body_preds renamed = [ "x_r"; "x_t" ]);
+  check_b "to_string" true
+    (String.length (Query.to_string query) > 10)
+
+let test_unsafe_query_detected () =
+  let unsafe = q (atom "ans" [ v "Z" ]) [ atom "r" [ v "X"; v "Y" ] ] in
+  check_b "unsafe" false (Query.is_safe unsafe)
+
+(* ------------------------------------------------------------------ *)
+(* Relax: graceful degradation *)
+
+let test_relax_exact_hit_needs_no_steps () =
+  let db = edb () in
+  let query = q (atom "ans" [ v "T" ]) [ atom "course" [ v "C"; v "T"; s "cs" ] ] in
+  match Relax.graceful db query with
+  | Some r ->
+      check_i "no steps" 0 (List.length r.Relax.steps);
+      check_i "two cs courses" 2 (Relalg.Relation.cardinality r.Relax.answers)
+  | None -> Alcotest.fail "expected answers"
+
+let test_relax_generalises_wrong_constant () =
+  let db = edb () in
+  (* The user guesses a department name that does not exist. *)
+  let query =
+    q (atom "ans" [ v "T" ]) [ atom "course" [ v "C"; v "T"; s "informatics" ] ]
+  in
+  match Relax.graceful db query with
+  | Some r ->
+      check_i "one step" 1 (List.length r.Relax.steps);
+      (match r.Relax.steps with
+      | [ Relax.Generalised_constant ("course", value) ] ->
+          check_b "the bad constant" true
+            (Relalg.Value.equal value (Relalg.Value.Str "informatics"))
+      | _ -> Alcotest.fail "expected a constant generalisation");
+      check_i "all titles" 3 (Relalg.Relation.cardinality r.Relax.answers)
+  | None -> Alcotest.fail "expected relaxed answers"
+
+let test_relax_drops_impossible_atom () =
+  let db = edb () in
+  (* No awards exist at all; with no constants to generalise, the only
+     productive relaxation drops the award atom. *)
+  ignore (Relalg.Database.create_relation db "award" [ "prof" ]);
+  let query =
+    q (atom "ans" [ v "P" ])
+      [ atom "teaches" [ v "P"; v "C" ]; atom "award" [ v "P" ] ]
+  in
+  match Relax.graceful db query with
+  | Some r ->
+      check_b "dropped the award atom" true
+        (List.exists
+           (function Relax.Dropped_atom a -> a.Atom.pred = "award" | _ -> false)
+           r.Relax.steps);
+      check_i "all teachers found" 3 (Relalg.Relation.cardinality r.Relax.answers)
+  | None -> Alcotest.fail "expected relaxed answers"
+
+let test_relax_gives_up () =
+  let db = edb () in
+  let query = q (atom "ans" [ v "X" ]) [ atom "nosuch" [ v "X" ] ] in
+  check_b "nothing to relax to" true (Relax.graceful db query = None)
+
+let test_relax_single_steps_enumerated () =
+  let query =
+    q (atom "ans" [ v "T" ])
+      [ atom "course" [ v "C"; v "T"; s "cs" ]; atom "teaches" [ v "P"; v "C" ] ]
+  in
+  (* One constant to generalise + one droppable atom (dropping the course
+     atom would unbind the head variable T, so only 'teaches' drops). *)
+  check_i "relaxation count" 2 (List.length (Relax.relaxations query))
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parser_basic () =
+  let query = Parser.parse_query_exn "q(X, Y) :- r(X, Z), s(Z, Y)" in
+  check_i "two atoms" 2 (Query.size query);
+  check_b "head vars" true (Query.head_vars query = [ "X"; "Y" ]);
+  check_b "safe" true (Query.is_safe query)
+
+let test_parser_constants () =
+  let query = Parser.parse_query_exn "q(X) :- course(X, 'intro to db', cs, 42)" in
+  match query.Query.body with
+  | [ a ] ->
+      check_b "quoted string" true
+        (List.nth a.Atom.args 1 = Term.str "intro to db");
+      check_b "bare lowercase is string" true
+        (List.nth a.Atom.args 2 = Term.str "cs");
+      check_b "number" true (List.nth a.Atom.args 3 = Term.int 42)
+  | _ -> Alcotest.fail "expected one atom"
+
+let test_parser_qualified_preds () =
+  let query = Parser.parse_query_exn "ans(T) :- mit.subject!(T, E)" in
+  match query.Query.body with
+  | [ a ] -> check_b "qualified pred" true (String.equal a.Atom.pred "mit.subject!")
+  | _ -> Alcotest.fail "expected one atom"
+
+let test_parser_errors () =
+  check_b "missing body" true (Result.is_error (Parser.parse_query "q(X)"));
+  check_b "unterminated quote" true
+    (Result.is_error (Parser.parse_query "q(X) :- r('oops)"));
+  check_b "trailing garbage" true
+    (Result.is_error (Parser.parse_query "q(X) :- r(X) extra"));
+  check_b "empty" true (Result.is_error (Parser.parse_query ""))
+
+let test_parser_program () =
+  let text = "# a comment\npath(X, Y) :- edge(X, Y)\n\npath(X, Z) :- edge(X, Y), path(Y, Z)" in
+  match Parser.parse_program text with
+  | Ok rules -> check_i "two rules" 2 (List.length rules)
+  | Error msg -> Alcotest.fail msg
+
+let test_parser_roundtrip () =
+  List.iter
+    (fun text ->
+      let query = Parser.parse_query_exn text in
+      let reparsed = Parser.parse_query_exn (Query.to_string query) in
+      check_b text true (Query.equal query reparsed))
+    [ "q(X) :- r(X, Y)";
+      "ans(A, B) :- course(A, 'db', B), teaches(B, A)";
+      "p(X) :- a.b(X), c.d(X, X)" ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+(* Random CQ over predicates r/2, t/1 with vars from a small pool. *)
+let gen_term =
+  QCheck.Gen.(
+    frequency
+      [ (4, map (fun i -> Term.v (Printf.sprintf "V%d" i)) (int_bound 3));
+        (1, map (fun i -> Term.int i) (int_bound 2)) ])
+
+let gen_atom =
+  QCheck.Gen.(
+    frequency
+      [ (2, map2 (fun a b -> atom "r" [ a; b ]) gen_term gen_term);
+        (1, map (fun a -> atom "t" [ a ]) gen_term) ])
+
+let gen_query =
+  QCheck.Gen.(
+    list_size (int_range 1 3) gen_atom >>= fun body ->
+    (* Head: first variable occurring in the body, or boolean head. *)
+    let vars = List.concat_map Atom.vars body in
+    let head_args = match vars with [] -> [] | x :: _ -> [ Term.v x ] in
+    return (q (atom "ans" head_args) body))
+
+let arb_query = QCheck.make ~print:Query.to_string gen_query
+
+let gen_db =
+  QCheck.Gen.(
+    pair
+      (small_list (pair (int_bound 3) (int_bound 3)))
+      (small_list (int_bound 3))
+    >>= fun (rs, ts) ->
+    return
+      (let db = Relalg.Database.create () in
+       let r = Relalg.Database.create_relation db "r" [ "a"; "b" ] in
+       let t = Relalg.Database.create_relation db "t" [ "a" ] in
+       List.iter
+         (fun (a, b) ->
+           ignore
+             (Relalg.Relation.insert_distinct r [| Relalg.Value.Int a; Relalg.Value.Int b |]))
+         rs;
+       List.iter
+         (fun a ->
+           ignore (Relalg.Relation.insert_distinct t [| Relalg.Value.Int a |]))
+         ts;
+       db))
+
+let arb_db = QCheck.make ~print:(fun _ -> "<db>") gen_db
+
+let answers db query =
+  Relalg.Relation.tuples (Eval.run db query)
+  |> List.map (fun row -> Array.to_list (Array.map Relalg.Value.to_string row))
+  |> List.sort compare
+
+let prop_containment_sound =
+  QCheck.Test.make ~name:"containment implies answer inclusion" ~count:500
+    QCheck.(triple arb_db arb_query arb_query)
+    (fun (db, q1, q2) ->
+      QCheck.assume
+        (Atom.arity q1.Query.head = Atom.arity q2.Query.head
+        && Query.is_safe q1 && Query.is_safe q2);
+      if Containment.contained_in q1 q2 then
+        let a1 = answers db q1 and a2 = answers db q2 in
+        List.for_all (fun x -> List.mem x a2) a1
+      else true)
+
+let prop_minimize_preserves_answers =
+  QCheck.Test.make ~name:"minimize preserves answers" ~count:300
+    QCheck.(pair arb_db arb_query)
+    (fun (db, query) ->
+      QCheck.assume (Query.is_safe query);
+      answers db query = answers db (Minimize.minimize query))
+
+let prop_self_containment =
+  QCheck.Test.make ~name:"every query contains itself" ~count:200 arb_query
+    (fun query -> Containment.contained_in query query)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "cq"
+    [ ("eval",
+       [ Alcotest.test_case "join" `Quick test_eval_join;
+         Alcotest.test_case "constant filter" `Quick test_eval_constant_filter;
+         Alcotest.test_case "repeated var" `Quick test_eval_repeated_var;
+         Alcotest.test_case "missing relation" `Quick test_eval_missing_relation;
+         Alcotest.test_case "unsafe raises" `Quick test_eval_unsafe_raises;
+         Alcotest.test_case "cartesian" `Quick test_eval_cartesian ]);
+      ("containment",
+       [ Alcotest.test_case "classic" `Quick test_containment_classic;
+         Alcotest.test_case "constants" `Quick test_containment_constants;
+         Alcotest.test_case "head mismatch" `Quick test_containment_head_mismatch;
+         Alcotest.test_case "equivalence" `Quick test_containment_equivalence;
+         Alcotest.test_case "union" `Quick test_containment_union ]);
+      ("minimize",
+       [ Alcotest.test_case "redundant atom" `Quick test_minimize_redundant_atom;
+         Alcotest.test_case "keeps necessary" `Quick test_minimize_keeps_necessary;
+         Alcotest.test_case "duplicates" `Quick test_minimize_duplicates ]);
+      ("unfold",
+       [ Alcotest.test_case "simple" `Quick test_unfold_simple;
+         Alcotest.test_case "union" `Quick test_unfold_union;
+         Alcotest.test_case "two defined atoms" `Quick test_unfold_two_defined_atoms;
+         Alcotest.test_case "depth cutoff" `Quick test_unfold_depth_cutoff ]);
+      ("query-helpers",
+       [ Alcotest.test_case "helpers" `Quick test_query_helpers;
+         Alcotest.test_case "unsafe detected" `Quick test_unsafe_query_detected ]);
+      ("relax",
+       [ Alcotest.test_case "exact hit" `Quick test_relax_exact_hit_needs_no_steps;
+         Alcotest.test_case "generalises constant" `Quick
+           test_relax_generalises_wrong_constant;
+         Alcotest.test_case "drops atom" `Quick test_relax_drops_impossible_atom;
+         Alcotest.test_case "gives up" `Quick test_relax_gives_up;
+         Alcotest.test_case "single steps" `Quick test_relax_single_steps_enumerated ]);
+      ("parser",
+       [ Alcotest.test_case "basic" `Quick test_parser_basic;
+         Alcotest.test_case "constants" `Quick test_parser_constants;
+         Alcotest.test_case "qualified preds" `Quick test_parser_qualified_preds;
+         Alcotest.test_case "errors" `Quick test_parser_errors;
+         Alcotest.test_case "program" `Quick test_parser_program;
+         Alcotest.test_case "roundtrip" `Quick test_parser_roundtrip ]);
+      ("datalog",
+       [ Alcotest.test_case "transitive closure" `Quick test_datalog_transitive_closure;
+         Alcotest.test_case "unsafe rejected" `Quick test_datalog_unsafe_rule_rejected ]);
+      ("properties",
+       qc [ prop_containment_sound; prop_minimize_preserves_answers; prop_self_containment ]) ]

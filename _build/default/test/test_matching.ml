@@ -1,0 +1,382 @@
+(* Tests for the LSD-style multi-strategy matcher and the
+   MatchingAdvisor. *)
+
+module Sm = Corpus.Schema_model
+
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+let prng () = Util.Prng.create 2003
+
+(* Training world: perturbed variants of the mediated university schema,
+   labelled with ground truth. *)
+let training_examples seed n level =
+  let p = Util.Prng.create seed in
+  List.concat_map
+    (fun i ->
+      let variant =
+        Workload.Perturb.perturb
+          ~name:(Printf.sprintf "train%d" i)
+          (Util.Prng.split p) ~level Workload.University.mediated_schema
+      in
+      let mapping =
+        List.map
+          (fun (base, perturbed) -> (perturbed, Workload.Perturb.label_of base))
+          variant.Workload.Perturb.truth
+      in
+      Matching.Lsd.examples_of_schema ~mapping variant.Workload.Perturb.perturbed)
+    (List.init n Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Base learners in isolation *)
+
+let columns_of schema = Matching.Column.of_schema schema
+
+let test_name_learner () =
+  let learner = Matching.Name_learner.create () in
+  learner.Matching.Learner.train (training_examples 1 3 0.3);
+  let variant =
+    Workload.Perturb.perturb (prng ()) ~level:0.2
+      Workload.University.mediated_schema
+  in
+  (* The name learner should at least score the correct label highest
+     for mildly perturbed phone columns. *)
+  let phone_col =
+    List.find_opt
+      (fun c ->
+        List.exists
+          (fun ((_, battr), (_, pattr)) ->
+            String.equal battr "phone" && String.equal pattr c.Matching.Column.attr)
+          variant.Workload.Perturb.truth)
+      (columns_of variant.Workload.Perturb.perturbed)
+  in
+  match phone_col with
+  | None -> () (* phone dropped by perturbation: nothing to assert *)
+  | Some col ->
+      let pred = learner.Matching.Learner.predict col in
+      check_b "phone scores positively" true
+        (Matching.Learner.score_of pred "person.phone" > 0.0)
+
+let test_format_learner_patterns () =
+  Alcotest.(check string) "phone pattern" "9-9-9"
+    (Matching.Format_learner.pattern_of "206-543-1695");
+  Alcotest.(check string) "code pattern" "a9"
+    (Matching.Format_learner.pattern_of "cse444");
+  Alcotest.(check string) "time pattern" "9:9"
+    (Matching.Format_learner.pattern_of "10:30")
+
+let test_naive_bayes_separates_kinds () =
+  let nb = Matching.Naive_bayes.create () in
+  nb.Matching.Learner.train (training_examples 2 3 0.2);
+  let p = prng () in
+  let mk attr kind =
+    {
+      Matching.Column.schema_name = "probe";
+      rel = "r";
+      attr;
+      context = [];
+      values = Workload.Data_gen.values p kind 30;
+    }
+  in
+  let day_col = mk "x1" Workload.Data_gen.Day in
+  let pred = nb.Matching.Learner.predict day_col in
+  (* The top label for day-like data should be course.day. *)
+  (match Matching.Learner.best pred with
+  | Some (label, _) ->
+      check_b "day data classified as day"
+        true (String.equal label "course.day")
+  | None -> Alcotest.fail "no prediction")
+
+let test_learner_prediction_normalization () =
+  let pred = [ ("a", 0.2); ("b", 0.4) ] in
+  match Matching.Learner.normalize pred with
+  | [ ("a", a); ("b", b) ] ->
+      Alcotest.(check (float 1e-9)) "max is 1" 1.0 b;
+      Alcotest.(check (float 1e-9)) "ratio kept" 0.5 a
+  | _ -> Alcotest.fail "unexpected shape"
+
+(* ------------------------------------------------------------------ *)
+(* Constraint handler *)
+
+let fake_col attr =
+  { Matching.Column.schema_name = "s"; rel = "r"; attr; context = []; values = [] }
+
+let test_constraint_handler_one_to_one () =
+  let c1 = fake_col "a" and c2 = fake_col "b" in
+  let preds =
+    [ (c1, [ ("l1", 0.9); ("l2", 0.8) ]); (c2, [ ("l1", 0.85); ("l2", 0.1) ]) ]
+  in
+  match Matching.Constraint_handler.assign preds with
+  | [ (_, Some "l1"); (_, Some "l2") ] -> ()
+  | [ (_, a); (_, b) ] ->
+      Alcotest.fail
+        (Printf.sprintf "got %s/%s"
+           (Option.value ~default:"-" a)
+           (Option.value ~default:"-" b))
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_constraint_handler_threshold () =
+  let c1 = fake_col "a" in
+  match Matching.Constraint_handler.assign ~threshold:0.5 [ (c1, [ ("l1", 0.3) ]) ] with
+  | [ (_, None) ] -> ()
+  | _ -> Alcotest.fail "expected unassigned"
+
+(* ------------------------------------------------------------------ *)
+(* Full LSD pipeline: the 70-90% claim at moderate heterogeneity *)
+
+let lsd_accuracy ~train_seed ~test_seed ~level =
+  let examples = training_examples train_seed 4 level in
+  let lsd = Matching.Lsd.train ~examples () in
+  let p = Util.Prng.create test_seed in
+  let trials = 5 in
+  let scores =
+    List.init trials (fun i ->
+        let variant =
+          Workload.Perturb.perturb
+            ~name:(Printf.sprintf "test%d" i)
+            (Util.Prng.split p) ~level Workload.University.mediated_schema
+        in
+        let truth = Workload.Perturb.truth_correspondences variant in
+        let assignment =
+          Matching.Lsd.match_schema lsd variant.Workload.Perturb.perturbed
+        in
+        let predicted = Matching.Evaluate.of_assignment assignment in
+        (Matching.Evaluate.score ~predicted ~truth).Matching.Evaluate.accuracy)
+  in
+  Util.Stats.mean scores
+
+let test_lsd_accuracy_in_paper_range () =
+  let acc = lsd_accuracy ~train_seed:10 ~test_seed:20 ~level:0.35 in
+  check_b
+    (Printf.sprintf "accuracy %.3f in [0.6, 1.0]" acc)
+    true
+    (acc >= 0.6 && acc <= 1.0)
+
+let test_lsd_degrades_with_heterogeneity () =
+  let low = lsd_accuracy ~train_seed:30 ~test_seed:40 ~level:0.15 in
+  let high = lsd_accuracy ~train_seed:30 ~test_seed:40 ~level:0.8 in
+  check_b
+    (Printf.sprintf "monotone-ish: %.3f >= %.3f - 0.05" low high)
+    true
+    (low >= high -. 0.05)
+
+let test_meta_beats_or_matches_single_learner () =
+  let examples = training_examples 50 4 0.35 in
+  let lsd = Matching.Lsd.train ~examples () in
+  let p = Util.Prng.create 60 in
+  let variant =
+    Workload.Perturb.perturb p ~level:0.35 Workload.University.mediated_schema
+  in
+  let truth = Workload.Perturb.truth_correspondences variant in
+  let acc only =
+    let assignment =
+      Matching.Lsd.match_schema ?only lsd variant.Workload.Perturb.perturbed
+    in
+    (Matching.Evaluate.score
+       ~predicted:(Matching.Evaluate.of_assignment assignment)
+       ~truth).Matching.Evaluate.accuracy
+  in
+  let meta = acc None in
+  let format_only = acc (Some [ "format" ]) in
+  check_b
+    (Printf.sprintf "meta %.3f >= format-only %.3f - 0.1" meta format_only)
+    true
+    (meta >= format_only -. 0.1)
+
+let test_learner_weights_normalised () =
+  let examples = training_examples 70 3 0.3 in
+  let lsd = Matching.Lsd.train ~examples () in
+  let weights = Matching.Lsd.learner_weights lsd in
+  check_i "four learners" 4 (List.length weights);
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weights in
+  Alcotest.(check (float 1e-6)) "weights sum to 1" 1.0 total
+
+(* ------------------------------------------------------------------ *)
+(* Corpus matcher (MatchingAdvisor) *)
+
+let test_corpus_matcher_two_unseen_schemas () =
+  let p = prng () in
+  let corpus = Workload.University.corpus_of_variants (Util.Prng.split p) ~n:6 ~level:0.3 in
+  let matcher = Matching.Corpus_matcher.build corpus in
+  let v1 =
+    Workload.Perturb.perturb ~name:"s1" (Util.Prng.split p) ~level:0.3
+      Workload.University.mediated_schema
+  in
+  let v2 =
+    Workload.Perturb.perturb ~name:"s2" (Util.Prng.split p) ~level:0.3
+      Workload.University.mediated_schema
+  in
+  let pairs =
+    Matching.Corpus_matcher.match_schemas matcher v1.Workload.Perturb.perturbed
+      v2.Workload.Perturb.perturbed
+  in
+  check_b "some pairs proposed" true (List.length pairs >= 5);
+  (* Score the proposals against composed ground truth. *)
+  let base_of truth (rel, attr) =
+    List.find_map
+      (fun (base, (r, a)) ->
+        if String.equal r rel && String.equal a attr then Some base else None)
+      truth
+  in
+  let correct, total =
+    List.fold_left
+      (fun (c, t) (col1, col2, _) ->
+        let b1 = base_of v1.Workload.Perturb.truth (Matching.Column.key col1) in
+        let b2 = base_of v2.Workload.Perturb.truth (Matching.Column.key col2) in
+        match (b1, b2) with
+        | Some x, Some y -> ((if x = y then c + 1 else c), t + 1)
+        | _ -> (c, t))
+      (0, 0) pairs
+  in
+  check_b
+    (Printf.sprintf "majority correct (%d/%d)" correct total)
+    true
+    (total > 0 && float_of_int correct /. float_of_int total > 0.5)
+
+let test_corpus_matcher_pivot () =
+  let corpus = Corpus.Corpus_store.create () in
+  let s_a =
+    Sm.make ~name:"a" [ Sm.relation "course" [ Sm.attribute "title"; Sm.attribute "code" ] ]
+  in
+  let s_b =
+    Sm.make ~name:"b"
+      [ Sm.relation "subject" [ Sm.attribute "name"; Sm.attribute "id" ] ]
+  in
+  Corpus.Corpus_store.add_schema corpus s_a;
+  Corpus.Corpus_store.add_schema corpus s_b;
+  Corpus.Corpus_store.add_mapping corpus
+    {
+      Corpus.Corpus_store.from_schema = "a";
+      to_schema = "b";
+      correspondences =
+        [ (("course", "title"), ("subject", "name"));
+          (("course", "code"), ("subject", "id")) ];
+    };
+  let matcher = Matching.Corpus_matcher.build corpus in
+  (* Two new schemas shaped like a and b. *)
+  let n1 =
+    Sm.make ~name:"n1" [ Sm.relation "course" [ Sm.attribute "title"; Sm.attribute "code" ] ]
+  in
+  let n2 =
+    Sm.make ~name:"n2"
+      [ Sm.relation "subject" [ Sm.attribute "name"; Sm.attribute "id" ] ]
+  in
+  let pairs = Matching.Corpus_matcher.match_via_pivot matcher ~corpus n1 n2 in
+  check_i "both correspondences recovered" 2 (List.length pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluate *)
+
+let test_evaluate_scores () =
+  let c rel attr dst = { Matching.Evaluate.src = (rel, attr); dst } in
+  let truth = [ c "r" "a" "l1"; c "r" "b" "l2" ] in
+  let predicted = [ c "r" "a" "l1"; c "r" "b" "l9"; c "r" "c" "l3" ] in
+  let s = Matching.Evaluate.score ~predicted ~truth in
+  Alcotest.(check (float 1e-9)) "precision" (1.0 /. 3.0) s.Matching.Evaluate.precision;
+  Alcotest.(check (float 1e-9)) "recall" 0.5 s.Matching.Evaluate.recall;
+  check_b "f1 between" true
+    (s.Matching.Evaluate.f1 > 0.0 && s.Matching.Evaluate.f1 < 1.0);
+  let empty = Matching.Evaluate.score ~predicted:[] ~truth in
+  Alcotest.(check (float 1e-9)) "empty precision" 0.0 empty.Matching.Evaluate.precision
+
+(* ------------------------------------------------------------------ *)
+(* GLUE taxonomy matching *)
+
+let course_taxonomy name renamer =
+  (* Instances are course descriptions; both taxonomies draw from the
+     same underlying distribution with different concept names. *)
+  Matching.Taxonomy.make (renamer name)
+    [ Matching.Taxonomy.make ~instances:
+        [ "relational databases and sql querying";
+          "transaction processing and recovery";
+          "query optimization in database systems";
+          "indexing and storage structures for data" ]
+        (renamer "databases") [];
+      Matching.Taxonomy.make ~instances:
+        [ "neural networks and deep learning";
+          "supervised learning and classifiers";
+          "reinforcement learning agents";
+          "statistical machine learning models" ]
+        (renamer "machine_learning") [];
+      Matching.Taxonomy.make ~instances:
+        [ "roman empire and ancient law";
+          "medieval europe and feudal society";
+          "renaissance art and florence";
+          "ancient greek city states" ]
+        (renamer "history") [] ]
+
+let test_glue_matches_renamed_taxonomy () =
+  let ta = course_taxonomy "catalog" Fun.id in
+  let tb =
+    course_taxonomy "curriculum" (fun n ->
+        match n with
+        | "databases" -> "data_mgmt"
+        | "machine_learning" -> "ai"
+        | "history" -> "humanities"
+        | other -> other ^ "_b")
+  in
+  let pairs = Matching.Glue.match_taxonomies ta tb in
+  check_b "databases -> data_mgmt" true
+    (List.mem ("databases", "data_mgmt") pairs);
+  check_b "ml -> ai" true (List.mem ("machine_learning", "ai") pairs);
+  check_b "history -> humanities" true
+    (List.mem ("history", "humanities") pairs)
+
+let test_glue_similarities_ordered () =
+  let ta = course_taxonomy "catalog" Fun.id in
+  let tb = course_taxonomy "catalog2" (fun n -> n ^ "_b") in
+  let sims = Matching.Glue.similarities ta tb in
+  check_b "nonempty" true (sims <> []);
+  (* The matching pair scores above the cross pair. *)
+  let get a b =
+    List.find_opt
+      (fun (s : Matching.Glue.similarity) ->
+        s.Matching.Glue.concept_a = a && s.Matching.Glue.concept_b = b)
+      sims
+  in
+  match (get "databases" "databases_b", get "databases" "history_b") with
+  | Some good, Some bad ->
+      check_b "right pair wins" true
+        (good.Matching.Glue.relaxed > bad.Matching.Glue.relaxed)
+  | Some _, None -> () (* cross pair had zero similarity: even better *)
+  | None, _ -> Alcotest.fail "expected databases pair"
+
+let test_taxonomy_structure () =
+  let t = course_taxonomy "catalog" Fun.id in
+  check_i "four concepts" 4 (Matching.Taxonomy.size t);
+  check_b "parent" true
+    (Matching.Taxonomy.parent_of t "databases" = Some "catalog");
+  check_b "root has no parent" true (Matching.Taxonomy.parent_of t "catalog" = None);
+  check_i "extension" 12 (List.length (Matching.Taxonomy.all_instances t));
+  check_i "leaves" 3 (List.length (Matching.Taxonomy.leaves t));
+  check_b "duplicate concepts rejected" true
+    (try
+       ignore
+         (Matching.Taxonomy.make "r"
+            [ Matching.Taxonomy.make "x" []; Matching.Taxonomy.make "x" [] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "matching"
+    [ ("learners",
+       [ Alcotest.test_case "name learner" `Quick test_name_learner;
+         Alcotest.test_case "format patterns" `Quick test_format_learner_patterns;
+         Alcotest.test_case "naive bayes kinds" `Quick test_naive_bayes_separates_kinds;
+         Alcotest.test_case "normalization" `Quick test_learner_prediction_normalization ]);
+      ("constraints",
+       [ Alcotest.test_case "one-to-one" `Quick test_constraint_handler_one_to_one;
+         Alcotest.test_case "threshold" `Quick test_constraint_handler_threshold ]);
+      ("lsd",
+       [ Alcotest.test_case "accuracy in paper range" `Slow test_lsd_accuracy_in_paper_range;
+         Alcotest.test_case "degrades with heterogeneity" `Slow
+           test_lsd_degrades_with_heterogeneity;
+         Alcotest.test_case "meta vs single" `Slow test_meta_beats_or_matches_single_learner;
+         Alcotest.test_case "weights normalised" `Quick test_learner_weights_normalised ]);
+      ("evaluate", [ Alcotest.test_case "scores" `Quick test_evaluate_scores ]);
+      ("glue",
+       [ Alcotest.test_case "taxonomy structure" `Quick test_taxonomy_structure;
+         Alcotest.test_case "renamed taxonomy" `Quick test_glue_matches_renamed_taxonomy;
+         Alcotest.test_case "similarity ordering" `Quick test_glue_similarities_ordered ]);
+      ("corpus_matcher",
+       [ Alcotest.test_case "unseen schemas" `Slow test_corpus_matcher_two_unseen_schemas;
+         Alcotest.test_case "pivot" `Quick test_corpus_matcher_pivot ]) ]

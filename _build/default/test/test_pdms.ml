@@ -1,0 +1,859 @@
+(* Tests for the Piazza PDMS: reformulation over mapping chains,
+   topology/network simulation, updategrams and view maintenance. *)
+
+open Cq
+module P = Pdms
+
+let v = Term.v
+let atom = Atom.make
+let q head body = Query.make head body
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+let vs s = Relalg.Value.Str s
+
+(* ------------------------------------------------------------------ *)
+(* Scenario builders *)
+
+(* Two universities; MIT stores data; an equality mapping relates the
+   two schemas. Querying UW's schema must surface MIT's data. *)
+let two_peer_catalog mapping_kind =
+  let catalog = P.Catalog.create () in
+  let uw = P.Peer.create ~name:"uw" ~schema:[ ("course", [ "code"; "title" ]) ] in
+  let mit = P.Peer.create ~name:"mit" ~schema:[ ("subject", [ "id"; "name" ]) ] in
+  P.Catalog.add_peer catalog uw;
+  P.Catalog.add_peer catalog mit;
+  let stored = P.Catalog.store_identity catalog mit ~rel:"subject" in
+  List.iter (Relalg.Relation.insert stored)
+    [ [| vs "6.033"; vs "systems" |]; [| vs "6.830"; vs "databases" |] ];
+  let lhs = q (atom "m" [ v "C"; v "T" ]) [ P.Peer.atom mit "subject" [ v "C"; v "T" ] ] in
+  let rhs = q (atom "m" [ v "C"; v "T" ]) [ P.Peer.atom uw "course" [ v "C"; v "T" ] ] in
+  let mapping =
+    match mapping_kind with
+    | `Equality -> P.Peer_mapping.equality ~lhs ~rhs
+    | `Inclusion -> P.Peer_mapping.inclusion ~lhs ~rhs
+  in
+  ignore (P.Catalog.add_mapping catalog mapping);
+  (catalog, uw, mit)
+
+let test_two_peer_equality () =
+  let catalog, uw, _ = two_peer_catalog `Equality in
+  let query = q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom uw "course" [ v "X"; v "Y" ] ] in
+  let result = P.Answer.answer catalog query in
+  check_i "both MIT courses" 2 (Relalg.Relation.cardinality result.P.Answer.answers);
+  check_b "some rewriting emitted" true
+    (result.P.Answer.outcome.P.Reformulate.stats.P.Reformulate.emitted > 0)
+
+let test_two_peer_inclusion_directionality () =
+  let catalog, uw, mit = two_peer_catalog `Inclusion in
+  (* mit.subject ⊆ uw.course: querying uw gets MIT data... *)
+  let q_uw = q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom uw "course" [ v "X"; v "Y" ] ] in
+  check_i "uw sees mit data" 2
+    (Relalg.Relation.cardinality (P.Answer.answer catalog q_uw).P.Answer.answers);
+  (* ... and querying mit.subject is answered from MIT's own storage
+     (the mapping is not reversed). *)
+  let q_mit = q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom mit "subject" [ v "X"; v "Y" ] ] in
+  check_i "mit local storage" 2
+    (Relalg.Relation.cardinality (P.Answer.answer catalog q_mit).P.Answer.answers)
+
+let test_definitional_mapping () =
+  let catalog = P.Catalog.create () in
+  let uw = P.Peer.create ~name:"uw" ~schema:[ ("course", [ "code"; "title" ]) ] in
+  let mit = P.Peer.create ~name:"mit" ~schema:[ ("subject", [ "id"; "name" ]) ] in
+  P.Catalog.add_peer catalog uw;
+  P.Catalog.add_peer catalog mit;
+  let stored = P.Catalog.store_identity catalog mit ~rel:"subject" in
+  Relalg.Relation.insert stored [| vs "6.033"; vs "systems" |];
+  (* GAV-style: uw.course defined from mit.subject. *)
+  let rule =
+    q
+      (P.Peer.atom uw "course" [ v "C"; v "T" ])
+      [ P.Peer.atom mit "subject" [ v "C"; v "T" ] ]
+  in
+  ignore (P.Catalog.add_mapping catalog (P.Peer_mapping.definitional rule));
+  let query = q (atom "ans" [ v "X" ]) [ P.Peer.atom uw "course" [ v "X"; v "T" ] ] in
+  check_i "one course" 1
+    (Relalg.Relation.cardinality (P.Answer.answer catalog query).P.Answer.answers)
+
+(* Chain of equalities: peer0 - peer1 - ... - peer_{n-1}; data lives at
+   the last peer; query at peer0 must traverse the transitive closure. *)
+let chain_catalog n =
+  let catalog = P.Catalog.create () in
+  let peers =
+    List.init n (fun i ->
+        let p =
+          P.Peer.create ~name:(Printf.sprintf "p%d" i)
+            ~schema:[ ("course", [ "code"; "title" ]) ]
+        in
+        P.Catalog.add_peer catalog p;
+        p)
+  in
+  let last = List.nth peers (n - 1) in
+  let stored = P.Catalog.store_identity catalog last ~rel:"course" in
+  List.iter (Relalg.Relation.insert stored)
+    [ [| vs "c1"; vs "ancient history" |]; [| vs "c2"; vs "databases" |] ];
+  List.iteri
+    (fun i p ->
+      if i < n - 1 then begin
+        let next = List.nth peers (i + 1) in
+        let lhs =
+          q (atom "m" [ v "C"; v "T" ]) [ P.Peer.atom next "course" [ v "C"; v "T" ] ]
+        in
+        let rhs =
+          q (atom "m" [ v "C"; v "T" ]) [ P.Peer.atom p "course" [ v "C"; v "T" ] ]
+        in
+        ignore (P.Catalog.add_mapping catalog (P.Peer_mapping.equality ~lhs ~rhs))
+      end)
+    peers;
+  (catalog, peers)
+
+let test_chain_transitive_closure () =
+  List.iter
+    (fun n ->
+      let catalog, peers = chain_catalog n in
+      let p0 = List.hd peers in
+      let query =
+        q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom p0 "course" [ v "X"; v "Y" ] ]
+      in
+      let result = P.Answer.answer catalog query in
+      check_i
+        (Printf.sprintf "chain %d answers" n)
+        2
+        (Relalg.Relation.cardinality result.P.Answer.answers))
+    [ 2; 3; 5; 8 ]
+
+let test_chain_mapping_count_linear () =
+  let catalog, _ = chain_catalog 10 in
+  check_i "n-1 mappings" 9 (P.Catalog.mapping_count catalog)
+
+let test_reachability () =
+  let catalog, _ = chain_catalog 4 in
+  let reachable = P.Answer.reachable_peers catalog "p0" in
+  check_i "all peers reachable" 4 (List.length reachable)
+
+(* Sibling subgoals through the same mapping: the per-atom history must
+   allow unfolding the same mapping predicate for both atoms. *)
+let test_same_mapping_twice_in_one_query () =
+  let catalog = P.Catalog.create () in
+  let a = P.Peer.create ~name:"a" ~schema:[ ("r", [ "x"; "y" ]) ] in
+  let b = P.Peer.create ~name:"b" ~schema:[ ("r2", [ "x"; "y" ]) ] in
+  P.Catalog.add_peer catalog a;
+  P.Catalog.add_peer catalog b;
+  let stored = P.Catalog.store_identity catalog b ~rel:"r2" in
+  List.iter (Relalg.Relation.insert stored)
+    [ [| vs "1"; vs "2" |]; [| vs "3"; vs "4" |] ];
+  let lhs = q (atom "m" [ v "X"; v "Y" ]) [ P.Peer.atom b "r2" [ v "X"; v "Y" ] ] in
+  let rhs = q (atom "m" [ v "X"; v "Y" ]) [ P.Peer.atom a "r" [ v "X"; v "Y" ] ] in
+  ignore (P.Catalog.add_mapping catalog (P.Peer_mapping.equality ~lhs ~rhs));
+  let query =
+    q
+      (atom "ans" [ v "X"; v "Y"; v "X2"; v "Y2" ])
+      [ P.Peer.atom a "r" [ v "X"; v "Y" ]; P.Peer.atom a "r" [ v "X2"; v "Y2" ] ]
+  in
+  let result = P.Answer.answer catalog query in
+  check_i "cross product" 4 (Relalg.Relation.cardinality result.P.Answer.answers)
+
+let test_local_plus_remote_union () =
+  let catalog, uw, _ = two_peer_catalog `Equality in
+  (* Give UW local storage too. *)
+  let stored = P.Catalog.store_identity catalog uw ~rel:"course" in
+  Relalg.Relation.insert stored [| vs "cse444"; vs "databases uw" |];
+  let query = q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom uw "course" [ v "X"; v "Y" ] ] in
+  check_i "local + remote" 3
+    (Relalg.Relation.cardinality (P.Answer.answer catalog query).P.Answer.answers)
+
+let test_join_query_through_mapping () =
+  let catalog = P.Catalog.create () in
+  let a =
+    P.Peer.create ~name:"a" ~schema:[ ("r", [ "x"; "y" ]); ("s", [ "y"; "z" ]) ]
+  in
+  let b =
+    P.Peer.create ~name:"b" ~schema:[ ("r2", [ "x"; "y" ]); ("s2", [ "y"; "z" ]) ]
+  in
+  P.Catalog.add_peer catalog a;
+  P.Catalog.add_peer catalog b;
+  let sr = P.Catalog.store_identity catalog b ~rel:"r2" in
+  let ss = P.Catalog.store_identity catalog b ~rel:"s2" in
+  List.iter (Relalg.Relation.insert sr) [ [| vs "1"; vs "2" |]; [| vs "5"; vs "6" |] ];
+  List.iter (Relalg.Relation.insert ss) [ [| vs "2"; vs "3" |] ];
+  (* Two separate mappings, one per relation. *)
+  let m1_lhs = q (atom "m" [ v "X"; v "Y" ]) [ P.Peer.atom b "r2" [ v "X"; v "Y" ] ] in
+  let m1_rhs = q (atom "m" [ v "X"; v "Y" ]) [ P.Peer.atom a "r" [ v "X"; v "Y" ] ] in
+  let m2_lhs = q (atom "m" [ v "Y"; v "Z" ]) [ P.Peer.atom b "s2" [ v "Y"; v "Z" ] ] in
+  let m2_rhs = q (atom "m" [ v "Y"; v "Z" ]) [ P.Peer.atom a "s" [ v "Y"; v "Z" ] ] in
+  ignore (P.Catalog.add_mapping catalog (P.Peer_mapping.equality ~lhs:m1_lhs ~rhs:m1_rhs));
+  ignore (P.Catalog.add_mapping catalog (P.Peer_mapping.equality ~lhs:m2_lhs ~rhs:m2_rhs));
+  let query =
+    q
+      (atom "ans" [ v "X"; v "Z" ])
+      [ P.Peer.atom a "r" [ v "X"; v "Y" ]; P.Peer.atom a "s" [ v "Y"; v "Z" ] ]
+  in
+  let result = P.Answer.answer catalog query in
+  let rows = P.Answer.answers_list result in
+  check_b "join answer" true (rows = [ [ "1"; "3" ] ])
+
+(* Cyclic mapping graph: every peer's data must still be found by the
+   pruned search, each tuple exactly once. *)
+let test_mesh_completeness () =
+  let prng = Util.Prng.create 77 in
+  let topology = P.Topology.generate ~prng (P.Topology.Mesh 1) ~n:10 in
+  let catalog = P.Catalog.create () in
+  let peers =
+    Array.init 10 (fun i ->
+        let p =
+          P.Peer.create ~name:(Printf.sprintf "m%d" i)
+            ~schema:[ ("course", [ "code"; "title" ]) ]
+        in
+        P.Catalog.add_peer catalog p;
+        let stored = P.Catalog.store_identity catalog p ~rel:"course" in
+        Relalg.Relation.insert stored
+          [| vs (Printf.sprintf "c%d" i); vs (Printf.sprintf "t%d" i) |];
+        Relalg.Relation.insert stored
+          [| vs (Printf.sprintf "c%d'" i); vs (Printf.sprintf "t%d'" i) |];
+        p)
+  in
+  List.iter
+    (fun (a, b) ->
+      let args = [ v "X"; v "Y" ] in
+      let lhs = q (atom "m" args) [ P.Peer.atom peers.(a) "course" args ] in
+      let rhs = q (atom "m" args) [ P.Peer.atom peers.(b) "course" args ] in
+      ignore (P.Catalog.add_mapping catalog (P.Peer_mapping.equality ~lhs ~rhs)))
+    topology.P.Topology.edges;
+  let query =
+    q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom peers.(0) "course" [ v "X"; v "Y" ] ]
+  in
+  let result = P.Answer.answer catalog query in
+  check_i "all peers' tuples" 20
+    (Relalg.Relation.cardinality result.P.Answer.answers)
+
+let test_no_pruning_terminates_and_agrees () =
+  let catalog, peers = chain_catalog 4 in
+  let p0 = List.hd peers in
+  let query =
+    q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom p0 "course" [ v "X"; v "Y" ] ]
+  in
+  let pruning = { P.Reformulate.no_pruning with P.Reformulate.max_depth = 10 } in
+  let loose = P.Answer.answer ~pruning catalog query in
+  let tight = P.Answer.answer catalog query in
+  check_b "same answers" true
+    (P.Answer.answers_list loose = P.Answer.answers_list tight);
+  check_b "pruning reduces work" true
+    (tight.P.Answer.outcome.P.Reformulate.stats.P.Reformulate.nodes_expanded
+    <= loose.P.Answer.outcome.P.Reformulate.stats.P.Reformulate.nodes_expanded)
+
+let test_projection_mapping () =
+  (* The mapping only exposes the course code, not the title. *)
+  let catalog = P.Catalog.create () in
+  let uw = P.Peer.create ~name:"uw" ~schema:[ ("course", [ "code"; "title" ]) ] in
+  let mit = P.Peer.create ~name:"mit" ~schema:[ ("subject", [ "id"; "name" ]) ] in
+  P.Catalog.add_peer catalog uw;
+  P.Catalog.add_peer catalog mit;
+  let stored = P.Catalog.store_identity catalog mit ~rel:"subject" in
+  Relalg.Relation.insert stored [| vs "6.033"; vs "systems" |];
+  let lhs = q (atom "m" [ v "C" ]) [ P.Peer.atom mit "subject" [ v "C"; v "T" ] ] in
+  let rhs = q (atom "m" [ v "C" ]) [ P.Peer.atom uw "course" [ v "C"; v "T" ] ] in
+  ignore (P.Catalog.add_mapping catalog (P.Peer_mapping.inclusion ~lhs ~rhs));
+  (* Asking only for codes succeeds... *)
+  let q_code = q (atom "ans" [ v "X" ]) [ P.Peer.atom uw "course" [ v "X"; v "T" ] ] in
+  check_i "codes flow" 1
+    (Relalg.Relation.cardinality (P.Answer.answer catalog q_code).P.Answer.answers);
+  (* ... asking for titles cannot be answered through this mapping. *)
+  let q_title = q (atom "ans" [ v "T" ]) [ P.Peer.atom uw "course" [ v "X"; v "T" ] ] in
+  check_i "titles do not flow" 0
+    (Relalg.Relation.cardinality (P.Answer.answer catalog q_title).P.Answer.answers)
+
+(* ------------------------------------------------------------------ *)
+(* Topology and network *)
+
+let test_topology_shapes () =
+  let chain = P.Topology.generate P.Topology.Chain ~n:8 in
+  check_i "chain edges" 7 (P.Topology.edge_count chain);
+  check_i "chain diameter" 7 (P.Topology.diameter chain);
+  let star = P.Topology.generate P.Topology.Star ~n:8 in
+  check_i "star edges" 7 (P.Topology.edge_count star);
+  check_i "star diameter" 2 (P.Topology.diameter star);
+  let ring = P.Topology.generate P.Topology.Ring ~n:8 in
+  check_i "ring edges" 8 (P.Topology.edge_count ring);
+  let tree = P.Topology.generate P.Topology.Binary_tree ~n:7 in
+  check_i "tree edges" 6 (P.Topology.edge_count tree);
+  let prng = Util.Prng.create 5 in
+  let mesh = P.Topology.generate ~prng (P.Topology.Mesh 2) ~n:8 in
+  check_b "mesh has extra edges" true (P.Topology.edge_count mesh >= 7)
+
+let test_network_routing () =
+  let net = P.Network.create () in
+  P.Network.connect net "a" "b" ~latency_ms:10.0;
+  P.Network.connect net "b" "c" ~latency_ms:5.0;
+  P.Network.connect net "a" "c" ~latency_ms:50.0;
+  (match P.Network.latency net "a" "c" with
+  | Some l -> Alcotest.(check (float 1e-9)) "via b" 15.0 l
+  | None -> Alcotest.fail "disconnected");
+  (match P.Network.hops net "a" "c" with
+  | Some h -> check_i "two hops" 2 h
+  | None -> Alcotest.fail "disconnected");
+  let t = P.Network.send net ~src:"a" ~dst:"c" ~size:1024 in
+  Alcotest.(check (float 1e-9)) "send time" 16.0 t;
+  check_i "one message" 1 (P.Network.messages_sent net)
+
+let test_network_of_topology () =
+  let topo = P.Topology.generate P.Topology.Chain ~n:4 in
+  let net =
+    P.Network.of_topology topo ~names:[ "p0"; "p1"; "p2"; "p3" ] ~base_latency_ms:2.0
+  in
+  match P.Network.latency net "p0" "p3" with
+  | Some l -> Alcotest.(check (float 1e-9)) "three hops" 6.0 l
+  | None -> Alcotest.fail "disconnected"
+
+(* ------------------------------------------------------------------ *)
+(* Updategrams *)
+
+let vi i = Relalg.Value.Int i
+
+let test_updategram_of_log () =
+  let events =
+    [ Storage.Relation_store.Inserted ("r", [| vi 1 |]);
+      Storage.Relation_store.Inserted ("r", [| vi 2 |]);
+      Storage.Relation_store.Deleted ("r", [| vi 1 |]);
+      Storage.Relation_store.Inserted ("s", [| vi 9 |]) ]
+  in
+  match P.Updategram.of_log events with
+  | [ r; s ] ->
+      check_b "r gram" true (r.P.Updategram.rel = "r");
+      check_i "insert 2 survives" 1 (List.length r.P.Updategram.inserts);
+      check_i "delete cancelled" 0 (List.length r.P.Updategram.deletes);
+      check_i "s gram" 1 (List.length s.P.Updategram.inserts)
+  | grams -> Alcotest.fail (Printf.sprintf "expected 2 grams, got %d" (List.length grams))
+
+let test_updategram_compose () =
+  let a = P.Updategram.make ~rel:"r" ~inserts:[ [| vi 1 |]; [| vi 2 |] ] () in
+  let b = P.Updategram.make ~rel:"r" ~deletes:[ [| vi 1 |] ] ~inserts:[ [| vi 3 |] ] () in
+  let c = P.Updategram.compose a b in
+  check_i "two inserts" 2 (List.length c.P.Updategram.inserts);
+  check_i "no deletes" 0 (List.length c.P.Updategram.deletes)
+
+let prop_updategram_log_replay =
+  QCheck.Test.make ~name:"of_log replay reproduces the final state" ~count:150
+    (QCheck.make QCheck.Gen.(int_bound 100_000) ~print:string_of_int)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      (* Drive a relation store with random ops, recording the log. *)
+      let store = Storage.Relation_store.create () in
+      Storage.Relation_store.declare store "r" [ "a" ];
+      Storage.Relation_store.declare store "s" [ "a" ];
+      let initial = Relalg.Database.copy (Storage.Relation_store.database store) in
+      for _ = 1 to 30 do
+        let rel = if Util.Prng.bool prng then "r" else "s" in
+        let tuple = [| Relalg.Value.Int (Util.Prng.int prng 5) |] in
+        if Util.Prng.bernoulli prng 0.7 then
+          ignore (Storage.Relation_store.insert store rel tuple)
+        else ignore (Storage.Relation_store.delete store rel tuple)
+      done;
+      (* Replaying the folded updategrams on the initial copy must give
+         the same final contents. *)
+      let grams = P.Updategram.of_log (Storage.Relation_store.log store) in
+      List.iter (P.Updategram.apply initial) grams;
+      let dump db name =
+        Relalg.Relation.tuples (Relalg.Database.find db name)
+        |> List.map (fun row -> Relalg.Value.to_string row.(0))
+        |> List.sort compare
+      in
+      let final = Storage.Relation_store.database store in
+      dump initial "r" = dump final "r" && dump initial "s" = dump final "s")
+
+(* ------------------------------------------------------------------ *)
+(* View maintenance *)
+
+let vm_db () =
+  let db = Relalg.Database.create () in
+  ignore (Relalg.Database.create_relation db "r" [ "a"; "b" ]);
+  ignore (Relalg.Database.create_relation db "s" [ "b"; "c" ]);
+  db
+
+let vm_view =
+  q (atom "vw" [ v "X"; v "Z" ]) [ atom "r" [ v "X"; v "Y" ]; atom "s" [ v "Y"; v "Z" ] ]
+
+let sorted_tuples vm =
+  P.View_maintenance.tuples vm
+  |> List.map (fun row -> Array.to_list (Array.map Relalg.Value.to_string row))
+  |> List.sort compare
+
+let test_view_maintenance_basic () =
+  let db = vm_db () in
+  let vm = P.View_maintenance.create db vm_view in
+  check_i "empty initially" 0 (P.View_maintenance.cardinality vm);
+  P.View_maintenance.apply vm
+    (P.Updategram.make ~rel:"r" ~inserts:[ [| vi 1; vi 2 |] ] ());
+  check_i "no join partner yet" 0 (P.View_maintenance.cardinality vm);
+  P.View_maintenance.apply vm
+    (P.Updategram.make ~rel:"s" ~inserts:[ [| vi 2; vi 3 |] ] ());
+  check_b "join appears" true (sorted_tuples vm = [ [ "1"; "3" ] ]);
+  (* A second derivation of the same output tuple. *)
+  P.View_maintenance.apply vm
+    (P.Updategram.make ~rel:"r" ~inserts:[ [| vi 1; vi 5 |] ] ());
+  P.View_maintenance.apply vm
+    (P.Updategram.make ~rel:"s" ~inserts:[ [| vi 5; vi 3 |] ] ());
+  check_b "still one tuple" true (sorted_tuples vm = [ [ "1"; "3" ] ]);
+  (* Deleting one derivation keeps the tuple; deleting both removes it. *)
+  P.View_maintenance.apply vm
+    (P.Updategram.make ~rel:"s" ~deletes:[ [| vi 5; vi 3 |] ] ());
+  check_b "survives one delete" true (sorted_tuples vm = [ [ "1"; "3" ] ]);
+  P.View_maintenance.apply vm
+    (P.Updategram.make ~rel:"s" ~deletes:[ [| vi 2; vi 3 |] ] ());
+  check_i "gone after both" 0 (P.View_maintenance.cardinality vm)
+
+let prop_view_maintenance_matches_recompute =
+  QCheck.Test.make ~name:"incremental maintenance = recompute" ~count:80
+    (QCheck.make QCheck.Gen.(int_bound 10_000) ~print:string_of_int)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let db = vm_db () in
+      let vm = P.View_maintenance.create db vm_view in
+      let random_tuple () = [| vi (Util.Prng.int prng 4); vi (Util.Prng.int prng 4) |] in
+      for _ = 1 to 25 do
+        let rel = if Util.Prng.bool prng then "r" else "s" in
+        let u =
+          if Util.Prng.bernoulli prng 0.7 then
+            P.Updategram.make ~rel ~inserts:[ random_tuple () ] ()
+          else P.Updategram.make ~rel ~deletes:[ random_tuple () ] ()
+        in
+        P.View_maintenance.apply vm u
+      done;
+      let incremental = sorted_tuples vm in
+      P.View_maintenance.refresh vm;
+      incremental = sorted_tuples vm)
+
+(* Non-identity storage description: the peer stores only a selection
+   of its logical relation (A:R ⊆ Q(P) with a constant filter). *)
+let test_storage_description_selection () =
+  let catalog = P.Catalog.create () in
+  let uw =
+    P.Peer.create ~name:"uw" ~schema:[ ("course", [ "code"; "title"; "dept" ]) ]
+  in
+  P.Catalog.add_peer catalog uw;
+  (* Stored relation holds only CS courses, and only (code, title). *)
+  let stored = P.Peer.add_stored uw ~rel:"cs_courses" ~attrs:[ "code"; "title" ] in
+  let view =
+    q
+      (atom (P.Peer.stored_pred uw "cs_courses") [ v "C"; v "T" ])
+      [ P.Peer.atom uw "course" [ v "C"; v "T"; Term.str "cs" ] ]
+  in
+  P.Catalog.add_storage catalog (P.Storage_desc.make P.Storage_desc.Containment view);
+  List.iter (Relalg.Relation.insert stored)
+    [ [| vs "cse444"; vs "databases" |]; [| vs "cse446"; vs "ml" |] ];
+  (* Asking for CS courses is answered from storage... *)
+  let q_cs =
+    q (atom "ans" [ v "C"; v "T" ])
+      [ P.Peer.atom uw "course" [ v "C"; v "T"; Term.str "cs" ] ]
+  in
+  check_i "cs courses" 2
+    (Relalg.Relation.cardinality (P.Answer.answer catalog q_cs).P.Answer.answers);
+  (* ... asking for all courses still finds (only) the stored ones —
+     the maximally contained answer. *)
+  let q_all =
+    q (atom "ans" [ v "C" ]) [ P.Peer.atom uw "course" [ v "C"; v "T"; v "D" ] ]
+  in
+  check_i "contained answer" 2
+    (Relalg.Relation.cardinality (P.Answer.answer catalog q_all).P.Answer.answers);
+  (* ... and asking specifically for history courses yields nothing. *)
+  let q_hist =
+    q (atom "ans" [ v "C" ])
+      [ P.Peer.atom uw "course" [ v "C"; v "T"; Term.str "history" ] ]
+  in
+  check_i "no history stored" 0
+    (Relalg.Relation.cardinality (P.Answer.answer catalog q_hist).P.Answer.answers)
+
+(* ------------------------------------------------------------------ *)
+(* Keyword search across the PDMS *)
+
+let test_keyword_search () =
+  let catalog, _, mit = two_peer_catalog `Equality in
+  ignore mit;
+  let hits = P.Keyword.search catalog "databases" in
+  check_b "finds the databases course" true
+    (List.exists
+       (fun (h : P.Keyword.hit) ->
+         h.P.Keyword.peer = "mit"
+         && Array.exists
+              (fun v -> Relalg.Value.to_string v = "databases")
+              h.P.Keyword.tuple)
+       hits);
+  (* Ranked: the databases tuple outranks the systems tuple. *)
+  (match hits with
+  | best :: _ ->
+      check_b "best is databases" true
+        (Array.exists
+           (fun v -> Relalg.Value.to_string v = "databases")
+           best.P.Keyword.tuple)
+  | [] -> Alcotest.fail "no hits");
+  check_i "no junk hits" 0 (List.length (P.Keyword.search catalog "zebra"))
+
+(* ------------------------------------------------------------------ *)
+(* Distributed execution *)
+
+let test_distributed_owner_parsing () =
+  check_b "stored pred" true
+    (P.Distributed.owner_of_pred "mit.subject!" = Some "mit");
+  check_b "peer pred is not stored" true
+    (P.Distributed.owner_of_pred "mit.subject" = None);
+  check_b "unqualified" true (P.Distributed.owner_of_pred "course!" = None)
+
+let test_distributed_beats_central () =
+  (* Data at the far end of a chain; executing there and shipping only
+     the (smaller) result must beat shipping the whole relation. *)
+  let catalog, peers = chain_catalog 4 in
+  let network = P.Network.create () in
+  List.iteri
+    (fun i _ ->
+      if i < 3 then
+        P.Network.connect network
+          (Printf.sprintf "p%d" i)
+          (Printf.sprintf "p%d" (i + 1))
+          ~latency_ms:10.0)
+    peers;
+  (* Bulk up the stored relation so shipping it is expensive. *)
+  let last = List.nth peers 3 in
+  let stored = Relalg.Database.find (P.Peer.stored_db last) (P.Peer.stored_pred last "course") in
+  for i = 0 to 199 do
+    Relalg.Relation.insert stored
+      [| vs (Printf.sprintf "bulk%d" i); vs "filler" |]
+  done;
+  let p0 = List.hd peers in
+  (* Selective query: only one course code. *)
+  let query =
+    q (atom "ans" [ v "T" ])
+      [ P.Peer.atom p0 "course" [ Term.str "c1"; v "T" ] ]
+  in
+  let plan = P.Distributed.execute catalog network ~at:"p0" query in
+  check_i "one answer" 1 (Relalg.Relation.cardinality plan.P.Distributed.answers);
+  check_b "distributed cheaper than central" true
+    (plan.P.Distributed.distributed_ms < plan.P.Distributed.central_ms);
+  (* The chosen site owns the data. *)
+  check_b "executed at the data" true
+    (List.for_all
+       (fun (sp : P.Distributed.site_plan) ->
+         sp.P.Distributed.remote_reads = 0)
+       plan.P.Distributed.sites)
+
+let test_distributed_answers_match_answer () =
+  let catalog, peers = chain_catalog 3 in
+  let network = P.Network.create () in
+  P.Network.connect network "p0" "p1" ~latency_ms:5.0;
+  P.Network.connect network "p1" "p2" ~latency_ms:5.0;
+  let p0 = List.hd peers in
+  let query =
+    q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom p0 "course" [ v "X"; v "Y" ] ]
+  in
+  let plan = P.Distributed.execute catalog network ~at:"p0" query in
+  let direct = P.Answer.answer catalog query in
+  check_b "same answers" true
+    (List.sort compare
+       (List.map (fun r -> Array.map Relalg.Value.to_string r)
+          (Relalg.Relation.tuples plan.P.Distributed.answers))
+    = List.sort compare
+        (List.map (fun r -> Array.map Relalg.Value.to_string r)
+           (Relalg.Relation.tuples direct.P.Answer.answers)))
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_hit_and_invalidate () =
+  let catalog, uw, _ = two_peer_catalog `Equality in
+  let cache = P.Cache.create catalog () in
+  let query = q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom uw "course" [ v "X"; v "Y" ] ] in
+  let r1 = P.Cache.answer cache query in
+  check_i "first is a miss" 1 (P.Cache.misses cache);
+  (* Alpha-equivalent query hits. *)
+  let query' = q (atom "ans" [ v "A"; v "B" ]) [ P.Peer.atom uw "course" [ v "A"; v "B" ] ] in
+  let r2 = P.Cache.answer cache query' in
+  check_i "second is a hit" 1 (P.Cache.hits cache);
+  check_b "same answers" true
+    (P.Answer.answers_list r1 = P.Answer.answers_list r2);
+  (* An updategram on the read relation invalidates the entry... *)
+  let stored_pred = P.Peer.stored_pred (P.Catalog.peer catalog "mit") "subject" in
+  check_i "one entry dropped" 1
+    (P.Cache.invalidate cache (P.Updategram.make ~rel:stored_pred ()));
+  check_i "cache empty" 0 (P.Cache.entries cache);
+  (* ... and an unrelated one does not. *)
+  ignore (P.Cache.answer cache query);
+  check_i "nothing dropped" 0
+    (P.Cache.invalidate cache (P.Updategram.make ~rel:"unrelated!" ()))
+
+let test_cache_reflects_updates_after_invalidation () =
+  let catalog, uw, mit = two_peer_catalog `Equality in
+  let cache = P.Cache.create catalog () in
+  let query = q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom uw "course" [ v "X"; v "Y" ] ] in
+  check_i "before" 2
+    (Relalg.Relation.cardinality (P.Cache.answer cache query).P.Answer.answers);
+  (* New data arrives at MIT; the stale cache would miss it. *)
+  let stored_pred = P.Peer.stored_pred mit "subject" in
+  let stored = Relalg.Database.find (P.Peer.stored_db mit) stored_pred in
+  Relalg.Relation.insert stored [| vs "6.001"; vs "sicp" |];
+  check_i "stale while cached" 2
+    (Relalg.Relation.cardinality (P.Cache.answer cache query).P.Answer.answers);
+  ignore (P.Cache.invalidate cache (P.Updategram.make ~rel:stored_pred ()));
+  check_i "fresh after invalidation" 3
+    (Relalg.Relation.cardinality (P.Cache.answer cache query).P.Answer.answers)
+
+let test_cache_lru_eviction () =
+  let catalog, uw, _ = two_peer_catalog `Equality in
+  let cache = P.Cache.create ~capacity:2 catalog () in
+  let mk pred =
+    q (atom pred [ v "X"; v "Y" ]) [ P.Peer.atom uw "course" [ v "X"; v "Y" ] ]
+  in
+  ignore (P.Cache.answer cache (mk "q1"));
+  ignore (P.Cache.answer cache (mk "q2"));
+  ignore (P.Cache.answer cache (mk "q3"));
+  check_i "capacity respected" 2 (P.Cache.entries cache);
+  (* q1 was evicted: asking again misses. *)
+  ignore (P.Cache.answer cache (mk "q1"));
+  check_i "four misses" 4 (P.Cache.misses cache)
+
+(* When every mapping is an inclusion with single-atom sides, the PDMS
+   semantics coincides with a datalog program; the reformulation answers
+   must match naive bottom-up evaluation exactly. *)
+let test_datalog_reference_agreement () =
+  let prng = Util.Prng.create 123 in
+  let n = 5 in
+  let catalog = P.Catalog.create () in
+  let peers =
+    Array.init n (fun i ->
+        let p =
+          P.Peer.create ~name:(Printf.sprintf "d%d" i)
+            ~schema:[ ("course", [ "code"; "title" ]) ]
+        in
+        P.Catalog.add_peer catalog p;
+        let stored = P.Catalog.store_identity catalog p ~rel:"course" in
+        for k = 1 to 3 do
+          Relalg.Relation.insert stored
+            [| vs (Printf.sprintf "c%d_%d" i k);
+               vs (Printf.sprintf "t%d" (Util.Prng.int prng 4)) |]
+        done;
+        p)
+  in
+  (* Random acyclic inclusions: data flows from higher to lower ids. *)
+  let rules = ref [] in
+  for i = 1 to n - 1 do
+    let target = Util.Prng.int prng i in
+    let args = [ v "X"; v "Y" ] in
+    let lhs = q (atom "m" args) [ P.Peer.atom peers.(i) "course" args ] in
+    let rhs = q (atom "m" args) [ P.Peer.atom peers.(target) "course" args ] in
+    ignore (P.Catalog.add_mapping catalog (P.Peer_mapping.inclusion ~lhs ~rhs));
+    (* The equivalent datalog rule: target.course :- source.course. *)
+    rules :=
+      q (P.Peer.atom peers.(target) "course" args)
+        [ P.Peer.atom peers.(i) "course" args ]
+      :: !rules
+  done;
+  (* Plus: each peer relation holds its own stored data. *)
+  Array.iter
+    (fun p ->
+      rules :=
+        q (P.Peer.atom p "course" [ v "X"; v "Y" ])
+          [ P.Peer.stored_atom p "course" [ v "X"; v "Y" ] ]
+        :: !rules)
+    peers;
+  let query =
+    q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom peers.(0) "course" [ v "X"; v "Y" ] ]
+  in
+  let via_pdms = P.Answer.answers_list (P.Answer.answer catalog query) in
+  let reference =
+    Cq.Datalog.query (P.Catalog.global_db catalog) !rules query
+    |> Relalg.Relation.tuples
+    |> List.map (fun row -> Array.to_list (Array.map Relalg.Value.to_string row))
+    |> List.sort compare
+  in
+  check_b "pdms = datalog reference" true (via_pdms = reference)
+
+(* ------------------------------------------------------------------ *)
+(* PDMS file format *)
+
+let pdms_text = {file|
+# two universities, one equality mapping
+peer uw
+relation course(code, title)
+
+peer mit
+relation subject(id, name)
+store subject
+row subject: 6.033 | systems
+row subject: 6.830 | databases
+
+mapping equality
+lhs m(C, T) :- mit.subject(C, T)
+rhs m(C, T) :- uw.course(C, T)
+|file}
+
+let test_pdms_file_parse_and_answer () =
+  let catalog = P.Pdms_file.parse_exn pdms_text in
+  check_i "two peers" 2 (List.length (P.Catalog.peers catalog));
+  check_i "one mapping" 1 (P.Catalog.mapping_count catalog);
+  let query = Cq.Parser.parse_query_exn "ans(C, T) :- uw.course(C, T)" in
+  let result = P.Answer.answer catalog query in
+  check_i "answers flow" 2 (Relalg.Relation.cardinality result.P.Answer.answers)
+
+let test_pdms_file_roundtrip () =
+  let catalog = P.Pdms_file.parse_exn pdms_text in
+  let rendered = P.Pdms_file.render catalog in
+  let catalog' = P.Pdms_file.parse_exn rendered in
+  check_i "peers survive" 2 (List.length (P.Catalog.peers catalog'));
+  check_i "mappings survive" 1 (P.Catalog.mapping_count catalog');
+  let query = Cq.Parser.parse_query_exn "ans(C, T) :- uw.course(C, T)" in
+  check_b "same answers" true
+    (P.Answer.answers_list (P.Answer.answer catalog query)
+    = P.Answer.answers_list (P.Answer.answer catalog' query))
+
+let prop_pdms_file_roundtrip =
+  QCheck.Test.make ~name:"pdms_file render/parse preserves answers" ~count:40
+    (QCheck.make QCheck.Gen.(int_bound 10_000) ~print:string_of_int)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let topology = P.Topology.generate P.Topology.Chain ~n:4 in
+      let g = Workload.Peers_gen.generate prng ~topology ~tuples_per_peer:2 () in
+      let catalog = g.Workload.Peers_gen.catalog in
+      let catalog' = P.Pdms_file.parse_exn (P.Pdms_file.render catalog) in
+      let query = Workload.Peers_gen.course_query g ~at:0 in
+      P.Answer.answers_list (P.Answer.answer catalog query)
+      = P.Answer.answers_list (P.Answer.answer catalog' query))
+
+let test_pdms_file_errors () =
+  check_b "row before store" true
+    (Result.is_error
+       (P.Pdms_file.parse "peer a\nrelation r(x)\nrow r: 1"));
+  check_b "mapping without rhs" true
+    (Result.is_error
+       (P.Pdms_file.parse "peer a\nrelation r(x)\nstore r\nmapping equality\nlhs m(X) :- a.r(X)"));
+  check_b "junk line" true (Result.is_error (P.Pdms_file.parse "frobnicate"))
+
+(* ------------------------------------------------------------------ *)
+(* Update propagation to replicas *)
+
+let test_propagate_to_remote_replica () =
+  let catalog, uw, mit = two_peer_catalog `Equality in
+  ignore uw;
+  let prop = P.Propagate.create catalog in
+  (* MIT materialises ITS OWN view; UW materialises a replica of the
+     same logical data through the mapping. *)
+  let q_uw =
+    q (atom "cal" [ v "X"; v "Y" ])
+      [ P.Peer.atom (P.Catalog.peer catalog "uw") "course" [ v "X"; v "Y" ] ]
+  in
+  let n = P.Propagate.materialise prop ~name:"uw-cal" ~at:"uw" q_uw in
+  check_i "replica starts with mit's data" 2 n;
+  (* A new course appears in MIT's stored relation. *)
+  let stored_pred = P.Peer.stored_pred mit "subject" in
+  let touched =
+    P.Propagate.push prop
+      (P.Updategram.make ~rel:stored_pred
+         ~inserts:[ [| vs "6.001"; vs "sicp" |] ] ())
+  in
+  check_b "replica touched" true (List.mem ("uw-cal", "uw") touched);
+  check_i "replica grew" 3 (P.Propagate.cardinality prop ~name:"uw-cal");
+  (* Retraction flows too. *)
+  ignore
+    (P.Propagate.push prop
+       (P.Updategram.make ~rel:stored_pred
+          ~deletes:[ [| vs "6.001"; vs "sicp" |] ] ()));
+  check_i "replica shrank" 2 (P.Propagate.cardinality prop ~name:"uw-cal")
+
+let test_propagate_multiple_replicas_consistent () =
+  let catalog, uw, mit = two_peer_catalog `Equality in
+  let prop = P.Propagate.create catalog in
+  let q_uw =
+    q (atom "a" [ v "X"; v "Y" ]) [ P.Peer.atom uw "course" [ v "X"; v "Y" ] ]
+  in
+  let q_mit =
+    q (atom "b" [ v "X"; v "Y" ]) [ P.Peer.atom mit "subject" [ v "X"; v "Y" ] ]
+  in
+  ignore (P.Propagate.materialise prop ~name:"at-uw" ~at:"uw" q_uw);
+  ignore (P.Propagate.materialise prop ~name:"at-mit" ~at:"mit" q_mit);
+  let stored_pred = P.Peer.stored_pred mit "subject" in
+  let touched =
+    P.Propagate.push prop
+      (P.Updategram.make ~rel:stored_pred
+         ~inserts:[ [| vs "6.001"; vs "sicp" |] ] ())
+  in
+  check_i "both replicas touched" 2 (List.length touched);
+  check_i "uw view" 3 (P.Propagate.cardinality prop ~name:"at-uw");
+  check_i "mit view" 3 (P.Propagate.cardinality prop ~name:"at-mit");
+  (* An updategram on an unrelated relation touches nothing. *)
+  check_i "unrelated untouched" 0
+    (List.length
+       (P.Propagate.push prop (P.Updategram.make ~rel:"nosuch!" ~inserts:[] ())))
+
+(* ------------------------------------------------------------------ *)
+(* Placement *)
+
+let test_placement_greedy_improves () =
+  let net = P.Network.create () in
+  P.Network.connect net "a" "b" ~latency_ms:50.0;
+  P.Network.connect net "b" "c" ~latency_ms:50.0;
+  let workloads =
+    [ {
+        P.Placement.view_name = "calendar";
+        query_freq = [ ("a", 10.0); ("c", 10.0) ];
+        update_rate = 0.1;
+        result_size = 1024;
+      } ]
+  in
+  let initial = [ ("calendar", [ "b" ]) ] in
+  let before = P.Placement.cost net workloads initial in
+  let placed = P.Placement.greedy net workloads ~initial ~max_replicas:3 in
+  let after = P.Placement.cost net workloads placed in
+  check_b "cost not worse" true (after <= before);
+  check_b "replicated" true
+    (List.length (List.assoc "calendar" placed) >= 2)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "pdms"
+    [ ("reformulation",
+       [ Alcotest.test_case "two-peer equality" `Quick test_two_peer_equality;
+         Alcotest.test_case "inclusion directionality" `Quick
+           test_two_peer_inclusion_directionality;
+         Alcotest.test_case "definitional mapping" `Quick test_definitional_mapping;
+         Alcotest.test_case "chain transitive closure" `Quick test_chain_transitive_closure;
+         Alcotest.test_case "linear mapping count" `Quick test_chain_mapping_count_linear;
+         Alcotest.test_case "reachability" `Quick test_reachability;
+         Alcotest.test_case "same mapping twice" `Quick test_same_mapping_twice_in_one_query;
+         Alcotest.test_case "local + remote" `Quick test_local_plus_remote_union;
+         Alcotest.test_case "join through mappings" `Quick test_join_query_through_mapping;
+         Alcotest.test_case "mesh completeness" `Quick test_mesh_completeness;
+         Alcotest.test_case "no-pruning agrees" `Quick test_no_pruning_terminates_and_agrees;
+         Alcotest.test_case "projection mapping" `Quick test_projection_mapping;
+         Alcotest.test_case "storage description selection" `Quick
+           test_storage_description_selection ]);
+      ("topology",
+       [ Alcotest.test_case "shapes" `Quick test_topology_shapes ]);
+      ("network",
+       [ Alcotest.test_case "routing" `Quick test_network_routing;
+         Alcotest.test_case "of_topology" `Quick test_network_of_topology ]);
+      ("updategram",
+       [ Alcotest.test_case "of_log" `Quick test_updategram_of_log;
+         Alcotest.test_case "compose" `Quick test_updategram_compose ]
+       @ qc [ prop_updategram_log_replay ]);
+      ("view-maintenance",
+       [ Alcotest.test_case "basic" `Quick test_view_maintenance_basic ]
+       @ qc [ prop_view_maintenance_matches_recompute ]);
+      ("keyword",
+       [ Alcotest.test_case "cross-peer search" `Quick test_keyword_search ]);
+      ("distributed",
+       [ Alcotest.test_case "owner parsing" `Quick test_distributed_owner_parsing;
+         Alcotest.test_case "beats central" `Quick test_distributed_beats_central;
+         Alcotest.test_case "matches answer" `Quick test_distributed_answers_match_answer ]);
+      ("cache",
+       [ Alcotest.test_case "hit and invalidate" `Quick test_cache_hit_and_invalidate;
+         Alcotest.test_case "freshness" `Quick test_cache_reflects_updates_after_invalidation;
+         Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction ]);
+      ("datalog-reference",
+       [ Alcotest.test_case "inclusion chain agreement" `Quick
+           test_datalog_reference_agreement ]);
+      ("pdms_file",
+       [ Alcotest.test_case "parse and answer" `Quick test_pdms_file_parse_and_answer;
+         Alcotest.test_case "roundtrip" `Quick test_pdms_file_roundtrip;
+         Alcotest.test_case "errors" `Quick test_pdms_file_errors ]
+       @ qc [ prop_pdms_file_roundtrip ]);
+      ("propagate",
+       [ Alcotest.test_case "remote replica" `Quick test_propagate_to_remote_replica;
+         Alcotest.test_case "multiple replicas" `Quick
+           test_propagate_multiple_replicas_consistent ]);
+      ("placement",
+       [ Alcotest.test_case "greedy improves" `Quick test_placement_greedy_improves ]) ]

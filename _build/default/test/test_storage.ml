@@ -1,0 +1,223 @@
+(* Tests for the triple store (the annotation repository substrate) and
+   the event-logging relation store. *)
+
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+let vs s = Relalg.Value.Str s
+
+let prov ?author url ts = Storage.Provenance.make ?author ~source_url:url ~timestamp:ts ()
+
+let store_with_data () =
+  let t = Storage.Triple_store.create () in
+  Storage.Triple_store.add t ~subj:"u/alice#person0" ~pred:"mangrove:type"
+    ~obj:(vs "person") ~prov:(prov "http://u/alice" 1);
+  Storage.Triple_store.add t ~subj:"u/alice#person0" ~pred:"phone"
+    ~obj:(vs "206-543-1695") ~prov:(prov "http://u/alice" 1);
+  Storage.Triple_store.add t ~subj:"u/alice#person0" ~pred:"phone"
+    ~obj:(vs "206-543-0000") ~prov:(prov "http://u/dept" 2);
+  Storage.Triple_store.add t ~subj:"u/bob#person0" ~pred:"mangrove:type"
+    ~obj:(vs "person") ~prov:(prov "http://u/bob" 3);
+  Storage.Triple_store.add t ~subj:"u/bob#person0" ~pred:"phone"
+    ~obj:(vs "206-543-1111") ~prov:(prov "http://u/bob" 3);
+  t
+
+let test_add_and_select () =
+  let t = store_with_data () in
+  check_i "size" 5 (Storage.Triple_store.size t);
+  check_i "alice triples" 3
+    (List.length (Storage.Triple_store.select ~subj:"u/alice#person0" t));
+  check_i "phones" 3
+    (List.length (Storage.Triple_store.select ~pred:"phone" t));
+  check_i "by object" 1
+    (List.length (Storage.Triple_store.select ~obj:(vs "206-543-1111") t))
+
+let test_duplicate_statement_collapsed () =
+  let t = Storage.Triple_store.create () in
+  Storage.Triple_store.add t ~subj:"s" ~pred:"p" ~obj:(vs "o")
+    ~prov:(prov "http://a" 1);
+  Storage.Triple_store.add t ~subj:"s" ~pred:"p" ~obj:(vs "o")
+    ~prov:(prov "http://a" 2);
+  check_i "same source collapsed" 1 (Storage.Triple_store.size t);
+  Storage.Triple_store.add t ~subj:"s" ~pred:"p" ~obj:(vs "o")
+    ~prov:(prov "http://b" 3);
+  check_i "other source kept" 2 (Storage.Triple_store.size t)
+
+let test_remove_source () =
+  let t = store_with_data () in
+  check_i "removed" 2 (Storage.Triple_store.remove_source t "http://u/alice");
+  check_i "remaining" 3 (Storage.Triple_store.size t);
+  (* The dept-directory claim about alice survives: only alice's own
+     page was retracted. *)
+  check_i "only third-party claim left" 1
+    (List.length (Storage.Triple_store.select ~subj:"u/alice#person0" t));
+  (* Indexes must be consistent after the rebuild. *)
+  check_i "phones now" 2 (List.length (Storage.Triple_store.select ~pred:"phone" t))
+
+let test_sources () =
+  let t = store_with_data () in
+  check_i "three sources" 3 (List.length (Storage.Triple_store.sources t))
+
+let test_bgp_query () =
+  let t = store_with_data () in
+  let v = Cq.Term.v and c s = Cq.Term.str s in
+  (* All persons with their phones. *)
+  let patterns =
+    [ Storage.Triple_store.pat (v "S") (c "mangrove:type") (c "person");
+      Storage.Triple_store.pat (v "S") (c "phone") (v "P") ]
+  in
+  let bindings = Storage.Triple_store.query t patterns in
+  check_i "three (person, phone) pairs" 3 (List.length bindings);
+  (* Join variable consistency: subjects must carry both triples. *)
+  List.iter
+    (fun b ->
+      match Cq.Eval.Smap.find_opt "S" b with
+      | Some (Relalg.Value.Str s) ->
+          check_b "subject is a person" true
+            (Storage.Triple_store.select ~subj:s ~pred:"mangrove:type" t <> [])
+      | _ -> Alcotest.fail "unbound subject")
+    bindings
+
+let test_bgp_provenance () =
+  let t = store_with_data () in
+  let v = Cq.Term.v and c s = Cq.Term.str s in
+  let results =
+    Storage.Triple_store.query_provenanced t
+      [ Storage.Triple_store.pat (c "u/alice#person0") (c "phone") (v "P") ]
+  in
+  check_i "two phone claims" 2 (List.length results);
+  List.iter
+    (fun (_, provs) -> check_i "one prov per pattern" 1 (List.length provs))
+    results
+
+let test_provenance_scope () =
+  let p = prov "http://u/alice/home.html" 1 in
+  check_b "in scope" true (Storage.Provenance.in_scope p "http://u/alice");
+  check_b "out of scope" false (Storage.Provenance.in_scope p "http://u/bob")
+
+(* Relation store *)
+
+let test_relation_store_log_and_events () =
+  let s = Storage.Relation_store.create () in
+  Storage.Relation_store.declare s "r" [ "a" ];
+  let events = ref 0 in
+  Storage.Relation_store.subscribe s (fun _ -> incr events);
+  check_b "insert" true (Storage.Relation_store.insert s "r" [| vs "x" |]);
+  check_b "duplicate rejected" false (Storage.Relation_store.insert s "r" [| vs "x" |]);
+  check_b "delete" true (Storage.Relation_store.delete s "r" [| vs "x" |]);
+  check_b "delete missing" false (Storage.Relation_store.delete s "r" [| vs "x" |]);
+  check_i "two effective events" 2 !events;
+  check_i "log length" 2 (Storage.Relation_store.log_length s);
+  Storage.Relation_store.truncate_log s;
+  check_i "truncated" 0 (Storage.Relation_store.log_length s)
+
+let test_relation_store_declare_conflict () =
+  let s = Storage.Relation_store.create () in
+  Storage.Relation_store.declare s "r" [ "a" ];
+  Storage.Relation_store.declare s "r" [ "a" ];
+  check_b "arity clash raises" true
+    (try
+       Storage.Relation_store.declare s "r" [ "a"; "b" ];
+       false
+     with Invalid_argument _ -> true)
+
+(* N-Triples export/import *)
+
+let test_ntriples_roundtrip () =
+  let t = store_with_data () in
+  Storage.Triple_store.add t ~subj:"tricky" ~pred:"note"
+    ~obj:(vs "has \"quotes\" and\nnewlines \\ too")
+    ~prov:(Storage.Provenance.make ~author:"bob smith" ~source_url:"http://x" ~timestamp:9 ());
+  let text = Storage.Ntriples.export t in
+  let t' = Storage.Ntriples.import_exn text in
+  check_i "same size" (Storage.Triple_store.size t) (Storage.Triple_store.size t');
+  check_b "same content" true (Storage.Ntriples.export t' = text);
+  (* Provenance survives. *)
+  (match Storage.Triple_store.select ~subj:"tricky" t' with
+  | [ tr ] ->
+      check_b "author" true (tr.Storage.Triple_store.prov.Storage.Provenance.author = Some "bob smith");
+      check_i "timestamp" 9 tr.Storage.Triple_store.prov.Storage.Provenance.timestamp
+  | _ -> Alcotest.fail "tricky triple lost")
+
+let test_ntriples_import_errors () =
+  check_b "garbage rejected" true
+    (Result.is_error (Storage.Ntriples.import "not a triple"));
+  check_b "missing provenance rejected" true
+    (Result.is_error (Storage.Ntriples.import "<s> <p> \"o\" ."));
+  (* Blank and comment lines are fine. *)
+  check_b "comments ok" true (Result.is_ok (Storage.Ntriples.import "\n# hi\n\n"))
+
+(* Property: BGP matching agrees with a naive nested-loop reference. *)
+
+let prop_bgp_reference =
+  QCheck.Test.make ~name:"bgp query agrees with naive reference" ~count:150
+    (QCheck.make QCheck.Gen.(int_bound 100_000) ~print:string_of_int)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let t = Storage.Triple_store.create () in
+      let subjects = [| "s0"; "s1"; "s2" |] in
+      let preds = [| "p0"; "p1" |] in
+      for i = 0 to 19 do
+        Storage.Triple_store.add t
+          ~subj:(Util.Prng.pick_arr prng subjects)
+          ~pred:(Util.Prng.pick_arr prng preds)
+          ~obj:(vs (string_of_int (Util.Prng.int prng 4)))
+          ~prov:(prov (Printf.sprintf "http://src%d" (i mod 3)) i)
+      done;
+      let v = Cq.Term.v and c x = Cq.Term.str x in
+      let pattern =
+        Storage.Triple_store.pat (v "S")
+          (if Util.Prng.bool prng then c "p0" else v "P")
+          (v "O")
+      in
+      let pattern2 =
+        Storage.Triple_store.pat (v "S") (c "p1") (v "O2")
+      in
+      let got = List.length (Storage.Triple_store.query t [ pattern; pattern2 ]) in
+      (* Reference: nested loops over all triples. *)
+      let triples = Storage.Triple_store.triples t in
+      let matches (p : Storage.Triple_store.pattern) (tr : Storage.Triple_store.triple)
+          (binding : (string * Relalg.Value.t) list) =
+        let check term value binding =
+          match term with
+          | Cq.Term.Const x ->
+              if Relalg.Value.equal x value then Some binding else None
+          | Cq.Term.Var x -> (
+              match List.assoc_opt x binding with
+              | Some v ->
+                  if Relalg.Value.equal v value then Some binding else None
+              | None -> Some ((x, value) :: binding))
+        in
+        Option.bind (check p.Storage.Triple_store.psubj (vs tr.Storage.Triple_store.subj) binding)
+          (fun b ->
+            Option.bind (check p.Storage.Triple_store.ppred (vs tr.Storage.Triple_store.pred) b)
+              (fun b -> check p.Storage.Triple_store.pobj tr.Storage.Triple_store.obj b))
+      in
+      let expected =
+        List.concat_map
+          (fun tr1 ->
+            match matches pattern tr1 [] with
+            | None -> []
+            | Some b ->
+                List.filter_map (fun tr2 -> matches pattern2 tr2 b) triples)
+          triples
+        |> List.length
+      in
+      got = expected)
+
+let () =
+  Alcotest.run "storage"
+    [ ("triple_store",
+       [ Alcotest.test_case "add and select" `Quick test_add_and_select;
+         Alcotest.test_case "duplicates" `Quick test_duplicate_statement_collapsed;
+         Alcotest.test_case "remove source" `Quick test_remove_source;
+         Alcotest.test_case "sources" `Quick test_sources;
+         Alcotest.test_case "bgp query" `Quick test_bgp_query;
+         Alcotest.test_case "bgp provenance" `Quick test_bgp_provenance ]);
+      ("provenance", [ Alcotest.test_case "scope" `Quick test_provenance_scope ]);
+      ("ntriples",
+       [ Alcotest.test_case "roundtrip" `Quick test_ntriples_roundtrip;
+         Alcotest.test_case "import errors" `Quick test_ntriples_import_errors ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_bgp_reference ]);
+      ("relation_store",
+       [ Alcotest.test_case "log and events" `Quick test_relation_store_log_and_events;
+         Alcotest.test_case "declare conflict" `Quick test_relation_store_declare_conflict ]) ]

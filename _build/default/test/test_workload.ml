@@ -1,0 +1,196 @@
+(* Tests for the workload generators. *)
+
+let check_i = Alcotest.(check int)
+let check_b = Alcotest.(check bool)
+
+let prng () = Util.Prng.create 99
+
+(* ------------------------------------------------------------------ *)
+(* Data generation *)
+
+let test_data_kinds () =
+  check_b "phone kind" true
+    (Workload.Data_gen.kind_of_attr "contact_phone" = Workload.Data_gen.Phone);
+  check_b "synonym-aware" true
+    (Workload.Data_gen.kind_of_attr "telefono" = Workload.Data_gen.Phone);
+  check_b "teacher is a person" true
+    (Workload.Data_gen.kind_of_attr "teacher" = Workload.Data_gen.Person_name);
+  check_b "enrollment count" true
+    (Workload.Data_gen.kind_of_attr "enrollment" = Workload.Data_gen.Count)
+
+let test_data_values_shape () =
+  let p = prng () in
+  let phones = Workload.Data_gen.values p Workload.Data_gen.Phone 20 in
+  check_i "twenty values" 20 (List.length phones);
+  List.iter
+    (fun v ->
+      check_b "phone pattern" true
+        (String.equal (Matching.Format_learner.pattern_of v) "9-9-9"))
+    phones
+
+let test_deterministic_generation () =
+  let a = Workload.Data_gen.values (Util.Prng.create 5) Workload.Data_gen.Title 10 in
+  let b = Workload.Data_gen.values (Util.Prng.create 5) Workload.Data_gen.Title 10 in
+  check_b "same seed, same data" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Perturbation *)
+
+let test_perturb_preserves_truth_keys () =
+  let p = prng () in
+  let v = Workload.Perturb.perturb p ~level:0.5 Workload.University.mediated_schema in
+  (* Every truth entry's target exists in the perturbed schema. *)
+  List.iter
+    (fun (_, (rel, attr)) ->
+      check_b
+        (Printf.sprintf "%s.%s exists" rel attr)
+        true
+        (List.mem attr (Corpus.Schema_model.attrs_of v.Workload.Perturb.perturbed rel)))
+    v.Workload.Perturb.truth;
+  (* And every source is a real element of the base schema. *)
+  List.iter
+    (fun ((rel, attr), _) ->
+      check_b "source exists" true
+        (List.mem attr
+           (Corpus.Schema_model.attrs_of Workload.University.mediated_schema rel)))
+    v.Workload.Perturb.truth
+
+let test_perturb_level_zero_is_identity_names () =
+  let p = prng () in
+  let v = Workload.Perturb.perturb p ~level:0.0 Workload.University.mediated_schema in
+  List.iter
+    (fun ((_, battr), (_, pattr)) ->
+      Alcotest.(check string) "name unchanged" battr pattr)
+    v.Workload.Perturb.truth
+
+let test_perturb_high_level_changes_names () =
+  let p = prng () in
+  let v = Workload.Perturb.perturb p ~level:0.9 Workload.University.mediated_schema in
+  let changed =
+    List.length
+      (List.filter (fun ((_, b), (_, q)) -> not (String.equal b q)) v.Workload.Perturb.truth)
+  in
+  check_b "most names changed" true
+    (changed * 2 > List.length v.Workload.Perturb.truth)
+
+(* ------------------------------------------------------------------ *)
+(* University / DElearning fixtures *)
+
+let test_berkeley_instance_valid () =
+  let p = prng () in
+  for _ = 1 to 5 do
+    let inst = Workload.University.berkeley_instance p ~colleges:2 ~depts:3 ~courses:4 in
+    match Xmlmodel.Dtd.validate Workload.University.berkeley_dtd inst with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail msg
+  done
+
+let test_delearning_full_visibility () =
+  let p = prng () in
+  let d = Workload.University.build_delearning p ~courses_per_peer:4 in
+  (* Query at every peer sees all 24 courses via the mapping graph. *)
+  List.iter
+    (fun (name, peer) ->
+      let result =
+        Pdms.Answer.answer d.Workload.University.catalog
+          (Workload.University.course_query peer)
+      in
+      check_i
+        (Printf.sprintf "%s sees all courses" name)
+        24
+        (Relalg.Relation.cardinality result.Pdms.Answer.answers))
+    d.Workload.University.peers
+
+let test_delearning_linear_mappings () =
+  let p = prng () in
+  let d = Workload.University.build_delearning p ~courses_per_peer:1 in
+  (* One course mapping plus one instructor mapping per Figure-2 edge. *)
+  check_i "2 x 5 mappings for 6 peers" 10
+    (Pdms.Catalog.mapping_count d.Workload.University.catalog)
+
+let test_delearning_join_across_peers () =
+  let p = prng () in
+  let d = Workload.University.build_delearning p ~courses_per_peer:2 in
+  let roma = Pdms.Catalog.peer d.Workload.University.catalog "roma" in
+  let query = Workload.University.course_instructor_query roma in
+  let result = Pdms.Answer.answer d.Workload.University.catalog query in
+  (* Every peer contributes 2 (title, instructor) pairs; titles are
+     peer-prefixed so no accidental cross-peer joins. *)
+  check_i "12 joined pairs" 12
+    (Relalg.Relation.cardinality result.Pdms.Answer.answers)
+
+(* ------------------------------------------------------------------ *)
+(* Peers_gen *)
+
+let test_peers_gen_chain_answers () =
+  let p = prng () in
+  let topo = Pdms.Topology.generate Pdms.Topology.Chain ~n:6 in
+  let g = Workload.Peers_gen.generate p ~topology:topo ~tuples_per_peer:3 () in
+  let result =
+    Pdms.Answer.answer g.Workload.Peers_gen.catalog
+      (Workload.Peers_gen.course_query g ~at:0)
+  in
+  check_i "sees all 18 tuples" 18
+    (Relalg.Relation.cardinality result.Pdms.Answer.answers)
+
+let test_peers_gen_join_query () =
+  let p = prng () in
+  let topo = Pdms.Topology.generate Pdms.Topology.Chain ~n:3 in
+  let g =
+    Workload.Peers_gen.generate p ~topology:topo ~tuples_per_peer:5 ~with_join:true ()
+  in
+  let result =
+    Pdms.Answer.answer g.Workload.Peers_gen.catalog
+      (Workload.Peers_gen.join_query g ~at:0)
+  in
+  (* The join may be empty (random codes rarely collide) but must not
+     error, and reformulation must produce rewritings. *)
+  check_b "rewritings exist" true
+    (result.Pdms.Answer.outcome.Pdms.Reformulate.stats.Pdms.Reformulate.emitted > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Pages *)
+
+let test_pages_plan_is_valid () =
+  let p = prng () in
+  let page = Workload.Pages.course_page p ~host:"uw" ~page_id:0 ~courses:3 in
+  let annotator =
+    Mangrove.Annotator.start ~schema:Mangrove.Lightweight_schema.department
+      page.Workload.Pages.doc
+  in
+  Workload.Pages.annotate annotator page.Workload.Pages.plan;
+  check_i "three instances" 3 (List.length (Mangrove.Annotator.grouped annotator))
+
+let test_department_publish_counts () =
+  let p = prng () in
+  let repo = Mangrove.Repository.create () in
+  let pages =
+    Workload.Pages.publish_department p ~repo ~host:"uw" ~people:3 ~course_pages:2
+      ~courses_per_page:2
+  in
+  (* people + course pages + 1 talk page + people publication pages *)
+  check_i "page count" 9 pages;
+  check_i "people" 3 (List.length (Mangrove.Repository.entities repo ~tag:"person"));
+  check_i "courses" 4 (List.length (Mangrove.Repository.entities repo ~tag:"course"))
+
+let () =
+  Alcotest.run "workload"
+    [ ("data_gen",
+       [ Alcotest.test_case "kinds" `Quick test_data_kinds;
+         Alcotest.test_case "value shapes" `Quick test_data_values_shape;
+         Alcotest.test_case "deterministic" `Quick test_deterministic_generation ]);
+      ("perturb",
+       [ Alcotest.test_case "truth keys" `Quick test_perturb_preserves_truth_keys;
+         Alcotest.test_case "level zero" `Quick test_perturb_level_zero_is_identity_names;
+         Alcotest.test_case "high level" `Quick test_perturb_high_level_changes_names ]);
+      ("university",
+       [ Alcotest.test_case "berkeley instance" `Quick test_berkeley_instance_valid;
+         Alcotest.test_case "delearning visibility" `Quick test_delearning_full_visibility;
+         Alcotest.test_case "linear mappings" `Quick test_delearning_linear_mappings;
+         Alcotest.test_case "join across peers" `Quick test_delearning_join_across_peers ]);
+      ("peers_gen",
+       [ Alcotest.test_case "chain answers" `Quick test_peers_gen_chain_answers;
+         Alcotest.test_case "join query" `Quick test_peers_gen_join_query ]);
+      ("pages",
+       [ Alcotest.test_case "plan valid" `Quick test_pages_plan_is_valid;
+         Alcotest.test_case "department publish" `Quick test_department_publish_counts ]) ]
