@@ -11,13 +11,20 @@ let time_ms f =
   let result = f () in
   ((Sys.time () -. t0) *. 1000.0, result)
 
+(* Wall-clock timing for the parallel experiments: [Sys.time] sums CPU
+   time across domains, which would hide any parallel speedup. *)
+let wall_ms f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  ((Unix.gettimeofday () -. t0) *. 1000.0, result)
+
 let header id claim =
   Printf.printf "\n## %s — %s\n\n" id claim
 
 (* ------------------------------------------------------------------ *)
 (* E1: reformulation cost vs. number of peers, per topology (claim C3) *)
 
-let e1 () =
+let e1_sized sizes () =
   header "E1" "PDMS reformulation cost vs. #peers and topology";
   let table =
     T.create
@@ -45,9 +52,11 @@ let e1 () =
               T.cell_i stats.Pdms.Reformulate.emitted;
               T.cell_i stats.Pdms.Reformulate.nodes_expanded;
               T.cell_i (Relalg.Relation.cardinality result.Pdms.Answer.answers) ])
-        [ 4; 8; 16; 32; 48 ])
+        sizes)
     [ Pdms.Topology.Chain; Pdms.Topology.Binary_tree; Pdms.Topology.Mesh 1 ];
   T.print table
+
+let e1 () = e1_sized [ 4; 8; 16; 32; 48 ] ()
 
 (* ------------------------------------------------------------------ *)
 (* E2: pruning ablation (claim C3) *)
@@ -812,6 +821,107 @@ let e12 () =
       (Pdms.Topology.Star, 16, 3) ];
   T.print table
 
+(* ------------------------------------------------------------------ *)
+(* E13: rewriting-union scaling — sequential vs. parallel evaluation of
+   the union of rewritings (the PDMS answer path's hot loop) *)
+
+(* The seed's union evaluation for reference: one shared answer list,
+   membership by linear scan (what [Relation.insert_distinct] did before
+   the hash-set membership structure). *)
+let list_backed_union db qs =
+  let head_tuple (q : Cq.Query.t) b =
+    Array.of_list
+      (List.map
+         (function
+           | Cq.Term.Const v -> v
+           | Cq.Term.Var x -> Cq.Eval.Smap.find x b)
+         q.Cq.Query.head.Cq.Atom.args)
+  in
+  let seen = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun b ->
+          let row = head_tuple q b in
+          if not (List.exists (fun r -> r = row) !seen) then begin
+            seen := row :: !seen;
+            incr count
+          end)
+        (Cq.Eval.run_bindings db q))
+    qs;
+  !count
+
+let e13_configs configs () =
+  header "E13"
+    "rewriting-union scaling: union evaluation, jobs in {1, 2, 4, cores}";
+  let cores = Util.Pool.cpu_count () in
+  Printf.printf "(hardware reports %d core%s)\n" cores
+    (if cores = 1 then "" else "s");
+  let jobs_list = List.sort_uniq compare [ 1; 2; 4; cores ] in
+  let table =
+    T.create
+      [ "peers"; "tuples"; "rewritings"; "jobs"; "time_ms"; "speedup";
+        "vs_list"; "ktuples_s" ]
+  in
+  List.iter
+    (fun (n, tuples_per_peer) ->
+      let prng = Util.Prng.create (1300 + n + tuples_per_peer) in
+      let topology = Pdms.Topology.generate ~prng (Pdms.Topology.Mesh 1) ~n in
+      let g =
+        Workload.Peers_gen.generate (Util.Prng.split prng) ~topology
+          ~tuples_per_peer ~with_join:true ()
+      in
+      let query = Workload.Peers_gen.join_query g ~at:0 in
+      let outcome =
+        Pdms.Reformulate.reformulate g.Workload.Peers_gen.catalog query
+      in
+      let rewritings = outcome.Pdms.Reformulate.rewritings in
+      (* One snapshot, frozen up front, shared by every jobs setting —
+         no run gets to reuse indexes another run paid for. *)
+      let db = Pdms.Catalog.global_db_snapshot g.Workload.Peers_gen.catalog in
+      Relalg.Database.freeze db;
+      let list_ms, list_count =
+        wall_ms (fun () -> list_backed_union db rewritings)
+      in
+      Printf.printf
+        "BENCH_e13_baseline {\"peers\":%d,\"tuples_per_peer\":%d,\
+         \"rewritings\":%d,\"list_backed_ms\":%.2f,\"answers\":%d}\n"
+        n tuples_per_peer (List.length rewritings) list_ms list_count;
+      let baseline = ref 1.0 in
+      List.iter
+        (fun jobs ->
+          let ms, answers =
+            wall_ms (fun () -> Pdms.Answer.eval_union ~jobs db rewritings)
+          in
+          if jobs = 1 then baseline := ms;
+          let speedup = !baseline /. Float.max 0.001 ms in
+          let vs_list = list_ms /. Float.max 0.001 ms in
+          let produced = Relalg.Relation.cardinality answers in
+          assert (produced = list_count);
+          let ktuples_s = float_of_int produced /. Float.max 0.001 ms in
+          T.add_row table
+            [ T.cell_i n; T.cell_i tuples_per_peer;
+              T.cell_i (List.length rewritings); T.cell_i jobs; T.cell_f ms;
+              T.cell_f speedup; T.cell_f vs_list; T.cell_f ktuples_s ];
+          Printf.printf
+            "BENCH_e13 {\"peers\":%d,\"tuples_per_peer\":%d,\"rewritings\":%d,\
+             \"jobs\":%d,\"time_ms\":%.2f,\"speedup\":%.2f,\
+             \"speedup_vs_list_backed\":%.2f,\"answers\":%d}\n"
+            n tuples_per_peer (List.length rewritings) jobs ms speedup vs_list
+            produced)
+        jobs_list)
+    configs;
+  T.print table
+
+let e13 () = e13_configs [ (8, 200); (12, 400); (16, 600) ] ()
+
+(* Tiny sizes so `dune build @bench-smoke` exercises the harness without
+   a full run. *)
+let smoke () =
+  e1_sized [ 4 ] ();
+  e13_configs [ (4, 10) ] ()
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-            ("e11", e11); ("e12", e12) ]
+            ("e11", e11); ("e12", e12); ("e13", e13) ]

@@ -230,14 +230,14 @@ let load_pdms path =
       Printf.eprintf "error: %s: %s\n" path msg;
       exit 1
 
-let answer_pdms path query_text =
+let answer_pdms path query_text jobs =
   let catalog = load_pdms path in
   match Cq.Parser.parse_query query_text with
   | Error msg ->
       Printf.eprintf "query parse error: %s\n" msg;
       exit 1
   | Ok query ->
-      let result = Pdms.Answer.answer catalog query in
+      let result = Pdms.Answer.answer ~jobs catalog query in
       let rows = Pdms.Answer.answers_list result in
       List.iter (fun row -> print_endline (String.concat " | " row)) rows;
       Format.eprintf "%d answers; %a@." (List.length rows)
@@ -253,7 +253,10 @@ let answer_cmd =
       $ Arg.(required & pos 0 (some file) None
              & info [] ~docv:"PDMS_FILE" ~doc:"Pdms_file format")
       $ Arg.(required & pos 1 (some string) None
-             & info [] ~docv:"QUERY" ~doc:"e.g. 'ans(X) :- uw.course(X, T)'"))
+             & info [] ~docv:"QUERY" ~doc:"e.g. 'ans(X) :- uw.course(X, T)'")
+      $ Arg.(value & opt int 1
+             & info [ "j"; "jobs" ] ~docv:"JOBS"
+                 ~doc:"Evaluate the rewriting union with this many domains"))
 
 let search_pdms path keywords =
   let catalog = load_pdms path in

@@ -16,12 +16,21 @@ let boundness bound_vars (atom : Atom.t) =
     0 atom.Atom.args
 
 (* Greedy join order: repeatedly pick the atom with the most bound
-   positions (ties: fewer tuples). *)
+   positions (ties: fewer tuples). Cardinalities are looked up once per
+   predicate, not per candidate per step. *)
 let order_atoms db (q : Query.t) =
+  let cards = Hashtbl.create 8 in
   let card (a : Atom.t) =
-    match Relalg.Database.find_opt db a.Atom.pred with
-    | None -> 0
-    | Some rel -> Relalg.Relation.cardinality rel
+    match Hashtbl.find_opt cards a.Atom.pred with
+    | Some c -> c
+    | None ->
+        let c =
+          match Relalg.Database.find_opt db a.Atom.pred with
+          | None -> 0
+          | Some rel -> Relalg.Relation.cardinality rel
+        in
+        Hashtbl.add cards a.Atom.pred c;
+        c
   in
   let rec go bound_vars remaining acc =
     match remaining with
@@ -52,17 +61,17 @@ let match_atom db (b : binding) (atom : Atom.t) : binding list =
       let n = Array.length args in
       if n <> Relalg.Schema.arity (Relalg.Relation.schema rel) then []
       else begin
-        (* Use an index on the first determined position, if any. *)
+        (* Narrow candidates through indexes on every determined
+           position (the relation intersects the two most selective
+           posting lists); [extend] below re-verifies all positions. *)
         let known = Array.map (resolve b) args in
-        let candidates =
-          let rec first_known i =
-            if i >= n then None
-            else match known.(i) with Some v -> Some (i, v) | None -> first_known (i + 1)
-          in
-          match first_known 0 with
-          | Some (col, v) -> Relalg.Relation.find_by rel col v
-          | None -> Relalg.Relation.tuples rel
-        in
+        let bound = ref [] in
+        for i = n - 1 downto 0 do
+          match known.(i) with
+          | Some v -> bound := (i, v) :: !bound
+          | None -> ()
+        done;
+        let candidates = Relalg.Relation.find_by_bound rel !bound in
         List.filter_map
           (fun row ->
             let rec extend i acc =
@@ -120,14 +129,17 @@ let run db q =
     (run_bindings db q);
   out
 
+let run_union_into out db qs =
+  List.iter
+    (fun q ->
+      List.iter
+        (fun b -> ignore (Relalg.Relation.insert_distinct out (head_tuple q b)))
+        (run_bindings db q))
+    qs
+
 let run_union db = function
   | [] -> invalid_arg "Eval.run_union: empty union"
   | q0 :: _ as qs ->
       let out = Relalg.Relation.create (head_schema q0) in
-      List.iter
-        (fun q ->
-          List.iter
-            (fun b -> ignore (Relalg.Relation.insert_distinct out (head_tuple q b)))
-            (run_bindings db q))
-        qs;
+      run_union_into out db qs;
       out

@@ -3,44 +3,83 @@ type result = {
   outcome : Reformulate.outcome;
 }
 
-let answer ?pruning catalog q =
+let empty_answers (q : Cq.Query.t) =
+  let arity = Cq.Atom.arity q.Cq.Query.head in
+  Relalg.Relation.create
+    (Relalg.Schema.make q.Cq.Query.head.Cq.Atom.pred
+       (List.init arity (Printf.sprintf "a%d")))
+
+let eval_union ?(jobs = 1) db = function
+  | [] -> invalid_arg "Answer.eval_union: empty union"
+  | qs when jobs <= 1 || List.length qs < 2 -> Cq.Eval.run_union db qs
+  | q0 :: _ as qs ->
+      (* Parallel path. Pre-build every index so worker domains never
+         mutate the shared database; each shard evaluates into its own
+         partial relation, and partials are merged through one shared
+         hash-backed dedup set. Shards are contiguous and merged in
+         order, so the answer set is identical to the sequential one. *)
+      Relalg.Database.freeze db;
+      let shards = Util.Pool.chunk jobs qs in
+      let partials =
+        Util.Pool.map (List.length shards)
+          (fun shard -> Cq.Eval.run_union db shard)
+          shards
+      in
+      let out = Relalg.Relation.create (Cq.Eval.head_schema q0) in
+      List.iter
+        (fun partial ->
+          Relalg.Relation.iter
+            (fun row -> ignore (Relalg.Relation.insert_distinct out row))
+            partial)
+        partials;
+      out
+
+let answer ?pruning ?(jobs = 1) catalog q =
   let outcome = Reformulate.reformulate ?pruning catalog q in
-  let db = Catalog.global_db catalog in
   let answers =
     match outcome.Reformulate.rewritings with
     | [] ->
         (* No rewriting: empty relation shaped by the query head. *)
-        let arity = Cq.Atom.arity q.Cq.Query.head in
-        Relalg.Relation.create
-          (Relalg.Schema.make q.Cq.Query.head.Cq.Atom.pred
-             (List.init arity (Printf.sprintf "a%d")))
-    | rewritings -> Cq.Eval.run_union db rewritings
+        empty_answers q
+    | rewritings ->
+        (* Workers read a snapshot, never the live peer relations. *)
+        let db =
+          if jobs <= 1 then Catalog.global_db catalog
+          else Catalog.global_db_snapshot catalog
+        in
+        eval_union ~jobs db rewritings
   in
   { answers; outcome }
 
 let answers_list result =
   Relalg.Relation.tuples result.answers
   |> List.map (fun row -> Array.to_list (Array.map Relalg.Value.to_string row))
-  |> List.sort compare
+  |> List.sort (List.compare String.compare)
 
 let reachable_peers catalog start =
-  let adjacency =
-    List.concat_map
-      (fun (_, m) ->
-        let ps = Peer_mapping.peers_mentioned m in
-        List.concat_map (fun a -> List.map (fun b -> (a, b)) ps) ps)
-      (Catalog.mappings catalog)
+  (* Adjacency as a hash multimap, visited as a hash set: linear in
+     edges + reachable peers instead of quadratic list scans. *)
+  let adjacency : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let add_edge a b =
+    let existing = Option.value ~default:[] (Hashtbl.find_opt adjacency a) in
+    Hashtbl.replace adjacency a (b :: existing)
   in
-  let rec bfs visited = function
-    | [] -> visited
+  List.iter
+    (fun (_, m) ->
+      let ps = Peer_mapping.peers_mentioned m in
+      List.iter (fun a -> List.iter (fun b -> add_edge a b) ps) ps)
+    (Catalog.mappings catalog);
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec bfs = function
+    | [] -> ()
     | p :: rest ->
-        if List.mem p visited then bfs visited rest
-        else
-          let next =
-            List.filter_map
-              (fun (a, b) -> if String.equal a p then Some b else None)
-              adjacency
-          in
-          bfs (p :: visited) (next @ rest)
+        if Hashtbl.mem visited p then bfs rest
+        else begin
+          Hashtbl.replace visited p ();
+          let next = Option.value ~default:[] (Hashtbl.find_opt adjacency p) in
+          bfs (next @ rest)
+        end
   in
-  List.sort String.compare (bfs [] [ start ])
+  bfs [ start ];
+  Hashtbl.fold (fun p () acc -> p :: acc) visited []
+  |> List.sort String.compare

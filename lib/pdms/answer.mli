@@ -9,11 +9,23 @@ type result = {
   outcome : Reformulate.outcome;
 }
 
-val answer : ?pruning:Reformulate.pruning -> Catalog.t -> Cq.Query.t -> result
+val answer :
+  ?pruning:Reformulate.pruning -> ?jobs:int -> Catalog.t -> Cq.Query.t -> result
+(** [jobs] (default 1 — the sequential path) shards the union of
+    rewritings across a {!Util.Pool} of domains; shards are evaluated
+    over a frozen snapshot of the global database and merged through a
+    shared dedup set, so the answer {e set} is identical for every
+    [jobs]. *)
+
+val eval_union :
+  ?jobs:int -> Relalg.Database.t -> Cq.Query.t list -> Relalg.Relation.t
+(** Evaluate a union of rewritings over [db], optionally in parallel.
+    With [jobs > 1] the database is frozen ({!Relalg.Database.freeze})
+    and must not be mutated concurrently. Raises on an empty list. *)
 
 val answers_list : result -> string list list
-(** Answer tuples rendered as strings, sorted — convenient for tests and
-    examples. *)
+(** Answer tuples rendered as strings, sorted lexicographically with
+    [String.compare] — convenient for tests and examples. *)
 
 val reachable_peers : Catalog.t -> string -> string list
 (** Peers whose data is reachable from the given peer through the

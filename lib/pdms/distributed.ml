@@ -79,7 +79,7 @@ let plan_rewriting catalog network ~at db (r : Cq.Query.t) =
     },
     result )
 
-let execute ?pruning catalog network ~at query =
+let execute ?pruning ?(jobs = 1) catalog network ~at query =
   let outcome = Reformulate.reformulate ?pruning catalog query in
   let db = Catalog.global_db catalog in
   let planned =
@@ -92,7 +92,7 @@ let execute ?pruning catalog network ~at query =
         let arity = Cq.Atom.arity query.Cq.Query.head in
         Relalg.Relation.create
           (Relalg.Schema.make "ans" (List.init arity (Printf.sprintf "a%d")))
-    | rewritings -> Cq.Eval.run_union db rewritings
+    | rewritings -> Answer.eval_union ~jobs db rewritings
   in
   (* Central baseline: ship every stored relation any rewriting reads to
      the querying peer, once. *)

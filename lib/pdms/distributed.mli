@@ -29,6 +29,7 @@ val owner_of_pred : string -> string option
 
 val execute :
   ?pruning:Reformulate.pruning ->
+  ?jobs:int ->
   Catalog.t ->
   Network.t ->
   at:string ->
@@ -37,4 +38,5 @@ val execute :
 (** Reformulate, choose a site per rewriting, evaluate, and price both
     the distributed plan and the ship-everything-central baseline.
     Result sizes are estimated from actual relation cardinalities at 64
-    bytes per tuple. *)
+    bytes per tuple. [jobs] parallelises the answer-union evaluation as
+    in {!Answer.answer}; plans and costs are unaffected. *)

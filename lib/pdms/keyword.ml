@@ -10,7 +10,7 @@ let tuple_tokens tuple =
   |> List.concat_map (fun v -> Util.Tokenize.words (Relalg.Value.to_string v))
   |> List.map Util.Stemmer.stem
 
-let search ?(limit = 10) catalog keywords =
+let search ?(limit = 10) ?(jobs = 1) catalog keywords =
   let db = Catalog.global_db catalog in
   let entries =
     List.concat_map
@@ -29,12 +29,23 @@ let search ?(limit = 10) catalog keywords =
   let corpus = Util.Tfidf.build (List.map (fun (_, _, _, toks) -> toks) entries) in
   let query_toks = List.map Util.Stemmer.stem (Util.Tokenize.words keywords) in
   let query_vec = Util.Tfidf.vectorize corpus query_toks in
+  (* Scoring is pure, so it shards across domains; chunks are contiguous
+     and re-concatenated in order, keeping the ranking (tie-breaks
+     included) identical to the sequential pass. *)
+  let scored =
+    Util.Pool.chunk (max 1 jobs) entries
+    |> Util.Pool.map jobs
+         (List.map (fun (peer, stored_rel, tuple, toks) ->
+              let score =
+                Util.Tfidf.cosine query_vec (Util.Tfidf.vectorize corpus toks)
+              in
+              (score, { peer; stored_rel; tuple; score })))
+    |> List.concat
+  in
   let top = Util.Topk.create limit in
   List.iter
-    (fun (peer, stored_rel, tuple, toks) ->
-      let score = Util.Tfidf.cosine query_vec (Util.Tfidf.vectorize corpus toks) in
-      if score > 0.0 then Util.Topk.add top score { peer; stored_rel; tuple; score })
-    entries;
+    (fun (score, hit) -> if score > 0.0 then Util.Topk.add top score hit)
+    scored;
   List.map snd (Util.Topk.to_list top)
 
 let render_hit hit =

@@ -10,9 +10,11 @@ type hit = {
   score : float;
 }
 
-val search : ?limit:int -> Catalog.t -> string -> hit list
+val search : ?limit:int -> ?jobs:int -> Catalog.t -> string -> hit list
 (** [search catalog "ancient history"] ranks every stored tuple in every
     peer against the keyword query (stemmed tokens, TF/IDF over the
-    tuple corpus); default limit 10, zero scores dropped. *)
+    tuple corpus); default limit 10, zero scores dropped. [jobs] shards
+    the scoring pass across domains; the ranking is identical for every
+    value. *)
 
 val render_hit : hit -> string

@@ -138,8 +138,20 @@ let handle_line st line =
                           with
                           | None -> Error ("row before 'store " ^ rel ^ "'")
                           | Some stored ->
-                              Relalg.Relation.insert stored (Array.of_list values);
-                              Ok ())))
+                              let want =
+                                Relalg.Schema.arity (Relalg.Relation.schema stored)
+                              and got = List.length values
+                              in
+                              if got <> want then
+                                Error
+                                  (Printf.sprintf
+                                     "row %s: expected %d values, got %d" rel
+                                     want got)
+                              else begin
+                                Relalg.Relation.insert stored
+                                  (Array.of_list values);
+                                Ok ()
+                              end)))
               | None -> (
                   match split_prefix line "mapping " with
                   | Some kind_str ->

@@ -18,4 +18,10 @@ val relations : t -> Relation.t list
 val names : t -> string list
 val total_tuples : t -> int
 val copy : t -> t
+
+val freeze : t -> unit
+(** [Relation.freeze] every relation, making subsequent lookups
+    mutation-free — call before sharing the database read-only across
+    domains. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,20 +1,44 @@
 type tuple = Value.t array
 
+let tuple_equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+(* Hash consistent with [tuple_equal]: Value.equal is structural, so a
+   fold over Value.hash agrees on equal tuples. *)
+let tuple_hash (row : tuple) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 row
+
+module Tset = Hashtbl.Make (struct
+  type t = tuple
+
+  let equal = tuple_equal
+  let hash = tuple_hash
+end)
+
 type t = {
   schema : Schema.t;
   mutable rows : tuple list;
   mutable count : int;
-  (* col -> (value -> tuples); rebuilt on demand after mutation. *)
+  (* Multiplicity per distinct tuple: O(1) [mem]/[insert_distinct]. *)
+  members : int Tset.t;
+  (* col -> (value -> tuples). Built lazily, then maintained
+     incrementally on insert; dropped wholesale on delete/clear. *)
   mutable indexes : (int, (Value.t, tuple list) Hashtbl.t) Hashtbl.t;
 }
 
 let create schema =
-  { schema; rows = []; count = 0; indexes = Hashtbl.create 4 }
+  {
+    schema;
+    rows = [];
+    count = 0;
+    members = Tset.create 16;
+    indexes = Hashtbl.create 4;
+  }
 
 let schema t = t.schema
 let cardinality t = t.count
 
-let invalidate t = if Hashtbl.length t.indexes > 0 then t.indexes <- Hashtbl.create 4
+let drop_indexes t =
+  if Hashtbl.length t.indexes > 0 then t.indexes <- Hashtbl.create 4
 
 let check_arity t row =
   if Array.length row <> Schema.arity t.schema then
@@ -22,15 +46,20 @@ let check_arity t row =
       (Printf.sprintf "Relation.insert: arity mismatch for %s (got %d, want %d)"
          (Schema.name t.schema) (Array.length row) (Schema.arity t.schema))
 
+let index_push idx key row =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt idx key) in
+  Hashtbl.replace idx key (row :: existing)
+
 let insert t row =
   check_arity t row;
   t.rows <- row :: t.rows;
   t.count <- t.count + 1;
-  invalidate t
+  Tset.replace t.members row
+    (1 + Option.value ~default:0 (Tset.find_opt t.members row));
+  (* Live indexes absorb the row instead of being invalidated. *)
+  Hashtbl.iter (fun col idx -> index_push idx row.(col) row) t.indexes
 
-let tuple_equal a b = Array.length a = Array.length b && Array.for_all2 Value.equal a b
-
-let mem t row = List.exists (tuple_equal row) t.rows
+let mem t row = Tset.mem t.members row
 
 let insert_distinct t row =
   check_arity t row;
@@ -40,12 +69,17 @@ let insert_distinct t row =
     true
   end
 
+let bulk_insert t rows = List.iter (insert t) rows
+
 let delete t row =
-  let before = t.count in
-  t.rows <- List.filter (fun r -> not (tuple_equal r row)) t.rows;
-  t.count <- List.length t.rows;
-  invalidate t;
-  before - t.count
+  match Tset.find_opt t.members row with
+  | None -> 0
+  | Some multiplicity ->
+      t.rows <- List.filter (fun r -> not (tuple_equal r row)) t.rows;
+      t.count <- t.count - multiplicity;
+      Tset.remove t.members row;
+      drop_indexes t;
+      multiplicity
 
 let tuples t = t.rows
 let iter f t = List.iter f t.rows
@@ -53,12 +87,7 @@ let fold f init t = List.fold_left f init t.rows
 
 let build_index t col =
   let idx = Hashtbl.create (max 16 t.count) in
-  List.iter
-    (fun row ->
-      let key = row.(col) in
-      let existing = Option.value ~default:[] (Hashtbl.find_opt idx key) in
-      Hashtbl.replace idx key (row :: existing))
-    t.rows;
+  List.iter (fun row -> index_push idx row.(col) row) t.rows;
   Hashtbl.replace t.indexes col idx;
   idx
 
@@ -72,9 +101,37 @@ let find_by t col v =
   in
   Option.value ~default:[] (Hashtbl.find_opt idx v)
 
+let find_by_bound t bound =
+  match bound with
+  | [] -> t.rows
+  | [ (col, v) ] -> find_by t col v
+  | _ ->
+      (* Intersect the two most selective posting lists: scan the
+         shortest, filtering by the runner-up column. Remaining bound
+         columns are the caller's to verify (the evaluator re-checks
+         every position anyway). *)
+      let postings =
+        List.map (fun (col, v) -> ((col, v), find_by t col v)) bound
+      in
+      let sorted =
+        List.sort
+          (fun (_, a) (_, b) ->
+            compare (List.length a) (List.length b))
+          postings
+      in
+      (match sorted with
+      | (_, best) :: ((col2, v2), _) :: _ ->
+          List.filter (fun row -> Value.equal row.(col2) v2) best
+      | _ -> assert false)
+
+let freeze t =
+  for col = 0 to Schema.arity t.schema - 1 do
+    if not (Hashtbl.mem t.indexes col) then ignore (build_index t col)
+  done
+
 let of_tuples schema rows =
   let t = create schema in
-  List.iter (insert t) rows;
+  bulk_insert t rows;
   t
 
 let copy t = of_tuples t.schema t.rows
@@ -82,7 +139,8 @@ let copy t = of_tuples t.schema t.rows
 let clear t =
   t.rows <- [];
   t.count <- 0;
-  invalidate t
+  Tset.reset t.members;
+  drop_indexes t
 
 let pp fmt t =
   Format.fprintf fmt "%a [%d rows]" Schema.pp t.schema t.count;

@@ -1,6 +1,7 @@
-(** An in-memory relation: a schema and a bag of tuples with optional
-    set semantics and per-column hash indexes (built lazily, invalidated
-    on insertion). *)
+(** An in-memory relation: a schema and a bag of tuples with a
+    hash-set membership structure (O(1) [mem]/[insert_distinct]) and
+    per-column hash indexes. Indexes are built lazily and maintained
+    incrementally on insertion; deletion drops them. *)
 
 type tuple = Value.t array
 type t
@@ -14,7 +15,13 @@ val insert : t -> tuple -> unit
     (bag semantics); use [insert_distinct] for set semantics. *)
 
 val insert_distinct : t -> tuple -> bool
-(** Returns [false] (and does nothing) if an equal tuple is present. *)
+(** Returns [false] (and does nothing) if an equal tuple is present.
+    Constant-time membership via the internal tuple hash set. *)
+
+val bulk_insert : t -> tuple list -> unit
+(** Insert many rows at once (bag semantics). Equivalent to iterated
+    [insert] but intended for loading: live indexes absorb the rows
+    incrementally instead of being rebuilt per row. *)
 
 val delete : t -> tuple -> int
 (** Removes all equal tuples; returns how many were removed. *)
@@ -26,6 +33,19 @@ val fold : ('a -> tuple -> 'a) -> 'a -> t -> 'a
 val find_by : t -> int -> Value.t -> tuple list
 (** [find_by t col v] returns tuples whose [col]-th value equals [v],
     via a lazily built hash index. *)
+
+val find_by_bound : t -> (int * Value.t) list -> tuple list
+(** Candidate tuples for a conjunction of column bindings: the two most
+    selective posting lists are intersected (the shortest is scanned,
+    filtered by the runner-up column). With two or more bindings the
+    result may still contain tuples violating the {e remaining}
+    bindings — callers must re-verify. [[]] returns all tuples. *)
+
+val freeze : t -> unit
+(** Build the index for every column, so that subsequent [find_by] /
+    [find_by_bound] calls are mutation-free — the precondition for
+    sharing the relation read-only across domains. A later insert or
+    delete re-enters the ordinary (single-domain) regime. *)
 
 val mem : t -> tuple -> bool
 val of_tuples : Schema.t -> tuple list -> t

@@ -13,6 +13,9 @@ type t = {
   by_subj : (string, triple list) Hashtbl.t;
   by_pred : (string, triple list) Hashtbl.t;
   by_obj : (Relalg.Value.t, triple list) Hashtbl.t;
+  (* Statement identity for O(1) insert dedup, instead of scanning the
+     subject posting list (O(n) on hot subjects). *)
+  stmts : (string * string * Relalg.Value.t * string, unit) Hashtbl.t;
 }
 
 let create () =
@@ -22,23 +25,21 @@ let create () =
     by_subj = Hashtbl.create 64;
     by_pred = Hashtbl.create 64;
     by_obj = Hashtbl.create 64;
+    stmts = Hashtbl.create 64;
   }
+
+let stmt_key tr = (tr.subj, tr.pred, tr.obj, tr.prov.Provenance.source_url)
 
 let push tbl key triple =
   let existing = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
   Hashtbl.replace tbl key (triple :: existing)
 
-let same_statement a b =
-  String.equal a.subj b.subj && String.equal a.pred b.pred
-  && Relalg.Value.equal a.obj b.obj
-  && String.equal a.prov.Provenance.source_url b.prov.Provenance.source_url
-
 let add t ~subj ~pred ~obj ~prov =
   let triple = { subj; pred; obj; prov } in
-  let existing = Option.value ~default:[] (Hashtbl.find_opt t.by_subj subj) in
-  if not (List.exists (same_statement triple) existing) then begin
+  if not (Hashtbl.mem t.stmts (stmt_key triple)) then begin
     t.all <- triple :: t.all;
     t.size <- t.size + 1;
+    Hashtbl.replace t.stmts (stmt_key triple) ();
     push t.by_subj subj triple;
     push t.by_pred pred triple;
     push t.by_obj obj triple
@@ -50,11 +51,13 @@ let rebuild t remaining =
   Hashtbl.reset t.by_subj;
   Hashtbl.reset t.by_pred;
   Hashtbl.reset t.by_obj;
+  Hashtbl.reset t.stmts;
   List.iter
     (fun tr ->
       push t.by_subj tr.subj tr;
       push t.by_pred tr.pred tr;
-      push t.by_obj tr.obj tr)
+      push t.by_obj tr.obj tr;
+      Hashtbl.replace t.stmts (stmt_key tr) ())
     remaining
 
 let remove_source t url =

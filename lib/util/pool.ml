@@ -1,0 +1,66 @@
+(* A small fixed-size worker pool over OCaml 5 domains (stdlib only).
+
+   [map jobs f xs] spawns at most [jobs - 1] helper domains (the calling
+   domain is the remaining worker); items are claimed from a shared
+   atomic counter, and every result is written to its item's slot, so
+   the output order equals the input order no matter which domain ran
+   which item. Exceptions raised by [f] are re-raised in the caller,
+   lowest item index first. *)
+
+let cpu_count () = Domain.recommended_domain_count ()
+
+let map jobs f xs =
+  if jobs <= 1 then List.map f xs
+  else
+    match xs with
+    | [] -> []
+    | [ x ] -> [ f x ]
+    | _ ->
+        let items = Array.of_list xs in
+        let n = Array.length items in
+        let results = Array.make n None in
+        let next = Atomic.make 0 in
+        let rec worker () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (results.(i) <-
+               (match f items.(i) with
+               | y -> Some (Ok y)
+               | exception e -> Some (Error e)));
+            worker ()
+          end
+        in
+        let helpers =
+          Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+        in
+        worker ();
+        Array.iter Domain.join helpers;
+        Array.to_list results
+        |> List.map (function
+             | Some (Ok y) -> y
+             | Some (Error e) -> raise e
+             | None -> assert false)
+
+let chunk k xs =
+  let n = List.length xs in
+  if n = 0 then []
+  else if k <= 1 then [ xs ]
+  else
+    let pieces = min k n in
+    let base = n / pieces and extra = n mod pieces in
+    (* First [extra] chunks get one more item; order is preserved. *)
+    let rec take i acc rest =
+      if i = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> (List.rev acc, [])
+        | x :: tl -> take (i - 1) (x :: acc) tl
+    in
+    let rec go idx rest acc =
+      if idx >= pieces then List.rev acc
+      else
+        let size = base + if idx < extra then 1 else 0 in
+        let piece, rest = take size [] rest in
+        go (idx + 1) rest (piece :: acc)
+    in
+    go 0 xs []

@@ -1,0 +1,21 @@
+(** A small fixed-size worker pool over OCaml 5 domains (stdlib only).
+    Work items are claimed from a shared atomic counter; results are
+    returned in input order regardless of which domain ran which item. *)
+
+val map : int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map jobs f xs] applies [f] to every element of [xs] using up to
+    [jobs] domains (the calling domain is one of them) and returns the
+    results in the order of [xs]. [jobs <= 1] is exactly [List.map].
+    [f] must be safe to run concurrently with itself: it must not
+    mutate state shared between items. An exception raised by [f] is
+    re-raised in the caller (lowest item index first); the remaining
+    items still run to completion. *)
+
+val chunk : int -> 'a list -> 'a list list
+(** [chunk k xs] splits [xs] into at most [k] contiguous, order-
+    preserving pieces of near-equal length; concatenating the result
+    yields [xs]. Never produces an empty piece; [chunk k [] = []]. *)
+
+val cpu_count : unit -> int
+(** [Domain.recommended_domain_count ()] — the parallelism the hardware
+    offers. *)

@@ -714,6 +714,62 @@ let prop_pdms_file_roundtrip =
       P.Answer.answers_list (P.Answer.answer catalog query)
       = P.Answer.answers_list (P.Answer.answer catalog' query))
 
+(* ------------------------------------------------------------------ *)
+(* Parallel answer path: jobs > 1 must be invisible in the results. *)
+
+let test_parallel_answer_delearning () =
+  let prng = Util.Prng.create 2003 in
+  let d = Workload.University.build_delearning prng ~courses_per_peer:3 in
+  List.iter
+    (fun (_, peer) ->
+      let seq =
+        P.Answer.answers_list
+          (P.Answer.answer ~jobs:1 d.Workload.University.catalog
+             (Workload.University.course_query peer))
+      and par =
+        P.Answer.answers_list
+          (P.Answer.answer ~jobs:4 d.Workload.University.catalog
+             (Workload.University.course_query peer))
+      in
+      check_b "jobs=4 = jobs=1 (delearning)" true (seq = par);
+      check_b "non-trivial answers" true (seq <> []))
+    d.Workload.University.peers;
+  (* The cross-relation join query too. *)
+  let _, stanford = List.hd d.Workload.University.peers in
+  let jq = Workload.University.course_instructor_query stanford in
+  check_b "join query agrees" true
+    (P.Answer.answers_list
+       (P.Answer.answer ~jobs:1 d.Workload.University.catalog jq)
+    = P.Answer.answers_list
+        (P.Answer.answer ~jobs:4 d.Workload.University.catalog jq))
+
+let prop_parallel_answer_matches_sequential =
+  QCheck.Test.make ~name:"answer ~jobs:4 = ~jobs:1 on perturbed topologies"
+    ~count:25
+    (QCheck.make QCheck.Gen.(int_bound 10_000) ~print:string_of_int)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let kind =
+        match seed mod 4 with
+        | 0 -> P.Topology.Chain
+        | 1 -> P.Topology.Star
+        | 2 -> P.Topology.Ring
+        | _ -> P.Topology.Mesh 1
+      in
+      let topology = P.Topology.generate ~prng kind ~n:(4 + (seed mod 3)) in
+      let g = Workload.Peers_gen.generate prng ~topology ~tuples_per_peer:3 () in
+      let catalog = g.Workload.Peers_gen.catalog in
+      let query = Workload.Peers_gen.course_query g ~at:(seed mod 2) in
+      P.Answer.answers_list (P.Answer.answer ~jobs:1 catalog query)
+      = P.Answer.answers_list (P.Answer.answer ~jobs:4 catalog query))
+
+let test_parallel_keyword_ranking () =
+  let catalog, _, _ = two_peer_catalog `Equality in
+  let seq = P.Keyword.search ~jobs:1 catalog "databases systems"
+  and par = P.Keyword.search ~jobs:4 catalog "databases systems" in
+  check_b "keyword hits found" true (seq <> []);
+  check_b "jobs=4 ranking identical" true (seq = par)
+
 let test_pdms_file_errors () =
   check_b "row before store" true
     (Result.is_error
@@ -856,4 +912,10 @@ let () =
          Alcotest.test_case "multiple replicas" `Quick
            test_propagate_multiple_replicas_consistent ]);
       ("placement",
-       [ Alcotest.test_case "greedy improves" `Quick test_placement_greedy_improves ]) ]
+       [ Alcotest.test_case "greedy improves" `Quick test_placement_greedy_improves ]);
+      ("parallel",
+       [ Alcotest.test_case "delearning jobs=4 = jobs=1" `Quick
+           test_parallel_answer_delearning;
+         Alcotest.test_case "keyword ranking jobs=4 = jobs=1" `Quick
+           test_parallel_keyword_ranking ]
+       @ qc [ prop_parallel_answer_matches_sequential ]) ]

@@ -71,6 +71,54 @@ let test_relation_distinct_delete () =
   check_i "delete removes all" 2 (Relation.delete r [| v_i 1 |]);
   check_i "empty" 0 (Relation.cardinality r)
 
+let test_relation_bulk_insert_index () =
+  let schema = Schema.make "r" [ "a"; "b" ] in
+  let r = Relation.create schema in
+  (* Build the column-0 index before any bulk load. *)
+  check_i "empty index" 0 (List.length (Relation.find_by r 0 (v_i 1)));
+  Relation.bulk_insert r
+    (List.init 40 (fun i -> [| v_i (i mod 4); v_i i |]));
+  check_i "bulk rows visible" 40 (Relation.cardinality r);
+  check_i "index sees bulk rows" 10 (List.length (Relation.find_by r 0 (v_i 1)));
+  (* A second bulk load must extend, not rebuild-and-lose. *)
+  Relation.bulk_insert r [ [| v_i 1; v_i 99 |]; [| v_i 7; v_i 100 |] ];
+  check_i "index extended" 11 (List.length (Relation.find_by r 0 (v_i 1)));
+  check_i "new key indexed" 1 (List.length (Relation.find_by r 0 (v_i 7)));
+  check_b "mem via hash set" true (Relation.mem r [| v_i 7; v_i 100 |]);
+  check_b "absent row" false (Relation.mem r [| v_i 7; v_i 101 |]);
+  (* of_tuples goes through bulk_insert and must behave identically. *)
+  let r' = Relation.of_tuples schema (Relation.tuples r) in
+  check_i "of_tuples cardinality" 42 (Relation.cardinality r');
+  check_i "of_tuples index" 11 (List.length (Relation.find_by r' 0 (v_i 1)))
+
+let test_relation_find_by_bound () =
+  let r = Relation.create (Schema.make "r" [ "a"; "b"; "c" ]) in
+  Relation.bulk_insert r
+    [ [| v_i 1; v_s "x"; v_i 10 |];
+      [| v_i 1; v_s "y"; v_i 11 |];
+      [| v_i 2; v_s "x"; v_i 12 |];
+      [| v_i 1; v_s "x"; v_i 13 |] ];
+  check_i "no bound cols = all rows" 4
+    (List.length (Relation.find_by_bound r []));
+  check_i "single bound col" 3
+    (List.length (Relation.find_by_bound r [ (0, v_i 1) ]));
+  (* Two bound columns intersect exactly. *)
+  let hits = Relation.find_by_bound r [ (0, v_i 1); (1, v_s "x") ] in
+  check_i "two bound cols" 2 (List.length hits);
+  check_b "rows match both columns" true
+    (List.for_all
+       (fun row -> Value.equal row.(0) (v_i 1) && Value.equal row.(1) (v_s "x"))
+       hits);
+  (* With three bound columns the result may be a superset filtered by
+     the two most selective lists, but must contain every exact match. *)
+  let hits3 =
+    Relation.find_by_bound r [ (0, v_i 1); (1, v_s "x"); (2, v_i 13) ]
+  in
+  check_b "superset contains exact match" true
+    (List.exists
+       (fun row -> Value.equal row.(2) (v_i 13))
+       hits3)
+
 (* ------------------------------------------------------------------ *)
 (* Ops *)
 
@@ -238,7 +286,9 @@ let () =
       ("relation",
        [ Alcotest.test_case "insert and find" `Quick test_relation_insert_and_find;
          Alcotest.test_case "arity mismatch" `Quick test_relation_arity_mismatch;
-         Alcotest.test_case "distinct and delete" `Quick test_relation_distinct_delete ]);
+         Alcotest.test_case "distinct and delete" `Quick test_relation_distinct_delete;
+         Alcotest.test_case "bulk insert index" `Quick test_relation_bulk_insert_index;
+         Alcotest.test_case "find_by_bound" `Quick test_relation_find_by_bound ]);
       ("ops",
        [ Alcotest.test_case "select/project" `Quick test_select_project;
          Alcotest.test_case "natural join" `Quick test_natural_join;
