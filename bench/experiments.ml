@@ -916,12 +916,194 @@ let e13_configs configs () =
 
 let e13 () = e13_configs [ (8, 200); (12, 400); (16, 600) ] ()
 
+(* ------------------------------------------------------------------ *)
+(* E14: reformulation throughput — the final subsumption sweep
+   (signature prefilter + optional parallelism) against the seed's
+   unprefiltered O(n²) sweep, on dense Fig. 2-style topologies; plus the
+   answer-cache hit-latency micro-bench against the seed's list-scan
+   store. *)
+
+(* The seed's containment test (no signature prefilter), reconstructed
+   from the primitives: freeze the head, seed the substitution
+   head-onto-head, search for a homomorphism. *)
+let unprefiltered_contained_in (q1 : Cq.Query.t) (q2 : Cq.Query.t) =
+  let frozen_head = Cq.Homomorphism.freeze_atom q1.Cq.Query.head in
+  match Cq.Subst.match_atom Cq.Subst.empty q2.Cq.Query.head frozen_head with
+  | None -> false
+  | Some init ->
+      Cq.Homomorphism.exists ~init ~from:q2.Cq.Query.body q1.Cq.Query.body
+
+(* The seed's final sweep verbatim: every ordered pair pays the full
+   homomorphism search. *)
+let seed_sweep rewritings =
+  let arr = Array.of_list rewritings in
+  let n = Array.length arr in
+  let keep = Array.make n true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if
+        i <> j && keep.(i) && keep.(j)
+        && unprefiltered_contained_in arr.(i) arr.(j)
+      then
+        if unprefiltered_contained_in arr.(j) arr.(i) then (
+          if j > i then keep.(j) <- false else keep.(i) <- false)
+        else keep.(i) <- false
+    done
+  done;
+  List.filteri (fun i _ -> keep.(i)) (Array.to_list arr)
+
+let e14_sweep_configs configs =
+  let cores = Util.Pool.cpu_count () in
+  let jobs_list = List.sort_uniq compare [ 1; 2; 4; cores ] in
+  let table =
+    T.create
+      [ "peers"; "raw_rw"; "kept"; "jobs"; "sweep_ms"; "seed_ms"; "vs_seed" ]
+  in
+  List.iter
+    (fun (n, cap) ->
+      let prng = Util.Prng.create (1400 + n) in
+      let topology = Pdms.Topology.generate ~prng (Pdms.Topology.Mesh 2) ~n in
+      let g =
+        Workload.Peers_gen.generate (Util.Prng.split prng) ~topology
+          ~tuples_per_peer:2 ()
+      in
+      let query = Workload.Peers_gen.course_query g ~at:0 in
+      (* Raw emissions: subsumption off, so the sweep input is the dense
+         duplicated set the emit-time index normally thins out. *)
+      let pruning =
+        {
+          Pdms.Reformulate.default_pruning with
+          Pdms.Reformulate.use_subsumption = false;
+          max_rewritings = cap;
+        }
+      in
+      let outcome =
+        Pdms.Reformulate.reformulate ~pruning g.Workload.Peers_gen.catalog
+          query
+      in
+      let raw = outcome.Pdms.Reformulate.rewritings in
+      let raw_n = List.length raw in
+      let seed_ms, seed_kept = wall_ms (fun () -> seed_sweep raw) in
+      Printf.printf
+        "BENCH_e14_seed_sweep {\"peers\":%d,\"raw_rewritings\":%d,\
+         \"kept\":%d,\"seed_ms\":%.2f}\n"
+        n raw_n (List.length seed_kept) seed_ms;
+      let reference = ref [] in
+      List.iter
+        (fun jobs ->
+          let ms, kept =
+            wall_ms (fun () -> Pdms.Reformulate.subsumption_sweep ~jobs raw)
+          in
+          let rendered = List.map Cq.Query.to_string kept in
+          if jobs = 1 then begin
+            reference := rendered;
+            (* The prefiltered sweep must keep exactly what the seed's
+               sweep keeps. *)
+            assert (rendered = List.map Cq.Query.to_string seed_kept)
+          end
+          else
+            (* ... and every jobs value must agree byte-for-byte. *)
+            assert (rendered = !reference);
+          let vs_seed = seed_ms /. Float.max 0.001 ms in
+          T.add_row table
+            [ T.cell_i n; T.cell_i raw_n; T.cell_i (List.length kept);
+              T.cell_i jobs; T.cell_f ms; T.cell_f seed_ms;
+              T.cell_f vs_seed ];
+          Printf.printf
+            "BENCH_e14_sweep {\"peers\":%d,\"raw_rewritings\":%d,\
+             \"kept\":%d,\"jobs\":%d,\"sweep_ms\":%.2f,\
+             \"speedup_vs_seed\":%.2f}\n"
+            n raw_n (List.length kept) jobs ms vs_seed)
+        jobs_list)
+    configs;
+  T.print table
+
+(* Cache micro-bench: hit latency must be flat in the entry count
+   (hashtable + intrusive LRU) where the seed's list store scanned
+   linearly. The list-scan baseline replays the same lookups over an
+   assoc list of the same keys. *)
+let e14_cache_micro entry_counts =
+  let lookups = 20_000 in
+  let catalog = Pdms.Catalog.create () in
+  let peer =
+    Pdms.Peer.create ~name:"cachepeer"
+      ~schema:[ ("course", [ "code"; "title" ]) ]
+  in
+  Pdms.Catalog.add_peer catalog peer;
+  let stored = Pdms.Catalog.store_identity catalog peer ~rel:"course" in
+  Relalg.Relation.insert stored
+    [| Relalg.Value.Str "cse444"; Relalg.Value.Str "databases" |];
+  let mk i =
+    Cq.Query.make
+      (Cq.Atom.make (Printf.sprintf "q%d" i) [ Cq.Term.v "X"; Cq.Term.v "Y" ])
+      [ Pdms.Peer.atom peer "course" [ Cq.Term.v "X"; Cq.Term.v "Y" ] ]
+  in
+  let table =
+    T.create [ "entries"; "ns_per_hit"; "list_ns_per_hit"; "list_vs_cache" ]
+  in
+  List.iter
+    (fun m ->
+      let cache = Pdms.Cache.create ~capacity:1024 catalog () in
+      let queries = Array.init m mk in
+      Array.iter (fun q -> ignore (Pdms.Cache.answer cache q)) queries;
+      assert (Pdms.Cache.entries cache = m);
+      let hits0 = Pdms.Cache.hits cache in
+      let prng = Util.Prng.create (1450 + m) in
+      let picks = Array.init lookups (fun _ -> Util.Prng.int prng m) in
+      let ms, () =
+        wall_ms (fun () ->
+            Array.iter
+              (fun i -> ignore (Pdms.Cache.answer cache queries.(i)))
+              picks)
+      in
+      (* Every lookup must have been a hit — no hidden evictions. *)
+      assert (Pdms.Cache.hits cache = hits0 + lookups);
+      (* The seed's store: an assoc list probed by key equality, the
+         entry's position depending on recency. We scan a static list of
+         the same rendered keys — flattering to the seed, which also
+         paid a timestamped LRU fold per miss. *)
+      let keys = Array.to_list (Array.map Cq.Query.to_string queries) in
+      let list_ms, () =
+        wall_ms (fun () ->
+            Array.iter
+              (fun i ->
+                let key = Cq.Query.to_string queries.(i) in
+                ignore (List.find_opt (fun k -> String.equal k key) keys))
+              picks)
+      in
+      let ns_per_hit = ms *. 1e6 /. float_of_int lookups in
+      let list_ns = list_ms *. 1e6 /. float_of_int lookups in
+      T.add_row table
+        [ T.cell_i m; T.cell_f ns_per_hit; T.cell_f list_ns;
+          T.cell_f (list_ns /. Float.max 0.001 ns_per_hit) ];
+      Printf.printf
+        "BENCH_e14_cache {\"entries\":%d,\"ns_per_hit\":%.0f,\
+         \"list_scan_ns_per_hit\":%.0f}\n"
+        m ns_per_hit list_ns)
+    entry_counts;
+  T.print table
+
+let e14_configs ~sweep ~cache_entries () =
+  header "E14"
+    "reformulation throughput: subsumption sweep vs seed + cache hit latency";
+  let cores = Util.Pool.cpu_count () in
+  Printf.printf "(hardware reports %d core%s)\n" cores
+    (if cores = 1 then "" else "s");
+  e14_sweep_configs sweep;
+  e14_cache_micro cache_entries
+
+let e14 () =
+  e14_configs
+    ~sweep:[ (16, 192); (32, 256); (48, 256) ]
+    ~cache_entries:[ 64; 256; 1024 ] ()
+
 (* Tiny sizes so `dune build @bench-smoke` exercises the harness without
    a full run. *)
 let smoke () =
   e1_sized [ 4 ] ();
-  e13_configs [ (4, 10) ] ()
+  e13_configs [ (4, 10) ] ();
+  e14_configs ~sweep:[ (6, 48) ] ~cache_entries:[ 32 ] ()
 
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-            ("e11", e11); ("e12", e12); ("e13", e13) ]
+            ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14) ]

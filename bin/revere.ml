@@ -256,11 +256,14 @@ let answer_cmd =
              & info [] ~docv:"QUERY" ~doc:"e.g. 'ans(X) :- uw.course(X, T)'")
       $ Arg.(value & opt int 1
              & info [ "j"; "jobs" ] ~docv:"JOBS"
-                 ~doc:"Evaluate the rewriting union with this many domains"))
+                 ~doc:
+                   "Run the reformulation subsumption sweep and the \
+                    rewriting-union evaluation with this many domains \
+                    (answers are identical for every value)"))
 
-let search_pdms path keywords =
+let search_pdms path jobs keywords =
   let catalog = load_pdms path in
-  match Pdms.Keyword.search catalog (String.concat " " keywords) with
+  match Pdms.Keyword.search ~jobs catalog (String.concat " " keywords) with
   | [] -> print_endline "no hits"
   | hits -> List.iter (fun h -> print_endline (Pdms.Keyword.render_hit h)) hits
 
@@ -272,6 +275,9 @@ let search_cmd =
       const search_pdms
       $ Arg.(required & pos 0 (some file) None
              & info [] ~docv:"PDMS_FILE" ~doc:"Pdms_file format")
+      $ Arg.(value & opt int 1
+             & info [ "j"; "jobs" ] ~docv:"JOBS"
+                 ~doc:"Score tuples with this many domains")
       $ Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"KEYWORD"))
 
 (* ------------------------------------------------------------------ *)

@@ -2,20 +2,47 @@
    maps q2's head onto q1's head. We freeze q1 and (a) seed the
    substitution by matching heads, (b) require q2's frozen body image to
    be a subset of q1's frozen body. *)
+let homomorphism_test (q1 : Query.t) (q2 : Query.t) =
+  let frozen_head = Homomorphism.freeze_atom q1.Query.head in
+  let seeded =
+    Subst.match_atom Subst.empty
+      { q2.Query.head with Atom.pred = frozen_head.Atom.pred }
+      { frozen_head with Atom.pred = frozen_head.Atom.pred }
+  in
+  match seeded with
+  | None -> false
+  | Some init -> Homomorphism.exists ~init ~from:q2.Query.body q1.Query.body
+
+(* Inline necessary-condition prefilter (see {!Signature}): a
+   homomorphism preserves predicate names, so every body predicate of q2
+   must occur in q1's body. Checking this costs a linear pass; skipping
+   the backtracking search when it fails is the common case in
+   subsumption sweeps over heterogeneous rewritings. *)
+let preds_covered (q1 : Query.t) (q2 : Query.t) =
+  match q2.Query.body with
+  | [] -> true
+  | [ (a : Atom.t) ] ->
+      List.exists (fun (b : Atom.t) -> String.equal a.Atom.pred b.Atom.pred)
+        q1.Query.body
+  | body ->
+      let present = Hashtbl.create 8 in
+      List.iter
+        (fun (a : Atom.t) -> Hashtbl.replace present a.Atom.pred ())
+        q1.Query.body;
+      List.for_all (fun (a : Atom.t) -> Hashtbl.mem present a.Atom.pred) body
+
 let contained_in (q1 : Query.t) (q2 : Query.t) =
-  if Atom.arity q1.Query.head <> Atom.arity q2.Query.head then false
-  else
-    let frozen_head = Homomorphism.freeze_atom q1.Query.head in
-    let seeded =
-      Subst.match_atom Subst.empty
-        { q2.Query.head with Atom.pred = frozen_head.Atom.pred }
-        { frozen_head with Atom.pred = frozen_head.Atom.pred }
-    in
-    match seeded with
-    | None -> false
-    | Some init ->
-        Homomorphism.exists ~init ~from:q2.Query.body q1.Query.body
+  Atom.arity q1.Query.head = Atom.arity q2.Query.head
+  && preds_covered q1 q2
+  && homomorphism_test q1 q2
+
+let contained_in_with ~sub ~super q1 q2 =
+  Signature.compatible ~sub ~super && homomorphism_test q1 q2
 
 let equivalent q1 q2 = contained_in q1 q2 && contained_in q2 q1
 
-let contained_in_union q qs = List.exists (fun q' -> contained_in q q') qs
+let contained_in_union q qs =
+  let sub = Signature.of_query q in
+  List.exists
+    (fun q' -> contained_in_with ~sub ~super:(Signature.of_query q') q q')
+    qs

@@ -5,7 +5,17 @@
 val contained_in : Query.t -> Query.t -> bool
 (** [contained_in q1 q2] decides [q1 ⊑ q2]: every answer of [q1] is an
     answer of [q2] on every database. Queries must have equal head
-    arity (else [false]). *)
+    arity (else [false]). A predicate-coverage prefilter (see
+    {!Signature}) rejects impossible pairs before the homomorphism
+    search. *)
+
+val contained_in_with :
+  sub:Signature.t -> super:Signature.t -> Query.t -> Query.t -> bool
+(** Like {!contained_in} but with the signatures of both queries
+    precomputed by the caller ([sub] for [q1], [super] for [q2]) — for
+    sweeps that test many pairs over the same query set, where
+    signature construction would otherwise dominate. Verdicts are
+    identical to {!contained_in}. *)
 
 val equivalent : Query.t -> Query.t -> bool
 

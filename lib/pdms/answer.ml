@@ -35,7 +35,7 @@ let eval_union ?(jobs = 1) db = function
       out
 
 let answer ?pruning ?(jobs = 1) catalog q =
-  let outcome = Reformulate.reformulate ?pruning catalog q in
+  let outcome = Reformulate.reformulate ?pruning ~jobs catalog q in
   let answers =
     match outcome.Reformulate.rewritings with
     | [] ->

@@ -11,11 +11,12 @@ type result = {
 
 val answer :
   ?pruning:Reformulate.pruning -> ?jobs:int -> Catalog.t -> Cq.Query.t -> result
-(** [jobs] (default 1 — the sequential path) shards the union of
-    rewritings across a {!Util.Pool} of domains; shards are evaluated
-    over a frozen snapshot of the global database and merged through a
-    shared dedup set, so the answer {e set} is identical for every
-    [jobs]. *)
+(** [jobs] (default 1 — the sequential path) parallelises both the
+    reformulation's final subsumption sweep ({!Reformulate.reformulate})
+    and the union evaluation: shards of rewritings are evaluated over a
+    frozen snapshot of the global database and merged through a shared
+    dedup set. The rewriting list and the answer {e set} are identical
+    for every [jobs]. *)
 
 val eval_union :
   ?jobs:int -> Relalg.Database.t -> Cq.Query.t list -> Relalg.Relation.t

@@ -1,22 +1,42 @@
+(* Hash-backed LRU: a key -> entry hashtable for O(1) lookup, an
+   intrusive doubly-linked recency list (head = most recent, tail =
+   least) for O(1) touch/evict, and an inverted predicate -> entries
+   index so [invalidate] visits only the affected entries. The seed
+   stored entries in a list: O(n) lookup, O(n) eviction by minimum
+   timestamp, O(n) invalidation. *)
+
 type entry = {
   key : string;
   result : Answer.result;
   reads : string list;  (* stored predicates the rewritings mention *)
-  mutable last_used : int;
+  mutable prev : entry option;  (* towards the most recently used *)
+  mutable next : entry option;  (* towards the least recently used *)
 }
 
 type t = {
   catalog : Catalog.t;
   capacity : int;
-  mutable store : entry list;
-  mutable clock : int;
+  table : (string, entry) Hashtbl.t;
+  (* pred -> (key -> entry): which live entries read each predicate. *)
+  by_pred : (string, (string, entry) Hashtbl.t) Hashtbl.t;
+  mutable mru : entry option;
+  mutable lru : entry option;
   mutable hit_count : int;
   mutable miss_count : int;
 }
 
 let create ?(capacity = 64) catalog () =
   if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
-  { catalog; capacity; store = []; clock = 0; hit_count = 0; miss_count = 0 }
+  {
+    catalog;
+    capacity;
+    table = Hashtbl.create (min capacity 1024);
+    by_pred = Hashtbl.create 64;
+    mru = None;
+    lru = None;
+    hit_count = 0;
+    miss_count = 0;
+  }
 
 (* Alpha-normalised key: queries equal up to variable renaming share an
    entry. *)
@@ -44,46 +64,93 @@ let reads_of (result : Answer.result) =
   List.concat_map Cq.Query.body_preds result.Answer.outcome.Reformulate.rewritings
   |> List.sort_uniq String.compare
 
+(* Recency-list surgery — all O(1). *)
+
+let unlink t e =
+  (match e.prev with
+  | Some p -> p.next <- e.next
+  | None -> t.mru <- e.next);
+  (match e.next with
+  | Some n -> n.prev <- e.prev
+  | None -> t.lru <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.mru;
+  (match t.mru with Some m -> m.prev <- Some e | None -> ());
+  t.mru <- Some e;
+  match t.lru with None -> t.lru <- Some e | Some _ -> ()
+
+let touch t e =
+  match t.mru with
+  | Some m when m == e -> ()
+  | _ ->
+      unlink t e;
+      push_front t e
+
+let remove t e =
+  unlink t e;
+  Hashtbl.remove t.table e.key;
+  List.iter
+    (fun pred ->
+      match Hashtbl.find_opt t.by_pred pred with
+      | None -> ()
+      | Some bucket ->
+          Hashtbl.remove bucket e.key;
+          if Hashtbl.length bucket = 0 then Hashtbl.remove t.by_pred pred)
+    e.reads
+
+let add t e =
+  push_front t e;
+  Hashtbl.replace t.table e.key e;
+  List.iter
+    (fun pred ->
+      let bucket =
+        match Hashtbl.find_opt t.by_pred pred with
+        | Some b -> b
+        | None ->
+            let b = Hashtbl.create 8 in
+            Hashtbl.replace t.by_pred pred b;
+            b
+      in
+      Hashtbl.replace bucket e.key e)
+    e.reads
+
 let answer ?pruning t q =
   let key = key_of q in
-  t.clock <- t.clock + 1;
-  match List.find_opt (fun e -> String.equal e.key key) t.store with
+  match Hashtbl.find_opt t.table key with
   | Some e ->
-      e.last_used <- t.clock;
+      touch t e;
       t.hit_count <- t.hit_count + 1;
       e.result
   | None ->
       t.miss_count <- t.miss_count + 1;
       let result = Answer.answer ?pruning t.catalog q in
       let entry =
-        { key; result; reads = reads_of result; last_used = t.clock }
+        { key; result; reads = reads_of result; prev = None; next = None }
       in
-      t.store <- entry :: t.store;
-      if List.length t.store > t.capacity then begin
-        (* Evict the least recently used entry. *)
-        let lru =
-          List.fold_left
-            (fun worst e ->
-              match worst with
-              | None -> Some e
-              | Some w -> if e.last_used < w.last_used then Some e else worst)
-            None t.store
-        in
-        match lru with
-        | Some victim -> t.store <- List.filter (fun e -> e != victim) t.store
-        | None -> ()
-      end;
+      add t entry;
+      if Hashtbl.length t.table > t.capacity then (
+        match t.lru with Some victim -> remove t victim | None -> ());
       result
 
 let invalidate t (u : Updategram.t) =
-  let before = List.length t.store in
-  t.store <-
-    List.filter
-      (fun e -> not (List.mem u.Updategram.rel e.reads))
-      t.store;
-  before - List.length t.store
+  match Hashtbl.find_opt t.by_pred u.Updategram.rel with
+  | None -> 0
+  | Some bucket ->
+      (* Snapshot first: [remove] mutates the bucket being folded. *)
+      let victims = Hashtbl.fold (fun _ e acc -> e :: acc) bucket [] in
+      List.iter (remove t) victims;
+      List.length victims
 
-let invalidate_all t = t.store <- []
+let invalidate_all t =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.by_pred;
+  t.mru <- None;
+  t.lru <- None
+
 let hits t = t.hit_count
 let misses t = t.miss_count
-let entries t = List.length t.store
+let entries t = Hashtbl.length t.table

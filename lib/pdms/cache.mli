@@ -7,16 +7,20 @@
 type t
 
 val create : ?capacity:int -> Catalog.t -> unit -> t
-(** LRU with the given capacity (default 64 entries). *)
+(** LRU with the given capacity (default 64 entries). The store is a
+    hashtable plus an intrusive doubly-linked recency list, so lookup,
+    hit bookkeeping and eviction are all O(1) in the entry count. *)
 
 val answer : ?pruning:Reformulate.pruning -> t -> Cq.Query.t -> Answer.result
 (** Like {!Answer.answer} but cached: a hit skips both reformulation and
-    evaluation. Queries are matched up to variable renaming. *)
+    evaluation. Queries are matched up to variable renaming. On
+    overflow the strictly least-recently-used entry is evicted. *)
 
 val invalidate : t -> Updategram.t -> int
 (** Drop entries whose rewritings mention the updategram's relation;
-    returns how many were dropped. Call this when applying updates to
-    any peer's stored data. *)
+    returns how many were dropped. An inverted predicate index makes
+    this O(affected entries), independent of cache size. Call this when
+    applying updates to any peer's stored data. *)
 
 val invalidate_all : t -> unit
 val hits : t -> int

@@ -80,7 +80,7 @@ let plan_rewriting catalog network ~at db (r : Cq.Query.t) =
     result )
 
 let execute ?pruning ?(jobs = 1) catalog network ~at query =
-  let outcome = Reformulate.reformulate ?pruning catalog query in
+  let outcome = Reformulate.reformulate ?pruning ~jobs catalog query in
   let db = Catalog.global_db catalog in
   let planned =
     List.map (plan_rewriting catalog network ~at db) outcome.Reformulate.rewritings

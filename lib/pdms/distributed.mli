@@ -38,5 +38,6 @@ val execute :
 (** Reformulate, choose a site per rewriting, evaluate, and price both
     the distributed plan and the ship-everything-central baseline.
     Result sizes are estimated from actual relation cardinalities at 64
-    bytes per tuple. [jobs] parallelises the answer-union evaluation as
-    in {!Answer.answer}; plans and costs are unaffected. *)
+    bytes per tuple. [jobs] parallelises the reformulation's final
+    subsumption sweep and the answer-union evaluation as in
+    {!Answer.answer}; rewritings, plans and costs are unaffected. *)

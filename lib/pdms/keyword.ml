@@ -10,20 +10,47 @@ let tuple_tokens tuple =
   |> List.concat_map (fun v -> Util.Tokenize.words (Relalg.Value.to_string v))
   |> List.map Util.Stemmer.stem
 
+(* Tokenising + stemming every tuple dominates search time, and the
+   result only changes when the relation's contents do. Memoise the
+   per-relation entry lists keyed on {!Relalg.Relation.uid}, guarded by
+   {!Relalg.Relation.version} — any insert/delete/clear bumps the
+   version and forces a rebuild of just that relation's entries.
+   [Catalog.global_db] shares the peers' relation instances, so uids are
+   stable across calls. *)
+let max_memo_relations = 1024
+
+let token_memo :
+    ( int,
+      int * (string * string * Relalg.Relation.tuple * string list) list )
+    Hashtbl.t =
+  Hashtbl.create 64
+
+let relation_entries rel_name rel =
+  let uid = Relalg.Relation.uid rel in
+  let version = Relalg.Relation.version rel in
+  match Hashtbl.find_opt token_memo uid with
+  | Some (v, entries) when v = version -> entries
+  | _ ->
+      let peer =
+        match Distributed.owner_of_pred rel_name with
+        | Some p -> p
+        | None -> ""
+      in
+      let entries =
+        List.map
+          (fun tuple -> (peer, rel_name, tuple, tuple_tokens tuple))
+          (Relalg.Relation.tuples rel)
+      in
+      if Hashtbl.length token_memo >= max_memo_relations then
+        Hashtbl.reset token_memo;
+      Hashtbl.replace token_memo uid (version, entries);
+      entries
+
 let search ?(limit = 10) ?(jobs = 1) catalog keywords =
   let db = Catalog.global_db catalog in
   let entries =
     List.concat_map
-      (fun rel_name ->
-        let rel = Relalg.Database.find db rel_name in
-        let peer =
-          match Distributed.owner_of_pred rel_name with
-          | Some p -> p
-          | None -> ""
-        in
-        List.map
-          (fun tuple -> (peer, rel_name, tuple, tuple_tokens tuple))
-          (Relalg.Relation.tuples rel))
+      (fun rel_name -> relation_entries rel_name (Relalg.Database.find db rel_name))
       (Relalg.Database.names db)
   in
   let corpus = Util.Tfidf.build (List.map (fun (_, _, _, toks) -> toks) entries) in

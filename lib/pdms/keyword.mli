@@ -15,6 +15,9 @@ val search : ?limit:int -> ?jobs:int -> Catalog.t -> string -> hit list
     peer against the keyword query (stemmed tokens, TF/IDF over the
     tuple corpus); default limit 10, zero scores dropped. [jobs] shards
     the scoring pass across domains; the ranking is identical for every
-    value. *)
+    value. Per-tuple token vectors are memoised across calls, keyed on
+    each relation's [(uid, version)] pair, so repeated searches over an
+    unchanged database skip tokenisation entirely; any insert, delete or
+    clear invalidates just that relation's vectors. *)
 
 val render_hit : hit -> string

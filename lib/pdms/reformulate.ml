@@ -54,35 +54,67 @@ type node = { head : Atom.t; body : (Atom.t * Iset.t) list }
 
 let plain node = Query.make node.head (List.map fst node.body)
 
+(* Canonical variable names, memoized: the first 256 are shared strings
+   so alpha-normalisation allocates no name for typical node widths. *)
+let canon_names = Array.init 256 (fun i -> "v" ^ string_of_int i)
+
+let canon_name i = if i < 256 then canon_names.(i) else "v" ^ string_of_int i
+
 (* Alpha-normalise the node: rename variables in first-occurrence order,
    then sort (atom, history) pairs by the rendered atom. Returns the
-   atoms-only key plus the tag vector in that order. *)
+   atoms-only key plus the tag vector in that order. All rendering goes
+   through one scratch [Buffer] — the seed built the key from repeated
+   [Atom.to_string] + [String.concat] allocations. *)
 let canonical node =
   let mapping = Hashtbl.create 16 in
-  let rename = function
-    | Term.Var x ->
-        let x' =
-          match Hashtbl.find_opt mapping x with
-          | Some x' -> x'
-          | None ->
-              let x' = Printf.sprintf "v%d" (Hashtbl.length mapping) in
-              Hashtbl.replace mapping x x';
-              x'
-        in
-        Term.Var x'
-    | Term.Const _ as c -> c
+  let canon_var x =
+    match Hashtbl.find_opt mapping x with
+    | Some x' -> x'
+    | None ->
+        let x' = canon_name (Hashtbl.length mapping) in
+        Hashtbl.replace mapping x x';
+        x'
   in
-  let head = Atom.map_terms rename node.head in
+  let buf = Buffer.create 128 in
+  let render_atom (a : Atom.t) =
+    Buffer.add_string buf a.Atom.pred;
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i t ->
+        if i > 0 then Buffer.add_string buf ", ";
+        match t with
+        | Term.Var x -> Buffer.add_string buf (canon_var x)
+        | Term.Const v ->
+            Buffer.add_char buf '\'';
+            Buffer.add_string buf (Relalg.Value.to_string v);
+            Buffer.add_char buf '\'')
+      a.Atom.args;
+    Buffer.add_char buf ')'
+  in
+  (* Renaming is first-occurrence order over head then body, so the head
+     must be rendered first to seed the mapping. *)
+  render_atom node.head;
+  let head_len = Buffer.length buf in
   let tagged =
     List.map
-      (fun (a, h) -> (Atom.to_string (Atom.map_terms rename a), h))
+      (fun (a, h) ->
+        let start = Buffer.length buf in
+        render_atom a;
+        let s = Buffer.sub buf start (Buffer.length buf - start) in
+        (s, h))
       node.body
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  let key =
-    Atom.to_string head ^ " :- " ^ String.concat ";" (List.map fst tagged)
-  in
-  (key, List.map snd tagged)
+  let head = Buffer.sub buf 0 head_len in
+  Buffer.clear buf;
+  Buffer.add_string buf head;
+  Buffer.add_string buf " :- ";
+  List.iteri
+    (fun i (s, _) ->
+      if i > 0 then Buffer.add_char buf ';';
+      Buffer.add_string buf s)
+    tagged;
+  (Buffer.contents buf, List.map snd tagged)
 
 let identity_view pred arity =
   let args = List.init arity (fun i -> Term.v (Printf.sprintf "I%d" i)) in
@@ -108,18 +140,131 @@ let expand_tagged ~fresh node (atom, hist) extra (rule : Query.t) =
       in
       Some { head = Subst.apply_atom mgu node.head; body }
 
+(* Drop repeated body atoms, keeping the first occurrence in order.
+   Hash-set membership on the rendered atom — the seed's [List.exists]
+   over the seen-prefix was quadratic in body length. *)
 let dedupe_body node =
-  let rec go seen = function
-    | [] -> List.rev seen
-    | (a, h) :: rest ->
-        if List.exists (fun (a', _) -> Atom.equal a a') seen then go seen rest
-        else go ((a, h) :: seen) rest
+  let seen = Hashtbl.create 16 in
+  let body =
+    List.filter
+      (fun (a, _) ->
+        let key = Atom.to_string a in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      node.body
   in
-  { node with body = go [] node.body }
+  { node with body }
 
-let reformulate ?(pruning = default_pruning) catalog (q : Query.t) =
+(* Emit-time subsumption index: rewritings bucketed by signature, with
+   O(1) bucket lookup by signature key. [subsumed_by_any] visits only
+   buckets whose signature passes the necessary-condition prefilter, so
+   the homomorphism search runs on compatible candidates only. *)
+module Sub_index = struct
+  type bucket = { signature : Signature.t; mutable members : Query.t list }
+
+  type t = {
+    by_key : (string, bucket) Hashtbl.t;
+    mutable buckets : bucket list;
+  }
+
+  let create () = { by_key = Hashtbl.create 64; buckets = [] }
+
+  let subsumed_by_any t (q : Query.t) =
+    let sub = Signature.of_query q in
+    List.exists
+      (fun b ->
+        Signature.compatible ~sub ~super:b.signature
+        && List.exists
+             (fun e ->
+               Containment.contained_in_with ~sub ~super:b.signature q e)
+             b.members)
+      t.buckets
+
+  let add t (q : Query.t) =
+    let signature = Signature.of_query q in
+    let key = Signature.key signature in
+    match Hashtbl.find_opt t.by_key key with
+    | Some b -> b.members <- q :: b.members
+    | None ->
+        let b = { signature; members = [ q ] } in
+        Hashtbl.replace t.by_key key b;
+        t.buckets <- b :: t.buckets
+end
+
+(* The final all-pairs subsumption sweep, exposed for benchmarking.
+   Scans pairs in the same order as the seed's nested loop and applies
+   the identical keep-flag rules, so the surviving set and its order are
+   byte-identical to the seed — the signature prefilter only skips pairs
+   whose containment test is guaranteed [false].
+
+   [jobs > 1] precomputes the containment matrix for every
+   signature-compatible ordered pair in parallel (containment is pure,
+   queries are immutable), then replays the same sequential keep loop
+   against the matrix; the result is identical for every [jobs]. *)
+let subsumption_sweep ?(jobs = 1) (rewritings : Query.t list) =
+  let arr = Array.of_list rewritings in
+  let n = Array.length arr in
+  if n <= 1 then rewritings
+  else begin
+    let sigs = Array.map Signature.of_query arr in
+    let compat i j = Signature.compatible ~sub:sigs.(i) ~super:sigs.(j) in
+    let keep = Array.make n true in
+    let decide contained =
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j && keep.(i) && keep.(j) && contained i j then
+            if contained j i then (
+              if j > i then keep.(j) <- false else keep.(i) <- false)
+            else keep.(i) <- false
+        done
+      done
+    in
+    if jobs <= 1 then
+      decide (fun i j ->
+          compat i j
+          && Containment.contained_in_with ~sub:sigs.(i) ~super:sigs.(j)
+               arr.(i) arr.(j))
+    else begin
+      (* Dense n*n matrix of verdicts over compatible pairs; incompatible
+         pairs are [false] by the prefilter's soundness. Work is sharded
+         by row blocks to keep per-task granularity coarse. *)
+      let matrix = Array.make (n * n) false in
+      let rows = List.init n Fun.id in
+      let blocks = Util.Pool.chunk (max 1 (n / (jobs * 4))) rows in
+      let results =
+        Util.Pool.map jobs
+          (fun block ->
+            List.map
+              (fun i ->
+                let verdicts = Array.make n false in
+                for j = 0 to n - 1 do
+                  if i <> j && compat i j then
+                    verdicts.(j) <-
+                      Containment.contained_in_with ~sub:sigs.(i)
+                        ~super:sigs.(j) arr.(i) arr.(j)
+                done;
+                (i, verdicts))
+              block)
+          blocks
+      in
+      List.iter
+        (List.iter (fun (i, verdicts) ->
+             Array.blit verdicts 0 matrix (i * n) n))
+        results;
+      decide (fun i j -> matrix.((i * n) + j))
+    end;
+    List.filteri (fun i _ -> keep.(i)) (Array.to_list arr)
+  end
+
+let reformulate ?(pruning = default_pruning) ?(jobs = 1) catalog (q : Query.t)
+    =
   let nodes_expanded = ref 0 in
   let emitted = ref [] in
+  let emitted_count = ref 0 in
+  let sub_index = Sub_index.create () in
   let pruned_history = ref 0 in
   let pruned_visited = ref 0 in
   let pruned_subsumed = ref 0 in
@@ -142,11 +287,13 @@ let reformulate ?(pruning = default_pruning) catalog (q : Query.t) =
   let emit c =
     let c = Minimize.remove_duplicate_atoms c in
     let c = if pruning.use_minimize then Minimize.minimize c else c in
-    if
-      pruning.use_subsumption
-      && List.exists (fun e -> Containment.contained_in c e) !emitted
-    then incr pruned_subsumed
-    else emitted := c :: !emitted
+    if pruning.use_subsumption && Sub_index.subsumed_by_any sub_index c then
+      incr pruned_subsumed
+    else begin
+      emitted := c :: !emitted;
+      incr emitted_count;
+      if pruning.use_subsumption then Sub_index.add sub_index c
+    end
   in
   let queue : (node * int) Queue.t = Queue.create () in
   let push node depth =
@@ -273,8 +420,7 @@ let reformulate ?(pruning = default_pruning) catalog (q : Query.t) =
     { head = q.Query.head; body = List.map (fun a -> (a, Iset.empty)) q.Query.body }
     0;
   while
-    (not (Queue.is_empty queue))
-    && List.length !emitted < pruning.max_rewritings
+    (not (Queue.is_empty queue)) && !emitted_count < pruning.max_rewritings
   do
     let node, depth = Queue.pop queue in
     process node depth
@@ -284,22 +430,7 @@ let reformulate ?(pruning = default_pruning) catalog (q : Query.t) =
      later, more general ones (the incremental check only looks
      backwards). Equivalent pairs keep their first representative. *)
   let rewritings =
-    if pruning.use_subsumption then begin
-      let arr = Array.of_list rewritings in
-      let n = Array.length arr in
-      let keep = Array.make n true in
-      for i = 0 to n - 1 do
-        for j = 0 to n - 1 do
-          if i <> j && keep.(i) && keep.(j)
-             && Containment.contained_in arr.(i) arr.(j)
-          then
-            if Containment.contained_in arr.(j) arr.(i) then (
-              if j > i then keep.(j) <- false else keep.(i) <- false)
-            else keep.(i) <- false
-        done
-      done;
-      List.filteri (fun i _ -> keep.(i)) (Array.to_list arr)
-    end
+    if pruning.use_subsumption then subsumption_sweep ~jobs rewritings
     else rewritings
   in
   {

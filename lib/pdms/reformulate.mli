@@ -50,7 +50,21 @@ type stats = {
 
 type outcome = { rewritings : Cq.Query.t list; stats : stats }
 
-val reformulate : ?pruning:pruning -> Catalog.t -> Cq.Query.t -> outcome
-(** The rewritings range over stored predicates only. *)
+val reformulate :
+  ?pruning:pruning -> ?jobs:int -> Catalog.t -> Cq.Query.t -> outcome
+(** The rewritings range over stored predicates only. [jobs] (default 1)
+    parallelises the final subsumption sweep over that many domains; the
+    rewriting list is identical — same queries, same order — for every
+    value of [jobs]. *)
+
+val subsumption_sweep : ?jobs:int -> Cq.Query.t list -> Cq.Query.t list
+(** The final all-pairs subsumption sweep on its own (exposed for the
+    reformulation-throughput benchmark): remove every rewriting
+    contained in another, keeping the first representative of each
+    equivalence class. Pairs are prefiltered by {!Cq.Signature}
+    compatibility before the homomorphism test; [jobs > 1] precomputes
+    the containment verdicts in parallel and replays the identical
+    sequential keep loop, so results are deterministic and independent
+    of [jobs]. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -16,6 +16,8 @@ end)
 
 type t = {
   schema : Schema.t;
+  uid : int;
+  mutable version : int;
   mutable rows : tuple list;
   mutable count : int;
   (* Multiplicity per distinct tuple: O(1) [mem]/[insert_distinct]. *)
@@ -25,9 +27,15 @@ type t = {
   mutable indexes : (int, (Value.t, tuple list) Hashtbl.t) Hashtbl.t;
 }
 
+(* Process-unique relation ids, so per-relation caches (e.g. the keyword
+   token memo) can key on identity across otherwise identical names. *)
+let next_uid = Atomic.make 0
+
 let create schema =
   {
     schema;
+    uid = Atomic.fetch_and_add next_uid 1;
+    version = 0;
     rows = [];
     count = 0;
     members = Tset.create 16;
@@ -35,6 +43,8 @@ let create schema =
   }
 
 let schema t = t.schema
+let uid t = t.uid
+let version t = t.version
 let cardinality t = t.count
 
 let drop_indexes t =
@@ -52,6 +62,7 @@ let index_push idx key row =
 
 let insert t row =
   check_arity t row;
+  t.version <- t.version + 1;
   t.rows <- row :: t.rows;
   t.count <- t.count + 1;
   Tset.replace t.members row
@@ -75,6 +86,7 @@ let delete t row =
   match Tset.find_opt t.members row with
   | None -> 0
   | Some multiplicity ->
+      t.version <- t.version + 1;
       t.rows <- List.filter (fun r -> not (tuple_equal r row)) t.rows;
       t.count <- t.count - multiplicity;
       Tset.remove t.members row;
@@ -137,6 +149,7 @@ let of_tuples schema rows =
 let copy t = of_tuples t.schema t.rows
 
 let clear t =
+  t.version <- t.version + 1;
   t.rows <- [];
   t.count <- 0;
   Tset.reset t.members;

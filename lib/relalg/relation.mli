@@ -10,6 +10,15 @@ val create : Schema.t -> t
 val schema : t -> Schema.t
 val cardinality : t -> int
 
+val uid : t -> int
+(** Process-unique id of this relation instance ([copy] and
+    [of_tuples] mint fresh ones) — a stable key for external caches. *)
+
+val version : t -> int
+(** Mutation counter: bumped by every [insert], [delete] and [clear].
+    [(uid, version)] identifies a relation {e state}; caches keyed on it
+    are invalidated by any change to the contents. *)
+
 val insert : t -> tuple -> unit
 (** Raises [Invalid_argument] on arity mismatch. Duplicates are kept
     (bag semantics); use [insert_distinct] for set semantics. *)

@@ -110,18 +110,22 @@ let rewrite ~views (q : Query.t) =
         mcds
   in
   if n > 0 then combine Iset.empty [];
-  (* Syntactic dedupe on sorted bodies. *)
+  (* Syntactic dedupe on sorted bodies, hash-set backed: first
+     occurrence wins, linear in the number of rewritings. *)
   let normalize (r : Query.t) =
     { r with Query.body = List.sort Atom.compare r.Query.body }
   in
+  let seen_rewriting = Hashtbl.create 32 in
   let deduped =
-    List.fold_left
-      (fun acc r ->
-        let nr = normalize r in
-        if List.exists (fun r' -> Query.equal (normalize r') nr) acc then acc
-        else r :: acc)
-      [] !rewritings
-    |> List.rev
+    List.filter
+      (fun r ->
+        let nkey = Query.to_string (normalize r) in
+        if Hashtbl.mem seen_rewriting nkey then false
+        else begin
+          Hashtbl.replace seen_rewriting nkey ();
+          true
+        end)
+      !rewritings
   in
   ( deduped,
     {
@@ -133,4 +137,11 @@ let rewrite ~views (q : Query.t) =
 let expand ~views r = Unfold.expand views r
 
 let is_contained_rewriting ~views r q =
-  List.for_all (fun e -> Containment.contained_in e q) (expand ~views r)
+  (* The target query's signature is loop-invariant; precompute it so
+     each expansion pays only its own signature + (if compatible) the
+     homomorphism search. *)
+  let super = Signature.of_query q in
+  List.for_all
+    (fun e ->
+      Containment.contained_in_with ~sub:(Signature.of_query e) ~super e q)
+    (expand ~views r)

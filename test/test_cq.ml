@@ -432,6 +432,55 @@ let prop_self_containment =
   QCheck.Test.make ~name:"every query contains itself" ~count:200 arb_query
     (fun query -> Containment.contained_in query query)
 
+(* Reference containment with no prefilter — the seed's implementation:
+   freeze q1's head, seed the substitution head-onto-head, search for a
+   homomorphism of q2's body into q1's frozen body. *)
+let reference_contained_in (q1 : Query.t) (q2 : Query.t) =
+  let frozen_head = Homomorphism.freeze_atom q1.Query.head in
+  match Subst.match_atom Subst.empty q2.Query.head frozen_head with
+  | None -> false
+  | Some init -> Homomorphism.exists ~init ~from:q2.Query.body q1.Query.body
+
+let prop_signature_prefilter_exact =
+  QCheck.Test.make
+    ~name:"signature prefilter never changes containment verdicts" ~count:1000
+    QCheck.(pair arb_query arb_query)
+    (fun (q1, q2) ->
+      let reference = reference_contained_in q1 q2 in
+      let sub = Signature.of_query q1 and super = Signature.of_query q2 in
+      Containment.contained_in q1 q2 = reference
+      && Containment.contained_in_with ~sub ~super q1 q2 = reference)
+
+let prop_signature_necessary =
+  QCheck.Test.make ~name:"containment implies signature compatibility"
+    ~count:1000
+    QCheck.(pair arb_query arb_query)
+    (fun (q1, q2) ->
+      (not (reference_contained_in q1 q2))
+      || Signature.compatible ~sub:(Signature.of_query q1)
+           ~super:(Signature.of_query q2))
+
+let test_signature_basics () =
+  let q1 = q (atom "ans" [ v "X" ]) [ atom "r" [ v "X"; v "Y" ] ] in
+  let q2 =
+    q (atom "ans" [ v "X" ]) [ atom "r" [ v "X"; v "Y" ]; atom "t" [ v "Y" ] ]
+  in
+  let q3 = q (atom "ans" [ v "X"; v "Y" ]) [ atom "r" [ v "X"; v "Y" ] ] in
+  let s1 = Signature.of_query q1
+  and s2 = Signature.of_query q2
+  and s3 = Signature.of_query q3 in
+  (* Reflexive. *)
+  check_b "self" true (Signature.compatible ~sub:s1 ~super:s1);
+  (* q2's body covers q1's predicate names, so q2 ⊑ q1 is possible... *)
+  check_b "sub has extra pred" true (Signature.compatible ~sub:s2 ~super:s1);
+  (* ...but q1 ⊑ q2 is impossible: q1 has no [t] atom to map onto. *)
+  check_b "super has extra pred" false (Signature.compatible ~sub:s1 ~super:s2);
+  (* Head arity mismatch is always incompatible. *)
+  check_b "arity mismatch" false (Signature.compatible ~sub:s1 ~super:s3);
+  check_b "equal self" true (Signature.equal s1 (Signature.of_query q1));
+  check_b "distinct keys" false
+    (String.equal (Signature.key s1) (Signature.key s2))
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "cq"
@@ -477,5 +526,10 @@ let () =
       ("datalog",
        [ Alcotest.test_case "transitive closure" `Quick test_datalog_transitive_closure;
          Alcotest.test_case "unsafe rejected" `Quick test_datalog_unsafe_rule_rejected ]);
+      ("signature",
+       [ Alcotest.test_case "basics" `Quick test_signature_basics ]);
       ("properties",
-       qc [ prop_containment_sound; prop_minimize_preserves_answers; prop_self_containment ]) ]
+       qc
+         [ prop_containment_sound; prop_minimize_preserves_answers;
+           prop_self_containment; prop_signature_prefilter_exact;
+           prop_signature_necessary ]) ]

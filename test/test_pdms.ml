@@ -607,6 +607,92 @@ let test_cache_lru_eviction () =
   ignore (P.Cache.answer cache (mk "q1"));
   check_i "four misses" 4 (P.Cache.misses cache)
 
+(* Eviction must be strictly least-recently-used: touching an entry via
+   a hit protects it from the next eviction. *)
+let test_cache_lru_touch_protects () =
+  let catalog, uw, _ = two_peer_catalog `Equality in
+  let cache = P.Cache.create ~capacity:2 catalog () in
+  let mk pred =
+    q (atom pred [ v "X"; v "Y" ]) [ P.Peer.atom uw "course" [ v "X"; v "Y" ] ]
+  in
+  ignore (P.Cache.answer cache (mk "q1"));
+  ignore (P.Cache.answer cache (mk "q2"));
+  (* Touch q1, making q2 the LRU; inserting q3 must evict q2. *)
+  ignore (P.Cache.answer cache (mk "q1"));
+  check_i "touch is a hit" 1 (P.Cache.hits cache);
+  ignore (P.Cache.answer cache (mk "q3"));
+  ignore (P.Cache.answer cache (mk "q1"));
+  check_i "q1 survived" 2 (P.Cache.hits cache);
+  ignore (P.Cache.answer cache (mk "q2"));
+  check_i "q2 was the victim" 4 (P.Cache.misses cache)
+
+(* The cache agrees with an executable reference model: an LRU list of
+   bounded length. Checks hit/miss prediction and entry count after
+   every access. *)
+let prop_cache_lru_reference_model =
+  QCheck.Test.make ~name:"cache matches reference LRU model" ~count:20
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 30) (int_bound 5))
+       ~print:(fun l -> String.concat "," (List.map string_of_int l)))
+    (fun accesses ->
+      let catalog, uw, _ = two_peer_catalog `Equality in
+      let capacity = 3 in
+      let cache = P.Cache.create ~capacity catalog () in
+      let mk i =
+        q
+          (atom (Printf.sprintf "q%d" i) [ v "X"; v "Y" ])
+          [ P.Peer.atom uw "course" [ v "X"; v "Y" ] ]
+      in
+      let model = ref [] in
+      List.for_all
+        (fun i ->
+          let hits0 = P.Cache.hits cache and misses0 = P.Cache.misses cache in
+          ignore (P.Cache.answer cache (mk i));
+          let expected_hit = List.mem i !model in
+          model := i :: List.filter (fun j -> j <> i) !model;
+          if List.length !model > capacity then
+            model := List.filteri (fun k _ -> k < capacity) !model;
+          (if expected_hit then
+             P.Cache.hits cache = hits0 + 1 && P.Cache.misses cache = misses0
+           else
+             P.Cache.misses cache = misses0 + 1 && P.Cache.hits cache = hits0)
+          && P.Cache.entries cache = List.length !model)
+        accesses)
+
+(* Invalidation removes exactly the entries whose rewritings read the
+   updated predicate: independent peers, one entry each. *)
+let test_cache_invalidate_exact () =
+  let catalog = P.Catalog.create () in
+  let peers =
+    List.init 4 (fun i ->
+        let p =
+          P.Peer.create
+            ~name:(Printf.sprintf "c%d" i)
+            ~schema:[ ("course", [ "code"; "title" ]) ]
+        in
+        P.Catalog.add_peer catalog p;
+        let stored = P.Catalog.store_identity catalog p ~rel:"course" in
+        Relalg.Relation.insert stored
+          [| vs (Printf.sprintf "c%d" i); vs "title" |];
+        p)
+  in
+  let query_of p =
+    q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom p "course" [ v "X"; v "Y" ] ]
+  in
+  let cache = P.Cache.create catalog () in
+  List.iter (fun p -> ignore (P.Cache.answer cache (query_of p))) peers;
+  check_i "one entry per peer" 4 (P.Cache.entries cache);
+  let target = P.Peer.stored_pred (List.nth peers 2) "course" in
+  check_i "exactly one dropped" 1
+    (P.Cache.invalidate cache (P.Updategram.make ~rel:target ()));
+  check_i "three remain" 3 (P.Cache.entries cache);
+  (* The survivors are precisely the other peers' entries: they hit. *)
+  let hits0 = P.Cache.hits cache in
+  List.iteri
+    (fun i p -> if i <> 2 then ignore (P.Cache.answer cache (query_of p)))
+    peers;
+  check_i "others still cached" (hits0 + 3) (P.Cache.hits cache)
+
 (* When every mapping is an inclusion with single-atom sides, the PDMS
    semantics coincides with a datalog program; the reformulation answers
    must match naive bottom-up evaluation exactly. *)
@@ -763,6 +849,34 @@ let prop_parallel_answer_matches_sequential =
       P.Answer.answers_list (P.Answer.answer ~jobs:1 catalog query)
       = P.Answer.answers_list (P.Answer.answer ~jobs:4 catalog query))
 
+(* The parallel subsumption sweep must be invisible in the rewritings:
+   same queries, same order, for every [jobs]. *)
+let prop_parallel_reformulation_matches_sequential =
+  QCheck.Test.make
+    ~name:"reformulate ~jobs:4 emits identical rewritings to ~jobs:1"
+    ~count:25
+    (QCheck.make QCheck.Gen.(int_bound 10_000) ~print:string_of_int)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let kind =
+        match seed mod 4 with
+        | 0 -> P.Topology.Chain
+        | 1 -> P.Topology.Star
+        | 2 -> P.Topology.Ring
+        | _ -> P.Topology.Mesh 2
+      in
+      let topology = P.Topology.generate ~prng kind ~n:(4 + (seed mod 3)) in
+      let g = Workload.Peers_gen.generate prng ~topology ~tuples_per_peer:1 () in
+      let catalog = g.Workload.Peers_gen.catalog in
+      let query = Workload.Peers_gen.course_query g ~at:(seed mod 2) in
+      let rewritten jobs =
+        List.map Query.to_string
+          (P.Reformulate.reformulate ~jobs catalog query).P.Reformulate
+            .rewritings
+      in
+      let seq = rewritten 1 in
+      seq <> [] && seq = rewritten 4)
+
 let test_parallel_keyword_ranking () =
   let catalog, _, _ = two_peer_catalog `Equality in
   let seq = P.Keyword.search ~jobs:1 catalog "databases systems"
@@ -898,7 +1012,12 @@ let () =
       ("cache",
        [ Alcotest.test_case "hit and invalidate" `Quick test_cache_hit_and_invalidate;
          Alcotest.test_case "freshness" `Quick test_cache_reflects_updates_after_invalidation;
-         Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction ]);
+         Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+         Alcotest.test_case "lru touch protects" `Quick
+           test_cache_lru_touch_protects;
+         Alcotest.test_case "invalidate exact" `Quick
+           test_cache_invalidate_exact ]
+       @ qc [ prop_cache_lru_reference_model ]);
       ("datalog-reference",
        [ Alcotest.test_case "inclusion chain agreement" `Quick
            test_datalog_reference_agreement ]);
@@ -918,4 +1037,6 @@ let () =
            test_parallel_answer_delearning;
          Alcotest.test_case "keyword ranking jobs=4 = jobs=1" `Quick
            test_parallel_keyword_ranking ]
-       @ qc [ prop_parallel_answer_matches_sequential ]) ]
+       @ qc
+           [ prop_parallel_answer_matches_sequential;
+             prop_parallel_reformulation_matches_sequential ]) ]
