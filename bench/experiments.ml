@@ -92,7 +92,8 @@ let e2 () =
     (fun (name, pruning) ->
       let ms, result =
         time_ms (fun () ->
-            Pdms.Answer.answer ~pruning g.Workload.Peers_gen.catalog query)
+            Pdms.Answer.answer ~exec:(Pdms.Exec.with_pruning pruning)
+              g.Workload.Peers_gen.catalog query)
       in
       let stats = result.Pdms.Answer.outcome.Pdms.Reformulate.stats in
       T.add_row table
@@ -892,7 +893,9 @@ let e13_configs configs () =
       List.iter
         (fun jobs ->
           let ms, answers =
-            wall_ms (fun () -> Pdms.Answer.eval_union ~jobs db rewritings)
+            wall_ms (fun () ->
+                Pdms.Answer.eval_union ~exec:(Pdms.Exec.with_jobs jobs) db
+                  rewritings)
           in
           if jobs = 1 then baseline := ms;
           let speedup = !baseline /. Float.max 0.001 ms in
@@ -978,7 +981,8 @@ let e14_sweep_configs configs =
         }
       in
       let outcome =
-        Pdms.Reformulate.reformulate ~pruning g.Workload.Peers_gen.catalog
+        Pdms.Reformulate.reformulate ~exec:(Pdms.Exec.with_pruning pruning)
+          g.Workload.Peers_gen.catalog
           query
       in
       let raw = outcome.Pdms.Reformulate.rewritings in
@@ -992,7 +996,9 @@ let e14_sweep_configs configs =
       List.iter
         (fun jobs ->
           let ms, kept =
-            wall_ms (fun () -> Pdms.Reformulate.subsumption_sweep ~jobs raw)
+            wall_ms (fun () ->
+                Pdms.Reformulate.subsumption_sweep
+                  ~exec:(Pdms.Exec.with_jobs jobs) raw)
           in
           let rendered = List.map Cq.Query.to_string kept in
           if jobs = 1 then begin
@@ -1097,13 +1103,111 @@ let e14 () =
     ~sweep:[ (16, 192); (32, 256); (48, 256) ]
     ~cache_entries:[ 64; 256; 1024 ] ()
 
+(* ------------------------------------------------------------------ *)
+(* E15: instrumentation overhead. The Obs layer is designed to stay on
+   permanently, so the null-sink configuration (tracing disabled,
+   metrics enabled — Exec.default) must be indistinguishable from a
+   fully disabled build. We measure the E14 subsumption-sweep workload
+   in three modes and assert the null-sink overhead against a budget:
+   <2% in the full run (the tentpole's acceptance bar; the sweep is the
+   tightest loop the instrumentation touches). The smoke configuration
+   uses a smaller sweep where fixed costs loom larger, so its assertion
+   bar is looser — it guards against regressions that make
+   instrumentation grossly expensive, not against single-percent
+   drift. *)
+
+let e15_sweep_input ~peers ~cap =
+  let prng = Util.Prng.create (1400 + peers) in
+  let topology = Pdms.Topology.generate ~prng (Pdms.Topology.Mesh 2) ~n:peers in
+  let g =
+    Workload.Peers_gen.generate (Util.Prng.split prng) ~topology
+      ~tuples_per_peer:2 ()
+  in
+  let query = Workload.Peers_gen.course_query g ~at:0 in
+  let pruning =
+    {
+      Pdms.Reformulate.default_pruning with
+      Pdms.Reformulate.use_subsumption = false;
+      max_rewritings = cap;
+    }
+  in
+  (Pdms.Reformulate.reformulate ~exec:(Pdms.Exec.with_pruning pruning)
+     g.Workload.Peers_gen.catalog query)
+    .Pdms.Reformulate.rewritings
+
+let e15_configs ~peers ~cap ~threshold_pct () =
+  header "E15"
+    "instrumentation overhead: Obs null sink vs disabled on the E14 sweep";
+  let raw = e15_sweep_input ~peers ~cap in
+  let raw_n = List.length raw in
+  let sweep exec = Pdms.Reformulate.subsumption_sweep ~exec raw in
+  (* Calibrate the iteration count so each measurement runs long enough
+     for the wall clock (~60ms), then take the best of [repeats] runs to
+     shed scheduler noise. *)
+  let once_ms, reference = wall_ms (fun () -> sweep Pdms.Exec.default) in
+  let iters = max 1 (min 5_000 (int_of_float (60.0 /. Float.max 0.01 once_ms))) in
+  let repeats = 5 in
+  let best exec =
+    let ms = ref infinity in
+    for _ = 1 to repeats do
+      let m, () =
+        wall_ms (fun () ->
+            for _ = 1 to iters do
+              ignore (sweep exec : Cq.Query.t list)
+            done)
+      in
+      if m < !ms then ms := m
+    done;
+    !ms /. float_of_int iters
+  in
+  let disabled_exec = Pdms.Exec.make ~metrics:false () in
+  let memory_exec () =
+    Pdms.Exec.make ~trace:(Obs.Trace.create (Obs.Sink.memory ())) ()
+  in
+  (* Mode 1: everything off — the global switch turns even registered
+     counters into no-ops, approximating an uninstrumented build. *)
+  Obs.Metrics.set_enabled false;
+  let base_ms =
+    Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled true)
+      (fun () -> best disabled_exec)
+  in
+  (* Mode 2: the permanent default — metrics counted, tracing nulled. *)
+  let null_ms = best Pdms.Exec.default in
+  (* Mode 3: full tracing into a memory sink (what `--trace` pays). *)
+  let traced_ms = best (memory_exec ()) in
+  (* Instrumentation must not change the result. *)
+  let render qs = List.map Cq.Query.to_string qs in
+  assert (render (sweep disabled_exec) = render reference);
+  assert (render (sweep (memory_exec ())) = render reference);
+  let pct ms = (ms -. base_ms) /. Float.max 1e-9 base_ms *. 100.0 in
+  let table = T.create [ "mode"; "sweep_ms"; "overhead_pct" ] in
+  T.add_row table [ "disabled"; T.cell_f base_ms; T.cell_f 0.0 ];
+  T.add_row table [ "null-sink"; T.cell_f null_ms; T.cell_f (pct null_ms) ];
+  T.add_row table
+    [ "memory-sink"; T.cell_f traced_ms; T.cell_f (pct traced_ms) ];
+  T.print table;
+  Printf.printf
+    "BENCH_e15_overhead {\"peers\":%d,\"raw_rewritings\":%d,\"iters\":%d,\
+     \"disabled_ms\":%.4f,\"null_sink_ms\":%.4f,\"memory_sink_ms\":%.4f,\
+     \"null_overhead_pct\":%.2f,\"budget_pct\":%.1f}\n"
+    peers raw_n iters base_ms null_ms traced_ms (pct null_ms) threshold_pct;
+  if pct null_ms >= threshold_pct then (
+    Printf.printf
+      "E15 FAILED: null-sink overhead %.2f%% exceeds the %.1f%% budget\n"
+      (pct null_ms) threshold_pct;
+    exit 1)
+
+let e15 () = e15_configs ~peers:48 ~cap:256 ~threshold_pct:2.0 ()
+
 (* Tiny sizes so `dune build @bench-smoke` exercises the harness without
    a full run. *)
 let smoke () =
   e1_sized [ 4 ] ();
   e13_configs [ (4, 10) ] ();
-  e14_configs ~sweep:[ (6, 48) ] ~cache_entries:[ 32 ] ()
+  e14_configs ~sweep:[ (6, 48) ] ~cache_entries:[ 32 ] ();
+  e15_configs ~peers:12 ~cap:128 ~threshold_pct:30.0 ()
 
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-            ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14) ]
+            ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
+            ("e15", e15) ]

@@ -7,8 +7,14 @@
      revere stats TERM S...               corpus statistics for a term
      revere query 'q(X) :- r(X, Y)'       parse + inspect a CQ
      revere stem WORD...                  Porter-stem words
+     revere gen-pdms                      emit the six-university PDMS
+     revere answer FILE QUERY             reformulate + evaluate a CQ
+     revere search FILE WORD...           TF/IDF keyword search
+     revere distributed FILE QUERY --at P peer-based execution plan
 
-   Schema files use the format of Corpus.Schema_parser. *)
+   The last three share the execution-context flags -j/--jobs,
+   --pruning, --trace and --metrics (see [exec_term] below). Schema
+   files use the format of Corpus.Schema_parser. *)
 
 open Cmdliner
 
@@ -230,42 +236,116 @@ let load_pdms path =
       Printf.eprintf "error: %s: %s\n" path msg;
       exit 1
 
-let answer_pdms path query_text jobs =
-  let catalog = load_pdms path in
+(* Execution-context flags shared verbatim by `answer`, `search` and
+   `distributed`: parsed once into a [Pdms.Exec.t] plus the two output
+   switches. Spans and metrics go to stderr so stdout stays pipeable. *)
+
+type cli_exec = {
+  exec : Pdms.Exec.t;
+  sink : Obs.Sink.t option;  (* Some when --trace *)
+  show_metrics : bool;
+}
+
+let make_cli_exec jobs pruning trace metrics =
+  let pruning =
+    match pruning with
+    | `Default -> Pdms.Exec.default_pruning
+    | `None -> Pdms.Exec.no_pruning
+  in
+  let sink = if trace then Some (Obs.Sink.memory ()) else None in
+  let trace_t =
+    match sink with Some s -> Obs.Trace.create s | None -> Obs.Trace.null
+  in
+  {
+    exec = Pdms.Exec.make ~jobs ~pruning ~trace:trace_t ();
+    sink;
+    show_metrics = metrics;
+  }
+
+let exec_term =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"JOBS"
+          ~doc:
+            "Run the parallel phases (subsumption sweep, union evaluation, \
+             keyword scoring) with this many domains. Results are identical \
+             for every value.")
+  in
+  let pruning =
+    Arg.(
+      value
+      & opt (enum [ ("default", `Default); ("none", `None) ]) `Default
+      & info [ "pruning" ] ~docv:"MODE"
+          ~doc:
+            "Reformulation pruning heuristics: $(b,default) (all on) or \
+             $(b,none) (ablation mode: every heuristic off, low depth cap).")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Collect hierarchical spans for the whole answer path and print \
+             the span tree (timings, per-phase counts) to stderr.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the Obs.Metrics counters accumulated by the run to \
+                stderr.")
+  in
+  Term.(const make_cli_exec $ jobs $ pruning $ trace $ metrics)
+
+let report_cli_exec cli =
+  (match cli.sink with
+  | Some sink ->
+      List.iter (fun sp -> prerr_string (Obs.Span.render sp)) (Obs.Sink.spans sink)
+  | None -> ());
+  if cli.show_metrics then
+    prerr_string (Obs.Metrics.render (Obs.Metrics.snapshot ()))
+
+let parse_query_arg query_text =
   match Cq.Parser.parse_query query_text with
   | Error msg ->
       Printf.eprintf "query parse error: %s\n" msg;
       exit 1
-  | Ok query ->
-      let result = Pdms.Answer.answer ~jobs catalog query in
-      let rows = Pdms.Answer.answers_list result in
-      List.iter (fun row -> print_endline (String.concat " | " row)) rows;
-      Format.eprintf "%d answers; %a@." (List.length rows)
-        Pdms.Reformulate.pp_stats
-        result.Pdms.Answer.outcome.Pdms.Reformulate.stats
+  | Ok query -> query
+
+let pdms_file_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"PDMS_FILE" ~doc:"Pdms_file format")
+
+let query_pos_arg =
+  Arg.(required & pos 1 (some string) None
+       & info [] ~docv:"QUERY" ~doc:"e.g. 'ans(X) :- uw.course(X, T)'")
+
+let answer_pdms path query_text cli =
+  let catalog = load_pdms path in
+  let query = parse_query_arg query_text in
+  let result = Pdms.Answer.answer ~exec:cli.exec catalog query in
+  let rows = Pdms.Answer.answers_list result in
+  List.iter (fun row -> print_endline (String.concat " | " row)) rows;
+  Format.eprintf "%d answers; %a@." (List.length rows)
+    Pdms.Reformulate.pp_stats
+    result.Pdms.Answer.outcome.Pdms.Reformulate.stats;
+  report_cli_exec cli
 
 let answer_cmd =
   Cmd.v
     (Cmd.info "answer"
        ~doc:"Answer a conjunctive query over a PDMS described in a file")
-    Term.(
-      const answer_pdms
-      $ Arg.(required & pos 0 (some file) None
-             & info [] ~docv:"PDMS_FILE" ~doc:"Pdms_file format")
-      $ Arg.(required & pos 1 (some string) None
-             & info [] ~docv:"QUERY" ~doc:"e.g. 'ans(X) :- uw.course(X, T)'")
-      $ Arg.(value & opt int 1
-             & info [ "j"; "jobs" ] ~docv:"JOBS"
-                 ~doc:
-                   "Run the reformulation subsumption sweep and the \
-                    rewriting-union evaluation with this many domains \
-                    (answers are identical for every value)"))
+    Term.(const answer_pdms $ pdms_file_arg $ query_pos_arg $ exec_term)
 
-let search_pdms path jobs keywords =
+let search_pdms path keywords cli =
   let catalog = load_pdms path in
-  match Pdms.Keyword.search ~jobs catalog (String.concat " " keywords) with
+  (match
+     Pdms.Keyword.search ~exec:cli.exec catalog (String.concat " " keywords)
+   with
   | [] -> print_endline "no hits"
-  | hits -> List.iter (fun h -> print_endline (Pdms.Keyword.render_hit h)) hits
+  | hits -> List.iter (fun h -> print_endline (Pdms.Keyword.render_hit h)) hits);
+  report_cli_exec cli
 
 let search_cmd =
   Cmd.v
@@ -273,12 +353,88 @@ let search_cmd =
        ~doc:"Keyword search across every peer's stored data in a PDMS file")
     Term.(
       const search_pdms
-      $ Arg.(required & pos 0 (some file) None
-             & info [] ~docv:"PDMS_FILE" ~doc:"Pdms_file format")
-      $ Arg.(value & opt int 1
-             & info [ "j"; "jobs" ] ~docv:"JOBS"
-                 ~doc:"Score tuples with this many domains")
-      $ Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"KEYWORD"))
+      $ pdms_file_arg
+      $ Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"KEYWORD")
+      $ exec_term)
+
+(* Build a uniform-latency network over the mapping graph's edges: two
+   peers are connected iff some mapping mentions both. *)
+let network_of_catalog catalog ~latency_ms =
+  let network = Pdms.Network.create () in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (_, m) ->
+      let ps = Pdms.Peer_mapping.peers_mentioned m in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if String.compare a b < 0 && not (Hashtbl.mem seen (a, b)) then begin
+                Hashtbl.replace seen (a, b) ();
+                Pdms.Network.connect network a b ~latency_ms
+              end)
+            ps)
+        ps)
+    (Pdms.Catalog.mappings catalog);
+  network
+
+let distributed_pdms path query_text at latency cli =
+  let catalog = load_pdms path in
+  let query = parse_query_arg query_text in
+  let network = network_of_catalog catalog ~latency_ms:latency in
+  let plan =
+    Pdms.Distributed.execute ~exec:cli.exec catalog network ~at query
+  in
+  List.iter
+    (fun (p : Pdms.Distributed.site_plan) ->
+      Printf.printf "%-12s reads(local=%d remote=%d) fetch=%.2fms ship=%.2fms  %s\n"
+        p.Pdms.Distributed.site p.Pdms.Distributed.local_reads
+        p.Pdms.Distributed.remote_reads p.Pdms.Distributed.fetch_ms
+        p.Pdms.Distributed.ship_ms
+        (Cq.Query.to_string p.Pdms.Distributed.rewriting))
+    plan.Pdms.Distributed.sites;
+  Printf.printf
+    "%d answers; distributed=%.2fms central-baseline=%.2fms\n"
+    (Relalg.Relation.cardinality plan.Pdms.Distributed.answers)
+    plan.Pdms.Distributed.distributed_ms plan.Pdms.Distributed.central_ms;
+  report_cli_exec cli
+
+let distributed_cmd =
+  Cmd.v
+    (Cmd.info "distributed"
+       ~doc:
+         "Answer a query with peer-based distributed execution: pick the \
+          cheapest site per rewriting over a uniform-latency network built \
+          from the mapping graph, and compare against the ship-everything \
+          central baseline")
+    Term.(
+      const distributed_pdms
+      $ pdms_file_arg
+      $ query_pos_arg
+      $ Arg.(required & opt (some string) None
+             & info [ "at" ] ~docv:"PEER" ~doc:"The querying peer")
+      $ Arg.(value & opt float 10.0
+             & info [ "latency" ] ~docv:"MS"
+                 ~doc:"Per-KB link latency for every mapping-graph edge")
+      $ exec_term)
+
+let gen_pdms seed courses =
+  let prng = Util.Prng.create seed in
+  let d = Workload.University.build_delearning prng ~courses_per_peer:courses in
+  print_string (Pdms.Pdms_file.render d.Workload.University.catalog)
+
+let gen_pdms_cmd =
+  Cmd.v
+    (Cmd.info "gen-pdms"
+       ~doc:
+         "Emit the six-university Figure-2 PDMS (Stanford, Berkeley, MIT, \
+          Roma, Oxford, Tsinghua) as a Pdms_file, ready for `revere \
+          answer`/`search`/`distributed`")
+    Term.(
+      const gen_pdms
+      $ Arg.(value & opt int 2003 & info [ "seed" ] ~doc:"PRNG seed")
+      $ Arg.(value & opt int 3
+             & info [ "courses" ] ~doc:"courses per university"))
 
 (* ------------------------------------------------------------------ *)
 
@@ -348,5 +504,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ demo_cmd; match_cmd; advise_cmd; critique_cmd; stats_cmd;
-            query_cmd; stem_cmd; fig4_cmd; gen_berkeley_cmd; answer_cmd;
-            search_cmd ]))
+            query_cmd; stem_cmd; fig4_cmd; gen_berkeley_cmd; gen_pdms_cmd;
+            answer_cmd; search_cmd; distributed_cmd ]))

@@ -31,10 +31,26 @@ let preds_covered (q1 : Query.t) (q2 : Query.t) =
         q1.Query.body;
       List.for_all (fun (a : Atom.t) -> Hashtbl.mem present a.Atom.pred) body
 
+(* Standalone-entry telemetry. [contained_in_with] stays uninstrumented:
+   it is the sweep hot path (~tens of ns per call) and its callers batch
+   their own pair counts — see Reformulate.subsumption_sweep. *)
+let m_tests = Obs.Metrics.counter "cq.containment.tests"
+let m_prefilter_rejects = Obs.Metrics.counter "cq.containment.prefilter_rejects"
+let m_hom_tests = Obs.Metrics.counter "cq.containment.hom_tests"
+
 let contained_in (q1 : Query.t) (q2 : Query.t) =
-  Atom.arity q1.Query.head = Atom.arity q2.Query.head
-  && preds_covered q1 q2
-  && homomorphism_test q1 q2
+  Obs.Metrics.incr m_tests;
+  if
+    Atom.arity q1.Query.head = Atom.arity q2.Query.head
+    && preds_covered q1 q2
+  then begin
+    Obs.Metrics.incr m_hom_tests;
+    homomorphism_test q1 q2
+  end
+  else begin
+    Obs.Metrics.incr m_prefilter_rejects;
+    false
+  end
 
 let contained_in_with ~sub ~super q1 q2 =
   Signature.compatible ~sub ~super && homomorphism_test q1 q2

@@ -7,7 +7,10 @@ val contained_in : Query.t -> Query.t -> bool
     answer of [q2] on every database. Queries must have equal head
     arity (else [false]). A predicate-coverage prefilter (see
     {!Signature}) rejects impossible pairs before the homomorphism
-    search. *)
+    search. Counts [cq.containment.tests] / [.prefilter_rejects] /
+    [.hom_tests] in {!Obs.Metrics} (attempted vs. short-circuited vs.
+    searched); {!contained_in_with} is left uninstrumented because sweep
+    callers batch-count their own pairs. *)
 
 val contained_in_with :
   sub:Signature.t -> super:Signature.t -> Query.t -> Query.t -> bool

@@ -130,16 +130,20 @@ let run db q =
   out
 
 let run_union_into out db qs =
+  let attempts = ref 0 in
   List.iter
     (fun q ->
       List.iter
-        (fun b -> ignore (Relalg.Relation.insert_distinct out (head_tuple q b)))
+        (fun b ->
+          Stdlib.incr attempts;
+          ignore (Relalg.Relation.insert_distinct out (head_tuple q b)))
         (run_bindings db q))
-    qs
+    qs;
+  !attempts
 
 let run_union db = function
   | [] -> invalid_arg "Eval.run_union: empty union"
   | q0 :: _ as qs ->
       let out = Relalg.Relation.create (head_schema q0) in
-      run_union_into out db qs;
+      ignore (run_union_into out db qs : int);
       out

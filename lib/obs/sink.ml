@@ -1,0 +1,18 @@
+type t = Null | Memory of Span.t list ref | Stderr
+
+let null = Null
+let memory () = Memory (ref [])
+let stderr = Stderr
+let is_null = function Null -> true | _ -> false
+
+let emit t span =
+  match t with
+  | Null -> ()
+  | Memory cell -> cell := span :: !cell
+  | Stderr -> prerr_string (Span.render span)
+
+let spans = function
+  | Memory cell -> List.rev !cell
+  | Null | Stderr -> []
+
+let clear = function Memory cell -> cell := [] | Null | Stderr -> ()

@@ -1,0 +1,126 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type t = {
+  name : string;
+  start_s : float;
+  duration_s : float;
+  attrs : (string * value) list;
+  children : t list;
+}
+
+let value_to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+let pp_duration_ms buf d =
+  let ms = d *. 1000. in
+  if ms < 0.01 then Buffer.add_string buf (Printf.sprintf "%.4fms" ms)
+  else if ms < 10. then Buffer.add_string buf (Printf.sprintf "%.2fms" ms)
+  else Buffer.add_string buf (Printf.sprintf "%.1fms" ms)
+
+let render span =
+  let buf = Buffer.create 256 in
+  (* [prefix] is the indentation already owed to our ancestors; [branch] the
+     connector for this span's own line. *)
+  let rec go prefix branch span =
+    Buffer.add_string buf prefix;
+    Buffer.add_string buf branch;
+    Buffer.add_string buf span.name;
+    Buffer.add_string buf "  ";
+    pp_duration_ms buf span.duration_s;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf (value_to_string v))
+      span.attrs;
+    Buffer.add_char buf '\n';
+    let child_prefix =
+      match branch with
+      | "" -> ""
+      | "`- " | "|- " ->
+          prefix ^ (if branch = "`- " then "   " else "|  ")
+      | _ -> prefix ^ "   "
+    in
+    let rec children = function
+      | [] -> ()
+      | [ last ] -> go child_prefix "`- " last
+      | c :: rest ->
+          go child_prefix "|- " c;
+          children rest
+    in
+    children span.children
+  in
+  go "" "" span;
+  Buffer.contents buf
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let to_json span =
+  let buf = Buffer.create 256 in
+  let str s =
+    Buffer.add_char buf '"';
+    json_escape buf s;
+    Buffer.add_char buf '"'
+  in
+  let value = function
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (Printf.sprintf "%g" f)
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Str s -> str s
+  in
+  let rec go span =
+    Buffer.add_string buf "{\"name\":";
+    str span.name;
+    Buffer.add_string buf (Printf.sprintf ",\"start_s\":%.6f" span.start_s);
+    Buffer.add_string buf
+      (Printf.sprintf ",\"duration_ms\":%.6f" (span.duration_s *. 1000.));
+    Buffer.add_string buf ",\"attrs\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        str k;
+        Buffer.add_char buf ':';
+        value v)
+      span.attrs;
+    Buffer.add_string buf "},\"children\":[";
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_char buf ',';
+        go c)
+      span.children;
+    Buffer.add_string buf "]}"
+  in
+  go span;
+  Buffer.contents buf
+
+let names span =
+  let rec go acc span =
+    List.fold_left go (span.name :: acc) span.children
+  in
+  List.rev (go [] span)
+
+let find span name =
+  let rec go span =
+    if span.name = name then Some span
+    else
+      List.fold_left
+        (fun acc c -> match acc with Some _ -> acc | None -> go c)
+        None span.children
+  in
+  go span

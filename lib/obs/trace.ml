@@ -1,0 +1,78 @@
+let clock = ref Unix.gettimeofday
+let set_clock f = clock := f
+
+type frame = {
+  f_name : string;
+  f_start : float;
+  mutable f_attrs : (string * Span.value) list;  (* reversed *)
+  mutable f_children : Span.t list;  (* reversed *)
+}
+
+type t = { active : bool; sink : Sink.t; mutable stack : frame list }
+
+let null = { active = false; sink = Sink.null; stack = [] }
+
+let create sink =
+  if Sink.is_null sink then null else { active = true; sink; stack = [] }
+
+let enabled t = t.active
+
+let close t frame =
+  let finished =
+    {
+      Span.name = frame.f_name;
+      start_s = frame.f_start;
+      duration_s = !clock () -. frame.f_start;
+      attrs = List.rev frame.f_attrs;
+      children = List.rev frame.f_children;
+    }
+  in
+  match t.stack with
+  | [] -> Sink.emit t.sink finished
+  | parent :: _ -> parent.f_children <- finished :: parent.f_children
+
+let span t name f =
+  if not t.active then f ()
+  else begin
+    let frame =
+      { f_name = name; f_start = !clock (); f_attrs = []; f_children = [] }
+    in
+    t.stack <- frame :: t.stack;
+    let pop () =
+      match t.stack with
+      | top :: rest when top == frame ->
+          t.stack <- rest;
+          close t top
+      | _ ->
+          (* Unbalanced nesting can only happen if [f] tampered with the
+             tracer; drop frames down to ours so the tree stays a tree. *)
+          let rec unwind = function
+            | top :: rest ->
+                t.stack <- rest;
+                close t top;
+                if top != frame then unwind rest
+            | [] -> ()
+          in
+          unwind t.stack
+    in
+    match f () with
+    | result ->
+        pop ();
+        result
+    | exception exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        frame.f_attrs <- ("exn", Span.Str (Printexc.to_string exn)) :: frame.f_attrs;
+        pop ();
+        Printexc.raise_with_backtrace exn bt
+  end
+
+let attr t k v =
+  if t.active then
+    match t.stack with
+    | frame :: _ -> frame.f_attrs <- (k, v) :: frame.f_attrs
+    | [] -> ()
+
+let attr_i t k i = attr t k (Span.Int i)
+let attr_f t k f = attr t k (Span.Float f)
+let attr_s t k s = attr t k (Span.Str s)
+let attr_b t k b = attr t k (Span.Bool b)

@@ -3,39 +3,89 @@ type result = {
   outcome : Reformulate.outcome;
 }
 
+let m_queries = Obs.Metrics.counter "pdms.answer.queries"
+let m_answers = Obs.Metrics.counter "pdms.answer.answers"
+let m_unions = Obs.Metrics.counter "pdms.eval.unions"
+let m_tuples = Obs.Metrics.counter "pdms.eval.tuples"
+let m_dedup_dropped = Obs.Metrics.counter "pdms.eval.dedup_dropped"
+let m_tuples_per_rw = Obs.Metrics.histogram "pdms.eval.tuples_per_rewriting"
+
 let empty_answers (q : Cq.Query.t) =
   let arity = Cq.Atom.arity q.Cq.Query.head in
   Relalg.Relation.create
     (Relalg.Schema.make q.Cq.Query.head.Cq.Atom.pred
        (List.init arity (Printf.sprintf "a%d")))
 
-let eval_union ?(jobs = 1) db = function
+let eval_union ?(exec = Exec.default) db = function
   | [] -> invalid_arg "Answer.eval_union: empty union"
-  | qs when jobs <= 1 || List.length qs < 2 -> Cq.Eval.run_union db qs
   | q0 :: _ as qs ->
-      (* Parallel path. Pre-build every index so worker domains never
-         mutate the shared database; each shard evaluates into its own
-         partial relation, and partials are merged through one shared
-         hash-backed dedup set. Shards are contiguous and merged in
-         order, so the answer set is identical to the sequential one. *)
-      Relalg.Database.freeze db;
-      let shards = Util.Pool.chunk jobs qs in
-      let partials =
-        Util.Pool.map (List.length shards)
-          (fun shard -> Cq.Eval.run_union db shard)
-          shards
+      let jobs = exec.Exec.jobs in
+      let trace = exec.Exec.trace in
+      Obs.Trace.span trace "eval" @@ fun () ->
+      (* Each branch evaluates one rewriting at a time so the per-rewriting
+         pre-dedup tuple counts come back; they are |run_bindings q| per
+         query, so identical for every [jobs]. *)
+      let out, per_rewriting =
+        if jobs <= 1 || List.length qs < 2 then begin
+          let out = Relalg.Relation.create (Cq.Eval.head_schema q0) in
+          let counts =
+            List.map (fun q -> Cq.Eval.run_union_into out db [ q ]) qs
+          in
+          (out, counts)
+        end
+        else begin
+          (* Parallel path. Pre-build every index so worker domains never
+             mutate the shared database; each shard evaluates into its own
+             partial relation, and partials are merged through one shared
+             hash-backed dedup set. Shards are contiguous and merged in
+             order, so the answer set is identical to the sequential one. *)
+          Relalg.Database.freeze db;
+          let shards = Util.Pool.chunk jobs qs in
+          let partials =
+            Util.Pool.map (List.length shards)
+              (fun shard ->
+                let partial =
+                  Relalg.Relation.create (Cq.Eval.head_schema q0)
+                in
+                let counts =
+                  List.map
+                    (fun q -> Cq.Eval.run_union_into partial db [ q ])
+                    shard
+                in
+                (partial, counts))
+              shards
+          in
+          let out = Relalg.Relation.create (Cq.Eval.head_schema q0) in
+          List.iter
+            (fun (partial, _) ->
+              Relalg.Relation.iter
+                (fun row -> ignore (Relalg.Relation.insert_distinct out row))
+                partial)
+            partials;
+          (out, List.concat_map snd partials)
+        end
       in
-      let out = Relalg.Relation.create (Cq.Eval.head_schema q0) in
-      List.iter
-        (fun partial ->
-          Relalg.Relation.iter
-            (fun row -> ignore (Relalg.Relation.insert_distinct out row))
-            partial)
-        partials;
+      let tuples = List.fold_left ( + ) 0 per_rewriting in
+      let answers = Relalg.Relation.cardinality out in
+      if exec.Exec.metrics then begin
+        Obs.Metrics.incr m_unions;
+        Obs.Metrics.add m_tuples tuples;
+        Obs.Metrics.add m_dedup_dropped (tuples - answers);
+        List.iter
+          (fun n -> Obs.Metrics.observe m_tuples_per_rw (float_of_int n))
+          per_rewriting
+      end;
+      Obs.Trace.attr_i trace "rewritings" (List.length qs);
+      Obs.Trace.attr_i trace "jobs" jobs;
+      Obs.Trace.attr_i trace "tuples" tuples;
+      Obs.Trace.attr_i trace "answers" answers;
+      Obs.Trace.attr_i trace "dedup_dropped" (tuples - answers);
       out
 
-let answer ?pruning ?(jobs = 1) catalog q =
-  let outcome = Reformulate.reformulate ?pruning ~jobs catalog q in
+let answer ?(exec = Exec.default) catalog q =
+  let trace = exec.Exec.trace in
+  Obs.Trace.span trace "answer" @@ fun () ->
+  let outcome = Reformulate.reformulate ~exec catalog q in
   let answers =
     match outcome.Reformulate.rewritings with
     | [] ->
@@ -44,11 +94,18 @@ let answer ?pruning ?(jobs = 1) catalog q =
     | rewritings ->
         (* Workers read a snapshot, never the live peer relations. *)
         let db =
-          if jobs <= 1 then Catalog.global_db catalog
+          if exec.Exec.jobs <= 1 then Catalog.global_db catalog
           else Catalog.global_db_snapshot catalog
         in
-        eval_union ~jobs db rewritings
+        eval_union ~exec db rewritings
   in
+  if exec.Exec.metrics then begin
+    Obs.Metrics.incr m_queries;
+    Obs.Metrics.add m_answers (Relalg.Relation.cardinality answers)
+  end;
+  Obs.Trace.attr_i trace "rewritings"
+    (List.length outcome.Reformulate.rewritings);
+  Obs.Trace.attr_i trace "answers" (Relalg.Relation.cardinality answers);
   { answers; outcome }
 
 let answers_list result =

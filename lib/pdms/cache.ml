@@ -23,7 +23,14 @@ type t = {
   mutable lru : entry option;
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable eviction_count : int;
+  mutable invalidated_count : int;
 }
+
+let m_hits = Obs.Metrics.counter "pdms.cache.hits"
+let m_misses = Obs.Metrics.counter "pdms.cache.misses"
+let m_evictions = Obs.Metrics.counter "pdms.cache.evictions"
+let m_invalidated = Obs.Metrics.counter "pdms.cache.invalidated"
 
 let create ?(capacity = 64) catalog () =
   if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
@@ -36,6 +43,8 @@ let create ?(capacity = 64) catalog () =
     lru = None;
     hit_count = 0;
     miss_count = 0;
+    eviction_count = 0;
+    invalidated_count = 0;
   }
 
 (* Alpha-normalised key: queries equal up to variable renaming share an
@@ -118,22 +127,33 @@ let add t e =
       Hashtbl.replace bucket e.key e)
     e.reads
 
-let answer ?pruning t q =
+let answer ?(exec = Exec.default) t q =
+  let trace = exec.Exec.trace in
+  Obs.Trace.span trace "cache.answer" @@ fun () ->
   let key = key_of q in
   match Hashtbl.find_opt t.table key with
   | Some e ->
       touch t e;
       t.hit_count <- t.hit_count + 1;
+      Obs.Metrics.incr m_hits;
+      Obs.Trace.attr_b trace "hit" true;
       e.result
   | None ->
       t.miss_count <- t.miss_count + 1;
-      let result = Answer.answer ?pruning t.catalog q in
+      Obs.Metrics.incr m_misses;
+      Obs.Trace.attr_b trace "hit" false;
+      let result = Answer.answer ~exec t.catalog q in
       let entry =
         { key; result; reads = reads_of result; prev = None; next = None }
       in
       add t entry;
       if Hashtbl.length t.table > t.capacity then (
-        match t.lru with Some victim -> remove t victim | None -> ());
+        match t.lru with
+        | Some victim ->
+            remove t victim;
+            t.eviction_count <- t.eviction_count + 1;
+            Obs.Metrics.incr m_evictions
+        | None -> ());
       result
 
 let invalidate t (u : Updategram.t) =
@@ -143,14 +163,30 @@ let invalidate t (u : Updategram.t) =
       (* Snapshot first: [remove] mutates the bucket being folded. *)
       let victims = Hashtbl.fold (fun _ e acc -> e :: acc) bucket [] in
       List.iter (remove t) victims;
-      List.length victims
+      let n = List.length victims in
+      t.invalidated_count <- t.invalidated_count + n;
+      Obs.Metrics.add m_invalidated n;
+      n
 
 let invalidate_all t =
+  let n = Hashtbl.length t.table in
   Hashtbl.reset t.table;
   Hashtbl.reset t.by_pred;
   t.mru <- None;
-  t.lru <- None
+  t.lru <- None;
+  t.invalidated_count <- t.invalidated_count + n;
+  Obs.Metrics.add m_invalidated n
 
 let hits t = t.hit_count
 let misses t = t.miss_count
 let entries t = Hashtbl.length t.table
+
+type stats = { hits : int; misses : int; evictions : int; invalidated : int }
+
+let stats t =
+  {
+    hits = t.hit_count;
+    misses = t.miss_count;
+    evictions = t.eviction_count;
+    invalidated = t.invalidated_count;
+  }

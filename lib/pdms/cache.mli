@@ -11,10 +11,12 @@ val create : ?capacity:int -> Catalog.t -> unit -> t
     hashtable plus an intrusive doubly-linked recency list, so lookup,
     hit bookkeeping and eviction are all O(1) in the entry count. *)
 
-val answer : ?pruning:Reformulate.pruning -> t -> Cq.Query.t -> Answer.result
+val answer : ?exec:Exec.t -> t -> Cq.Query.t -> Answer.result
 (** Like {!Answer.answer} but cached: a hit skips both reformulation and
     evaluation. Queries are matched up to variable renaming. On
-    overflow the strictly least-recently-used entry is evicted. *)
+    overflow the strictly least-recently-used entry is evicted. Opens a
+    ["cache.answer"] span (attribute [hit=true/false]; a miss nests the
+    full ["answer"] span) and counts [pdms.cache.*] metrics. *)
 
 val invalidate : t -> Updategram.t -> int
 (** Drop entries whose rewritings mention the updategram's relation;
@@ -23,6 +25,19 @@ val invalidate : t -> Updategram.t -> int
     applying updates to any peer's stored data. *)
 
 val invalidate_all : t -> unit
+
 val hits : t -> int
 val misses : t -> int
+
 val entries : t -> int
+(** Live entries right now (not cumulative). *)
+
+type stats = { hits : int; misses : int; evictions : int; invalidated : int }
+(** Lifetime totals: [evictions] counts capacity overflows only;
+    [invalidated] counts entries dropped by {!invalidate} and
+    {!invalidate_all}. *)
+
+val stats : t -> stats
+(** O(1) snapshot of the lifetime totals. The same numbers accumulate
+    process-wide (across all caches) in the [pdms.cache.*] counters of
+    {!Obs.Metrics}. *)

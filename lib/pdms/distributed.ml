@@ -15,6 +15,14 @@ type plan = {
   distributed_ms : float;
 }
 
+let m_executes = Obs.Metrics.counter "pdms.distributed.executes"
+let m_sites_local = Obs.Metrics.counter "pdms.distributed.sites_local"
+let m_sites_remote = Obs.Metrics.counter "pdms.distributed.sites_remote"
+let m_candidates = Obs.Metrics.counter "pdms.distributed.candidates_considered"
+let m_rejected = Obs.Metrics.counter "pdms.distributed.candidates_rejected"
+let m_fetch_ms = Obs.Metrics.histogram "pdms.distributed.fetch_ms"
+let m_ship_ms = Obs.Metrics.histogram "pdms.distributed.ship_ms"
+
 let owner_of_pred pred =
   match String.index_opt pred '.' with
   | Some i when i > 0 && String.length pred > 0 && pred.[String.length pred - 1] = '!'
@@ -77,27 +85,42 @@ let plan_rewriting catalog network ~at db (r : Cq.Query.t) =
       fetch_ms;
       ship_ms;
     },
-    result )
+    List.length candidates )
 
-let execute ?pruning ?(jobs = 1) catalog network ~at query =
-  let outcome = Reformulate.reformulate ?pruning ~jobs catalog query in
+let execute ?(exec = Exec.default) catalog network ~at query =
+  let trace = exec.Exec.trace in
+  Obs.Trace.span trace "distributed.execute" @@ fun () ->
+  let outcome = Reformulate.reformulate ~exec catalog query in
   let db = Catalog.global_db catalog in
-  let planned =
-    List.map (plan_rewriting catalog network ~at db) outcome.Reformulate.rewritings
+  let planned, candidates_total =
+    Obs.Trace.span trace "plan" @@ fun () ->
+    let planned =
+      List.map (plan_rewriting catalog network ~at db)
+        outcome.Reformulate.rewritings
+    in
+    let candidates_total =
+      List.fold_left (fun acc (_, c) -> acc + c) 0 planned
+    in
+    Obs.Trace.attr_i trace "rewritings" (List.length planned);
+    Obs.Trace.attr_i trace "candidate_sites" candidates_total;
+    Obs.Trace.attr_i trace "remote_sites"
+      (List.length
+         (List.filter (fun (p, _) -> not (String.equal p.site at)) planned));
+    (List.map fst planned, candidates_total)
   in
-  let sites = List.map fst planned in
+  let sites = planned in
   let answers =
     match outcome.Reformulate.rewritings with
     | [] ->
         let arity = Cq.Atom.arity query.Cq.Query.head in
         Relalg.Relation.create
           (Relalg.Schema.make "ans" (List.init arity (Printf.sprintf "a%d")))
-    | rewritings -> Answer.eval_union ~jobs db rewritings
+    | rewritings -> Answer.eval_union ~exec db rewritings
   in
   (* Central baseline: ship every stored relation any rewriting reads to
      the querying peer, once. *)
   let all_reads =
-    List.concat_map (fun (p, _) -> Cq.Query.body_preds p.rewriting) planned
+    List.concat_map (fun p -> Cq.Query.body_preds p.rewriting) planned
     |> List.filter (Catalog.is_stored catalog)
     |> List.sort_uniq String.compare
   in
@@ -116,4 +139,20 @@ let execute ?pruning ?(jobs = 1) catalog network ~at query =
       (fun worst p -> Float.max worst (p.fetch_ms +. p.ship_ms))
       0.0 sites
   in
+  if exec.Exec.metrics then begin
+    Obs.Metrics.incr m_executes;
+    List.iter
+      (fun p ->
+        if String.equal p.site at then Obs.Metrics.incr m_sites_local
+        else Obs.Metrics.incr m_sites_remote;
+        Obs.Metrics.observe m_fetch_ms p.fetch_ms;
+        Obs.Metrics.observe m_ship_ms p.ship_ms)
+      sites;
+    Obs.Metrics.add m_candidates candidates_total;
+    Obs.Metrics.add m_rejected (candidates_total - List.length sites)
+  end;
+  Obs.Trace.attr_s trace "at" at;
+  Obs.Trace.attr_i trace "answers" (Relalg.Relation.cardinality answers);
+  Obs.Trace.attr_f trace "central_ms" central_ms;
+  Obs.Trace.attr_f trace "distributed_ms" distributed_ms;
   { at; sites; answers; central_ms; distributed_ms }

@@ -28,16 +28,13 @@ val owner_of_pred : string -> string option
 (** The peer owning a stored predicate ("mit.subject!" -> "mit"). *)
 
 val execute :
-  ?pruning:Reformulate.pruning ->
-  ?jobs:int ->
-  Catalog.t ->
-  Network.t ->
-  at:string ->
-  Cq.Query.t ->
-  plan
+  ?exec:Exec.t -> Catalog.t -> Network.t -> at:string -> Cq.Query.t -> plan
 (** Reformulate, choose a site per rewriting, evaluate, and price both
     the distributed plan and the ship-everything-central baseline.
     Result sizes are estimated from actual relation cardinalities at 64
-    bytes per tuple. [jobs] parallelises the reformulation's final
+    bytes per tuple. [exec.jobs] parallelises the reformulation's final
     subsumption sweep and the answer-union evaluation as in
-    {!Answer.answer}; rewritings, plans and costs are unaffected. *)
+    {!Answer.answer}; rewritings, plans and costs are unaffected. Opens
+    a ["distributed.execute"] span (children ["reformulate"], ["plan"],
+    ["eval"]) and records [pdms.distributed.*] metrics — chosen vs.
+    rejected candidate sites and per-site fetch/ship cost histograms. *)

@@ -1,0 +1,49 @@
+type pruning = {
+  use_history : bool;
+  use_visited : bool;
+  use_goal_memo : bool;
+  use_subsumption : bool;
+  use_minimize : bool;
+  max_depth : int;
+  max_rewritings : int;
+}
+
+let default_pruning =
+  {
+    use_history = true;
+    use_visited = true;
+    use_goal_memo = true;
+    use_subsumption = true;
+    use_minimize = true;
+    max_depth = 128;
+    max_rewritings = 2_000;
+  }
+
+let no_pruning =
+  {
+    use_history = false;
+    use_visited = false;
+    use_goal_memo = false;
+    use_subsumption = false;
+    use_minimize = false;
+    max_depth = 24;
+    max_rewritings = 2_000;
+  }
+
+type t = {
+  jobs : int;
+  pruning : pruning;
+  trace : Obs.Trace.t;
+  metrics : bool;
+}
+
+let default =
+  { jobs = 1; pruning = default_pruning; trace = Obs.Trace.null; metrics = true }
+
+let make ?(jobs = 1) ?(pruning = default_pruning) ?(trace = Obs.Trace.null)
+    ?(metrics = true) () =
+  { jobs; pruning; trace; metrics }
+
+let with_jobs jobs = { default with jobs }
+let with_pruning pruning = { default with pruning }
+let with_trace trace = { default with trace }

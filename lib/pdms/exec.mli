@@ -1,0 +1,63 @@
+(** Execution contexts for the answer path.
+
+    Every tunable that used to travel as scattered [?pruning]/[?jobs]
+    optional arguments — plus the observability hooks — now rides in one
+    [Exec.t] record threaded through {!Answer}, {!Reformulate},
+    {!Distributed}, {!Keyword}, {!Cache} and {!Propagate}.  Callers that
+    don't care pass nothing and get {!default}; callers that do build one
+    context and reuse it across calls. *)
+
+(** Reformulation pruning heuristics (Section 3.1.1), individually
+    switchable for the ablation benchmark.  The record lives here so
+    [Exec.t] needs nothing from {!Reformulate}; that module re-exports it
+    as [Reformulate.pruning] for compatibility. *)
+type pruning = {
+  use_history : bool;
+      (** never traverse the same mapping edge twice on one derivation
+          branch (cycle cut) *)
+  use_visited : bool;
+      (** dominance pruning: drop a pending query alpha-equivalent to an
+          already-explored one whose per-atom histories were pointwise
+          subsets (the earlier node could derive strictly more) *)
+  use_goal_memo : bool;
+      (** the aggressive Piazza heuristic: expand each alpha-equivalent
+          pending query only once, regardless of history *)
+  use_subsumption : bool;
+      (** drop emitted rewritings contained in previously emitted ones *)
+  use_minimize : bool;  (** minimize each emitted rewriting *)
+  max_depth : int;  (** expansion-depth cap per branch *)
+  max_rewritings : int;  (** stop after this many emitted rewritings *)
+}
+
+val default_pruning : pruning
+
+val no_pruning : pruning
+(** Everything off except a (high) depth cap and rewriting cap — used by
+    the E2 ablation to expose the blow-up. *)
+
+type t = {
+  jobs : int;  (** domains for the parallel phases (1 = sequential) *)
+  pruning : pruning;
+  trace : Obs.Trace.t;
+      (** span collection; {!Obs.Trace.null} (the default) costs one
+          branch per span site *)
+  metrics : bool;
+      (** record [pdms.*] metrics into {!Obs.Metrics} (default [true];
+          increments are batched per phase, not per tuple) *)
+}
+
+val default : t
+(** [jobs = 1], {!default_pruning}, no tracing, metrics on. *)
+
+val make :
+  ?jobs:int -> ?pruning:pruning -> ?trace:Obs.Trace.t -> ?metrics:bool ->
+  unit -> t
+
+val with_jobs : int -> t
+(** [with_jobs n] is {!default} with [jobs = n]. *)
+
+val with_pruning : pruning -> t
+(** [with_pruning p] is {!default} with [pruning = p]. *)
+
+val with_trace : Obs.Trace.t -> t
+(** [with_trace tr] is {!default} with [trace = tr]. *)

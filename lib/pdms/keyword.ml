@@ -25,12 +25,24 @@ let token_memo :
     Hashtbl.t =
   Hashtbl.create 64
 
-let relation_entries rel_name rel =
+let m_searches = Obs.Metrics.counter "pdms.keyword.searches"
+let m_scored = Obs.Metrics.counter "pdms.keyword.tuples_scored"
+let m_memo_hits = Obs.Metrics.counter "pdms.keyword.memo_hits"
+let m_memo_misses = Obs.Metrics.counter "pdms.keyword.memo_misses"
+let m_hits_returned = Obs.Metrics.counter "pdms.keyword.hits_returned"
+
+(* [memo] tallies hit/miss into the caller's locals so metrics stay
+   batched per search rather than paid per relation lookup. *)
+let relation_entries ~memo rel_name rel =
+  let memo_hits, memo_misses = memo in
   let uid = Relalg.Relation.uid rel in
   let version = Relalg.Relation.version rel in
   match Hashtbl.find_opt token_memo uid with
-  | Some (v, entries) when v = version -> entries
+  | Some (v, entries) when v = version ->
+      Stdlib.incr memo_hits;
+      entries
   | _ ->
+      Stdlib.incr memo_misses;
       let peer =
         match Distributed.owner_of_pred rel_name with
         | Some p -> p
@@ -46,12 +58,25 @@ let relation_entries rel_name rel =
       Hashtbl.replace token_memo uid (version, entries);
       entries
 
-let search ?(limit = 10) ?(jobs = 1) catalog keywords =
+let search ?(limit = 10) ?(exec = Exec.default) catalog keywords =
+  let jobs = exec.Exec.jobs in
+  let trace = exec.Exec.trace in
+  Obs.Trace.span trace "keyword.search" @@ fun () ->
+  let memo_hits = ref 0 and memo_misses = ref 0 in
   let db = Catalog.global_db catalog in
   let entries =
-    List.concat_map
-      (fun rel_name -> relation_entries rel_name (Relalg.Database.find db rel_name))
-      (Relalg.Database.names db)
+    Obs.Trace.span trace "collect" @@ fun () ->
+    let entries =
+      List.concat_map
+        (fun rel_name ->
+          relation_entries ~memo:(memo_hits, memo_misses) rel_name
+            (Relalg.Database.find db rel_name))
+        (Relalg.Database.names db)
+    in
+    Obs.Trace.attr_i trace "tuples" (List.length entries);
+    Obs.Trace.attr_i trace "memo_hits" !memo_hits;
+    Obs.Trace.attr_i trace "memo_misses" !memo_misses;
+    entries
   in
   let corpus = Util.Tfidf.build (List.map (fun (_, _, _, toks) -> toks) entries) in
   let query_toks = List.map Util.Stemmer.stem (Util.Tokenize.words keywords) in
@@ -60,6 +85,8 @@ let search ?(limit = 10) ?(jobs = 1) catalog keywords =
      and re-concatenated in order, keeping the ranking (tie-breaks
      included) identical to the sequential pass. *)
   let scored =
+    Obs.Trace.span trace "score" @@ fun () ->
+    Obs.Trace.attr_i trace "jobs" jobs;
     Util.Pool.chunk (max 1 jobs) entries
     |> Util.Pool.map jobs
          (List.map (fun (peer, stored_rel, tuple, toks) ->
@@ -69,11 +96,25 @@ let search ?(limit = 10) ?(jobs = 1) catalog keywords =
               (score, { peer; stored_rel; tuple; score })))
     |> List.concat
   in
-  let top = Util.Topk.create limit in
-  List.iter
-    (fun (score, hit) -> if score > 0.0 then Util.Topk.add top score hit)
-    scored;
-  List.map snd (Util.Topk.to_list top)
+  let hits =
+    Obs.Trace.span trace "rank" @@ fun () ->
+    let top = Util.Topk.create limit in
+    List.iter
+      (fun (score, hit) -> if score > 0.0 then Util.Topk.add top score hit)
+      scored;
+    let hits = List.map snd (Util.Topk.to_list top) in
+    Obs.Trace.attr_i trace "limit" limit;
+    Obs.Trace.attr_i trace "hits" (List.length hits);
+    hits
+  in
+  if exec.Exec.metrics then begin
+    Obs.Metrics.incr m_searches;
+    Obs.Metrics.add m_scored (List.length entries);
+    Obs.Metrics.add m_memo_hits !memo_hits;
+    Obs.Metrics.add m_memo_misses !memo_misses;
+    Obs.Metrics.add m_hits_returned (List.length hits)
+  end;
+  hits
 
 let render_hit hit =
   Printf.sprintf "%.3f %s (%s): %s" hit.score hit.stored_rel hit.peer

@@ -10,12 +10,15 @@ type hit = {
   score : float;
 }
 
-val search : ?limit:int -> ?jobs:int -> Catalog.t -> string -> hit list
+val search : ?limit:int -> ?exec:Exec.t -> Catalog.t -> string -> hit list
 (** [search catalog "ancient history"] ranks every stored tuple in every
     peer against the keyword query (stemmed tokens, TF/IDF over the
-    tuple corpus); default limit 10, zero scores dropped. [jobs] shards
-    the scoring pass across domains; the ranking is identical for every
-    value. Per-tuple token vectors are memoised across calls, keyed on
+    tuple corpus); default limit 10, zero scores dropped. [exec.jobs]
+    shards the scoring pass across domains; the ranking is identical for
+    every value. Opens a ["keyword.search"] span (children ["collect"],
+    ["score"], ["rank"]) and records [pdms.keyword.*] metrics, including
+    token-memo hit/miss counts.
+    Per-tuple token vectors are memoised across calls, keyed on
     each relation's [(uid, version)] pair, so repeated searches over an
     unchanged database skip tokenisation entirely; any insert, delete or
     clear invalidates just that relation's vectors. *)

@@ -27,10 +27,10 @@ let distinct_tuples views =
            true
          end)
 
-let materialise t ~name ~at ?pruning query =
+let materialise t ~name ~at ?exec query =
   if List.exists (fun r -> String.equal r.name name) t.registry then
     invalid_arg ("Propagate.materialise: duplicate replica " ^ name);
-  let outcome = Reformulate.reformulate ?pruning t.catalog query in
+  let outcome = Reformulate.reformulate ?exec t.catalog query in
   let views =
     List.map (View_maintenance.create t.db) outcome.Reformulate.rewritings
   in

@@ -11,7 +11,7 @@ type t
 val create : Catalog.t -> t
 
 val materialise :
-  t -> name:string -> at:string -> ?pruning:Reformulate.pruning -> Cq.Query.t -> int
+  t -> name:string -> at:string -> ?exec:Exec.t -> Cq.Query.t -> int
 (** Reformulate the query, materialise every rewriting as a maintained
     view, and register them under [name] (hosted at peer [at]).
     Returns the number of distinct tuples materialised. Raises

@@ -1,6 +1,6 @@
 open Cq
 
-type pruning = {
+type pruning = Exec.pruning = {
   use_history : bool;
   use_visited : bool;
   use_goal_memo : bool;
@@ -10,27 +10,23 @@ type pruning = {
   max_rewritings : int;
 }
 
-let default_pruning =
-  {
-    use_history = true;
-    use_visited = true;
-    use_goal_memo = true;
-    use_subsumption = true;
-    use_minimize = true;
-    max_depth = 128;
-    max_rewritings = 2_000;
-  }
+let default_pruning = Exec.default_pruning
+let no_pruning = Exec.no_pruning
 
-let no_pruning =
-  {
-    use_history = false;
-    use_visited = false;
-    use_goal_memo = false;
-    use_subsumption = false;
-    use_minimize = false;
-    max_depth = 24;
-    max_rewritings = 2_000;
-  }
+(* Metrics registered once at load; increments are batched per phase. *)
+let m_runs = Obs.Metrics.counter "pdms.reformulate.runs"
+let m_expanded = Obs.Metrics.counter "pdms.reformulate.nodes_expanded"
+let m_emitted = Obs.Metrics.counter "pdms.reformulate.emitted"
+let m_pruned_history = Obs.Metrics.counter "pdms.reformulate.pruned_history"
+let m_pruned_visited = Obs.Metrics.counter "pdms.reformulate.pruned_visited"
+let m_pruned_subsumed = Obs.Metrics.counter "pdms.reformulate.pruned_subsumed"
+let m_pruned_depth = Obs.Metrics.counter "pdms.reformulate.pruned_depth"
+let m_lav = Obs.Metrics.counter "pdms.reformulate.lav_invocations"
+let m_sweeps = Obs.Metrics.counter "pdms.reformulate.sweep.runs"
+let m_sweep_tested = Obs.Metrics.counter "pdms.reformulate.sweep.pairs_tested"
+let m_sweep_skipped =
+  Obs.Metrics.counter "pdms.reformulate.sweep.pairs_sig_skipped"
+let m_sweep_killed = Obs.Metrics.counter "pdms.reformulate.sweep.killed"
 
 type stats = {
   nodes_expanded : int;
@@ -204,11 +200,23 @@ end
    signature-compatible ordered pair in parallel (containment is pure,
    queries are immutable), then replays the same sequential keep loop
    against the matrix; the result is identical for every [jobs]. *)
-let subsumption_sweep ?(jobs = 1) (rewritings : Query.t list) =
+let subsumption_sweep ?(exec = Exec.default) (rewritings : Query.t list) =
+  let jobs = exec.Exec.jobs in
+  let trace = exec.Exec.trace in
+  Obs.Trace.span trace "sweep" @@ fun () ->
   let arr = Array.of_list rewritings in
   let n = Array.length arr in
-  if n <= 1 then rewritings
+  if n <= 1 then begin
+    Obs.Trace.attr_i trace "input" n;
+    Obs.Trace.attr_i trace "kept" n;
+    rewritings
+  end
   else begin
+    (* Containment-test accounting is batched in plain locals — the inner
+       loop runs at ~tens of ns per pair, so per-pair atomics would blow
+       the E15 overhead budget — and flushed to Obs.Metrics once below. *)
+    let tested = ref 0 in
+    let skipped = ref 0 in
     let sigs = Array.map Signature.of_query arr in
     let compat i j = Signature.compatible ~sub:sigs.(i) ~super:sigs.(j) in
     let keep = Array.make n true in
@@ -224,9 +232,15 @@ let subsumption_sweep ?(jobs = 1) (rewritings : Query.t list) =
     in
     if jobs <= 1 then
       decide (fun i j ->
-          compat i j
-          && Containment.contained_in_with ~sub:sigs.(i) ~super:sigs.(j)
-               arr.(i) arr.(j))
+          if compat i j then begin
+            Stdlib.incr tested;
+            Containment.contained_in_with ~sub:sigs.(i) ~super:sigs.(j)
+              arr.(i) arr.(j)
+          end
+          else begin
+            Stdlib.incr skipped;
+            false
+          end)
     else begin
       (* Dense n*n matrix of verdicts over compatible pairs; incompatible
          pairs are [false] by the prefilter's soundness. Work is sharded
@@ -240,27 +254,45 @@ let subsumption_sweep ?(jobs = 1) (rewritings : Query.t list) =
             List.map
               (fun i ->
                 let verdicts = Array.make n false in
+                let row_tested = ref 0 in
                 for j = 0 to n - 1 do
-                  if i <> j && compat i j then
+                  if i <> j && compat i j then begin
+                    Stdlib.incr row_tested;
                     verdicts.(j) <-
                       Containment.contained_in_with ~sub:sigs.(i)
                         ~super:sigs.(j) arr.(i) arr.(j)
+                  end
                 done;
-                (i, verdicts))
+                (i, verdicts, !row_tested))
               block)
           blocks
       in
       List.iter
-        (List.iter (fun (i, verdicts) ->
-             Array.blit verdicts 0 matrix (i * n) n))
+        (List.iter (fun (i, verdicts, row_tested) ->
+             Array.blit verdicts 0 matrix (i * n) n;
+             tested := !tested + row_tested))
         results;
+      skipped := (n * (n - 1)) - !tested;
       decide (fun i j -> matrix.((i * n) + j))
     end;
+    let kept = Array.fold_left (fun acc k -> if k then acc + 1 else acc) 0 keep in
+    if exec.Exec.metrics then begin
+      Obs.Metrics.incr m_sweeps;
+      Obs.Metrics.add m_sweep_tested !tested;
+      Obs.Metrics.add m_sweep_skipped !skipped;
+      Obs.Metrics.add m_sweep_killed (n - kept)
+    end;
+    Obs.Trace.attr_i trace "input" n;
+    Obs.Trace.attr_i trace "kept" kept;
+    Obs.Trace.attr_i trace "pairs_tested" !tested;
+    Obs.Trace.attr_i trace "pairs_sig_skipped" !skipped;
     List.filteri (fun i _ -> keep.(i)) (Array.to_list arr)
   end
 
-let reformulate ?(pruning = default_pruning) ?(jobs = 1) catalog (q : Query.t)
-    =
+let reformulate ?(exec = Exec.default) catalog (q : Query.t) =
+  let pruning = exec.Exec.pruning in
+  let trace = exec.Exec.trace in
+  Obs.Trace.span trace "reformulate" @@ fun () ->
   let nodes_expanded = ref 0 in
   let emitted = ref [] in
   let emitted_count = ref 0 in
@@ -430,22 +462,38 @@ let reformulate ?(pruning = default_pruning) ?(jobs = 1) catalog (q : Query.t)
      later, more general ones (the incremental check only looks
      backwards). Equivalent pairs keep their first representative. *)
   let rewritings =
-    if pruning.use_subsumption then subsumption_sweep ~jobs rewritings
+    if pruning.use_subsumption then subsumption_sweep ~exec rewritings
     else rewritings
   in
-  {
-    rewritings;
-    stats =
-      {
-        nodes_expanded = !nodes_expanded;
-        emitted = List.length rewritings;
-        pruned_history = !pruned_history;
-        pruned_visited = !pruned_visited;
-        pruned_subsumed = !pruned_subsumed;
-        pruned_depth = !pruned_depth;
-        lav_invocations = !lav_invocations;
-      };
-  }
+  let stats =
+    {
+      nodes_expanded = !nodes_expanded;
+      emitted = List.length rewritings;
+      pruned_history = !pruned_history;
+      pruned_visited = !pruned_visited;
+      pruned_subsumed = !pruned_subsumed;
+      pruned_depth = !pruned_depth;
+      lav_invocations = !lav_invocations;
+    }
+  in
+  if exec.Exec.metrics then begin
+    Obs.Metrics.incr m_runs;
+    Obs.Metrics.add m_expanded stats.nodes_expanded;
+    Obs.Metrics.add m_emitted stats.emitted;
+    Obs.Metrics.add m_pruned_history stats.pruned_history;
+    Obs.Metrics.add m_pruned_visited stats.pruned_visited;
+    Obs.Metrics.add m_pruned_subsumed stats.pruned_subsumed;
+    Obs.Metrics.add m_pruned_depth stats.pruned_depth;
+    Obs.Metrics.add m_lav stats.lav_invocations
+  end;
+  Obs.Trace.attr_i trace "expanded" stats.nodes_expanded;
+  Obs.Trace.attr_i trace "rewritings" stats.emitted;
+  Obs.Trace.attr_i trace "pruned_history" stats.pruned_history;
+  Obs.Trace.attr_i trace "pruned_visited" stats.pruned_visited;
+  Obs.Trace.attr_i trace "pruned_subsumed" stats.pruned_subsumed;
+  Obs.Trace.attr_i trace "pruned_depth" stats.pruned_depth;
+  Obs.Trace.attr_i trace "lav_invocations" stats.lav_invocations;
+  { rewritings; stats }
 
 let pp_stats fmt s =
   Format.fprintf fmt

@@ -11,7 +11,7 @@
     space of mappings") are individually switchable for the ablation
     benchmark. *)
 
-type pruning = {
+type pruning = Exec.pruning = {
   use_history : bool;
       (** never traverse the same mapping edge twice on one derivation
           branch (cycle cut) *)
@@ -50,21 +50,27 @@ type stats = {
 
 type outcome = { rewritings : Cq.Query.t list; stats : stats }
 
-val reformulate :
-  ?pruning:pruning -> ?jobs:int -> Catalog.t -> Cq.Query.t -> outcome
-(** The rewritings range over stored predicates only. [jobs] (default 1)
-    parallelises the final subsumption sweep over that many domains; the
-    rewriting list is identical — same queries, same order — for every
-    value of [jobs]. *)
+val reformulate : ?exec:Exec.t -> Catalog.t -> Cq.Query.t -> outcome
+(** The rewritings range over stored predicates only. [exec] carries the
+    pruning configuration, the domain count for the final subsumption
+    sweep, and the observability hooks ({!Exec.default} when omitted);
+    the rewriting list is identical — same queries, same order — for
+    every value of [exec.jobs]. Opens a ["reformulate"] span (with a
+    nested ["sweep"]) on [exec.trace] and batches the {!stats} counters
+    into [pdms.reformulate.*] metrics when [exec.metrics] is set. *)
 
-val subsumption_sweep : ?jobs:int -> Cq.Query.t list -> Cq.Query.t list
+val subsumption_sweep : ?exec:Exec.t -> Cq.Query.t list -> Cq.Query.t list
 (** The final all-pairs subsumption sweep on its own (exposed for the
     reformulation-throughput benchmark): remove every rewriting
     contained in another, keeping the first representative of each
     equivalence class. Pairs are prefiltered by {!Cq.Signature}
-    compatibility before the homomorphism test; [jobs > 1] precomputes
-    the containment verdicts in parallel and replays the identical
-    sequential keep loop, so results are deterministic and independent
-    of [jobs]. *)
+    compatibility before the homomorphism test; [exec.jobs > 1]
+    precomputes the containment verdicts in parallel and replays the
+    identical sequential keep loop, so the surviving rewritings are
+    deterministic and independent of [exec.jobs]. (The
+    [pdms.reformulate.sweep.pairs_*] telemetry counts {e do} vary with
+    [exec.jobs]: the sequential path short-circuits pairs whose operands
+    were already killed, the parallel path tests every
+    signature-compatible pair up front.) *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,298 @@
+(* Unit + property tests for the lib/obs observability subsystem:
+   span nesting/ordering determinism, sinks, metrics snapshots. *)
+
+let check_b = Alcotest.(check bool)
+let check_i = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+
+(* A fake clock makes durations deterministic: every call advances time
+   by 1ms, so each span's duration is exactly (calls made inside it + 1)
+   milliseconds. *)
+let install_fake_clock () =
+  let t = ref 0.0 in
+  Obs.Trace.set_clock (fun () ->
+      t := !t +. 0.001;
+      !t)
+
+let restore_clock () = Obs.Trace.set_clock Unix.gettimeofday
+
+let with_fake_clock f =
+  install_fake_clock ();
+  Fun.protect ~finally:restore_clock f
+
+(* ------------------------------------------------------------------ *)
+(* Span trees *)
+
+let collect_tree f =
+  let sink = Obs.Sink.memory () in
+  let tr = Obs.Trace.create sink in
+  f tr;
+  Obs.Sink.spans sink
+
+let test_span_nesting () =
+  with_fake_clock @@ fun () ->
+  let roots =
+    collect_tree (fun tr ->
+        Obs.Trace.span tr "answer" (fun () ->
+            Obs.Trace.span tr "reformulate" (fun () ->
+                Obs.Trace.span tr "sweep" (fun () -> ()));
+            Obs.Trace.span tr "eval" (fun () -> ())))
+  in
+  check_i "one root" 1 (List.length roots);
+  let root = List.hd roots in
+  check_s "root name" "answer" root.Obs.Span.name;
+  Alcotest.(check (list string))
+    "preorder names"
+    [ "answer"; "reformulate"; "sweep"; "eval" ]
+    (Obs.Span.names root);
+  (* Children are in start order, not completion order. *)
+  check_b "reformulate before eval" true
+    (match root.Obs.Span.children with
+    | [ a; b ] -> a.Obs.Span.name = "reformulate" && b.Obs.Span.name = "eval"
+    | _ -> false);
+  check_b "find nested" true
+    (match Obs.Span.find root "sweep" with Some _ -> true | None -> false);
+  check_b "find missing" true (Obs.Span.find root "nope" = None)
+
+let test_span_determinism () =
+  (* Two runs of the same code produce structurally identical trees:
+     same names, same attrs, same shape (only timings may vary — and
+     under the fake clock even those agree). *)
+  let run () =
+    with_fake_clock @@ fun () ->
+    collect_tree (fun tr ->
+        Obs.Trace.span tr "a" (fun () ->
+            Obs.Trace.attr_i tr "n" 1;
+            Obs.Trace.span tr "b" (fun () -> Obs.Trace.attr_s tr "k" "v");
+            Obs.Trace.span tr "c" (fun () -> ());
+            Obs.Trace.attr_b tr "done" true))
+  in
+  let render roots = String.concat "" (List.map Obs.Span.render roots) in
+  check_s "identical rendering across runs" (render (run ())) (render (run ()))
+
+let test_span_attrs_order () =
+  with_fake_clock @@ fun () ->
+  let roots =
+    collect_tree (fun tr ->
+        Obs.Trace.span tr "s" (fun () ->
+            Obs.Trace.attr_i tr "first" 1;
+            Obs.Trace.attr_f tr "second" 2.5;
+            Obs.Trace.attr_s tr "third" "x"))
+  in
+  let root = List.hd roots in
+  Alcotest.(check (list string))
+    "attrs keep attachment order"
+    [ "first"; "second"; "third" ]
+    (List.map fst root.Obs.Span.attrs)
+
+let test_span_exception_safety () =
+  with_fake_clock @@ fun () ->
+  let sink = Obs.Sink.memory () in
+  let tr = Obs.Trace.create sink in
+  (try
+     Obs.Trace.span tr "outer" (fun () ->
+         Obs.Trace.span tr "inner" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  match Obs.Sink.spans sink with
+  | [ root ] ->
+      check_s "root still emitted" "outer" root.Obs.Span.name;
+      let inner = Option.get (Obs.Span.find root "inner") in
+      check_b "exn recorded on failing span" true
+        (List.mem_assoc "exn" inner.Obs.Span.attrs);
+      (* The tracer is reusable after the exception. *)
+      Obs.Trace.span tr "again" (fun () -> ());
+      check_i "stack recovered" 2 (List.length (Obs.Sink.spans sink))
+  | spans -> Alcotest.failf "expected 1 root, got %d" (List.length spans)
+
+let test_null_tracer () =
+  let calls = ref 0 in
+  let result =
+    Obs.Trace.span Obs.Trace.null "ignored" (fun () ->
+        incr calls;
+        Obs.Trace.attr_i Obs.Trace.null "k" 1;
+        42)
+  in
+  check_i "body ran once" 1 !calls;
+  check_i "value passes through" 42 result;
+  check_b "null tracer disabled" true (not (Obs.Trace.enabled Obs.Trace.null));
+  check_b "create over null sink is disabled" true
+    (not (Obs.Trace.enabled (Obs.Trace.create Obs.Sink.null)))
+
+let test_render_and_json () =
+  with_fake_clock @@ fun () ->
+  let roots =
+    collect_tree (fun tr ->
+        Obs.Trace.span tr "root" (fun () ->
+            Obs.Trace.attr_i tr "n" 3;
+            Obs.Trace.span tr "kid" (fun () ->
+                Obs.Trace.attr_s tr "quote" "a\"b")))
+  in
+  let root = List.hd roots in
+  let text = Obs.Span.render root in
+  check_b "text mentions both spans" true
+    (let has s sub =
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+       in
+       go 0
+     in
+     has text "root" && has text "kid" && has text "n=3");
+  let json = Obs.Span.to_json root in
+  check_b "json escapes quotes" true
+    (let has s sub =
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+       in
+       go 0
+     in
+     has json "\"name\":\"root\"" && has json "a\\\"b")
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+let test_memory_sink_order () =
+  with_fake_clock @@ fun () ->
+  let sink = Obs.Sink.memory () in
+  let tr = Obs.Trace.create sink in
+  Obs.Trace.span tr "one" (fun () -> ());
+  Obs.Trace.span tr "two" (fun () -> ());
+  Obs.Trace.span tr "three" (fun () -> ());
+  Alcotest.(check (list string))
+    "roots oldest first" [ "one"; "two"; "three" ]
+    (List.map (fun (s : Obs.Span.t) -> s.Obs.Span.name) (Obs.Sink.spans sink));
+  Obs.Sink.clear sink;
+  check_i "clear empties" 0 (List.length (Obs.Sink.spans sink));
+  (* Independent buffers. *)
+  let other = Obs.Sink.memory () in
+  Obs.Trace.span (Obs.Trace.create other) "x" (fun () -> ());
+  check_i "fresh sink independent" 1 (List.length (Obs.Sink.spans other));
+  check_i "first sink untouched" 0 (List.length (Obs.Sink.spans sink))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_counter_snapshot () =
+  let c = Obs.Metrics.counter "test.obs.counter_a" in
+  let c2 = Obs.Metrics.counter "test.obs.counter_b" in
+  Obs.Metrics.reset ();
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c2 40;
+  Obs.Metrics.add c 3;
+  let snap = Obs.Metrics.snapshot () in
+  check_i "counter_a" 5 (Obs.Metrics.counter_value snap "test.obs.counter_a");
+  check_i "counter_b" 40 (Obs.Metrics.counter_value snap "test.obs.counter_b");
+  check_i "absent counter reads 0" 0
+    (Obs.Metrics.counter_value snap "test.obs.never_registered");
+  (* Registration is idempotent: same handle, same counts. *)
+  let c' = Obs.Metrics.counter "test.obs.counter_a" in
+  Obs.Metrics.incr c';
+  let snap2 = Obs.Metrics.snapshot () in
+  check_i "same underlying counter" 6
+    (Obs.Metrics.counter_value snap2 "test.obs.counter_a");
+  (* Reset zeroes values but keeps registrations alive. *)
+  Obs.Metrics.reset ();
+  let snap3 = Obs.Metrics.snapshot () in
+  check_i "reset zeroes" 0 (Obs.Metrics.counter_value snap3 "test.obs.counter_a");
+  Obs.Metrics.incr c;
+  check_i "handle valid after reset" 1
+    (Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "test.obs.counter_a")
+
+let test_kind_mismatch () =
+  ignore (Obs.Metrics.counter "test.obs.kind_clash");
+  check_b "same name, different kind raises" true
+    (try
+       ignore (Obs.Metrics.histogram "test.obs.kind_clash");
+       false
+     with Invalid_argument _ -> true)
+
+let test_histogram_and_gauge () =
+  let h = Obs.Metrics.histogram "test.obs.hist" in
+  let g = Obs.Metrics.gauge "test.obs.gauge" in
+  Obs.Metrics.reset ();
+  Obs.Metrics.observe h 2.0;
+  Obs.Metrics.observe h 8.0;
+  Obs.Metrics.observe h 5.0;
+  Obs.Metrics.set_gauge g 7.5;
+  let snap = Obs.Metrics.snapshot () in
+  (match Obs.Metrics.find_histogram snap "test.obs.hist" with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some s ->
+      check_i "count" 3 s.Obs.Metrics.count;
+      check_b "sum" true (s.Obs.Metrics.sum = 15.0);
+      check_b "min" true (s.Obs.Metrics.min = 2.0);
+      check_b "max" true (s.Obs.Metrics.max = 8.0));
+  check_b "gauge value" true (List.assoc "test.obs.gauge" snap.Obs.Metrics.gauges = 7.5)
+
+let test_snapshot_sorted_deterministic () =
+  ignore (Obs.Metrics.counter "test.obs.zz");
+  ignore (Obs.Metrics.counter "test.obs.aa");
+  let snap = Obs.Metrics.snapshot () in
+  let names = List.map fst snap.Obs.Metrics.counters in
+  check_b "counters sorted by name" true
+    (names = List.sort String.compare names);
+  check_s "render is stable" (Obs.Metrics.render snap)
+    (Obs.Metrics.render (Obs.Metrics.snapshot ()))
+
+let test_disabled_switch () =
+  let c = Obs.Metrics.counter "test.obs.switch" in
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.set_enabled true)
+    (fun () ->
+      Obs.Metrics.incr c;
+      Obs.Metrics.add c 10;
+      check_i "disabled increments dropped" 0
+        (Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "test.obs.switch"));
+  Obs.Metrics.incr c;
+  check_i "re-enabled counts again" 1
+    (Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "test.obs.switch")
+
+(* Counter increments are atomic: concurrent domains lose no updates. *)
+let test_counter_domain_safety () =
+  let c = Obs.Metrics.counter "test.obs.parallel" in
+  Obs.Metrics.reset ();
+  let per_domain = 10_000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Metrics.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  check_i "no lost updates" (4 * per_domain)
+    (Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "test.obs.parallel")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "span",
+        [
+          Alcotest.test_case "nesting and preorder" `Quick test_span_nesting;
+          Alcotest.test_case "deterministic tree" `Quick test_span_determinism;
+          Alcotest.test_case "attr order" `Quick test_span_attrs_order;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+          Alcotest.test_case "null tracer" `Quick test_null_tracer;
+          Alcotest.test_case "render and json" `Quick test_render_and_json;
+        ] );
+      ( "sink",
+        [ Alcotest.test_case "memory order/clear" `Quick test_memory_sink_order ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter snapshots" `Quick test_counter_snapshot;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "histogram and gauge" `Quick
+            test_histogram_and_gauge;
+          Alcotest.test_case "sorted snapshot" `Quick
+            test_snapshot_sorted_deterministic;
+          Alcotest.test_case "global disable switch" `Quick
+            test_disabled_switch;
+          Alcotest.test_case "domain-safe counters" `Quick
+            test_counter_domain_safety;
+        ] );
+    ]

@@ -232,7 +232,7 @@ let test_no_pruning_terminates_and_agrees () =
     q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom p0 "course" [ v "X"; v "Y" ] ]
   in
   let pruning = { P.Reformulate.no_pruning with P.Reformulate.max_depth = 10 } in
-  let loose = P.Answer.answer ~pruning catalog query in
+  let loose = P.Answer.answer ~exec:(P.Exec.with_pruning pruning) catalog query in
   let tight = P.Answer.answer catalog query in
   check_b "same answers" true
     (P.Answer.answers_list loose = P.Answer.answers_list tight);
@@ -810,11 +810,11 @@ let test_parallel_answer_delearning () =
     (fun (_, peer) ->
       let seq =
         P.Answer.answers_list
-          (P.Answer.answer ~jobs:1 d.Workload.University.catalog
+          (P.Answer.answer ~exec:(P.Exec.with_jobs 1) d.Workload.University.catalog
              (Workload.University.course_query peer))
       and par =
         P.Answer.answers_list
-          (P.Answer.answer ~jobs:4 d.Workload.University.catalog
+          (P.Answer.answer ~exec:(P.Exec.with_jobs 4) d.Workload.University.catalog
              (Workload.University.course_query peer))
       in
       check_b "jobs=4 = jobs=1 (delearning)" true (seq = par);
@@ -825,9 +825,9 @@ let test_parallel_answer_delearning () =
   let jq = Workload.University.course_instructor_query stanford in
   check_b "join query agrees" true
     (P.Answer.answers_list
-       (P.Answer.answer ~jobs:1 d.Workload.University.catalog jq)
+       (P.Answer.answer ~exec:(P.Exec.with_jobs 1) d.Workload.University.catalog jq)
     = P.Answer.answers_list
-        (P.Answer.answer ~jobs:4 d.Workload.University.catalog jq))
+        (P.Answer.answer ~exec:(P.Exec.with_jobs 4) d.Workload.University.catalog jq))
 
 let prop_parallel_answer_matches_sequential =
   QCheck.Test.make ~name:"answer ~jobs:4 = ~jobs:1 on perturbed topologies"
@@ -846,8 +846,8 @@ let prop_parallel_answer_matches_sequential =
       let g = Workload.Peers_gen.generate prng ~topology ~tuples_per_peer:3 () in
       let catalog = g.Workload.Peers_gen.catalog in
       let query = Workload.Peers_gen.course_query g ~at:(seed mod 2) in
-      P.Answer.answers_list (P.Answer.answer ~jobs:1 catalog query)
-      = P.Answer.answers_list (P.Answer.answer ~jobs:4 catalog query))
+      P.Answer.answers_list (P.Answer.answer ~exec:(P.Exec.with_jobs 1) catalog query)
+      = P.Answer.answers_list (P.Answer.answer ~exec:(P.Exec.with_jobs 4) catalog query))
 
 (* The parallel subsumption sweep must be invisible in the rewritings:
    same queries, same order, for every [jobs]. *)
@@ -871,7 +871,9 @@ let prop_parallel_reformulation_matches_sequential =
       let query = Workload.Peers_gen.course_query g ~at:(seed mod 2) in
       let rewritten jobs =
         List.map Query.to_string
-          (P.Reformulate.reformulate ~jobs catalog query).P.Reformulate
+          (P.Reformulate.reformulate ~exec:(P.Exec.with_jobs jobs) catalog
+             query)
+            .P.Reformulate
             .rewritings
       in
       let seq = rewritten 1 in
@@ -879,8 +881,8 @@ let prop_parallel_reformulation_matches_sequential =
 
 let test_parallel_keyword_ranking () =
   let catalog, _, _ = two_peer_catalog `Equality in
-  let seq = P.Keyword.search ~jobs:1 catalog "databases systems"
-  and par = P.Keyword.search ~jobs:4 catalog "databases systems" in
+  let seq = P.Keyword.search ~exec:(P.Exec.with_jobs 1) catalog "databases systems"
+  and par = P.Keyword.search ~exec:(P.Exec.with_jobs 4) catalog "databases systems" in
   check_b "keyword hits found" true (seq <> []);
   check_b "jobs=4 ranking identical" true (seq = par)
 
@@ -948,6 +950,108 @@ let test_propagate_multiple_replicas_consistent () =
   check_i "unrelated untouched" 0
     (List.length
        (P.Propagate.push prop (P.Updategram.make ~rel:"nosuch!" ~inserts:[] ())))
+
+(* ------------------------------------------------------------------ *)
+(* Observability: tracing must be invisible in the answers, and the
+   span tree must reflect the answer path's phases. *)
+
+(* answers_list with the memory sink on vs. trace off must be
+   byte-identical, for any jobs — instrumentation cannot perturb
+   evaluation. *)
+let prop_trace_changes_no_answers =
+  QCheck.Test.make ~name:"memory-sink trace changes no answers (any jobs)"
+    ~count:25
+    (QCheck.make QCheck.Gen.(int_bound 10_000) ~print:string_of_int)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let kind =
+        match seed mod 4 with
+        | 0 -> P.Topology.Chain
+        | 1 -> P.Topology.Star
+        | 2 -> P.Topology.Ring
+        | _ -> P.Topology.Mesh 1
+      in
+      let topology = P.Topology.generate ~prng kind ~n:(4 + (seed mod 3)) in
+      let g = Workload.Peers_gen.generate prng ~topology ~tuples_per_peer:3 () in
+      let catalog = g.Workload.Peers_gen.catalog in
+      let query = Workload.Peers_gen.course_query g ~at:(seed mod 2) in
+      let jobs = 1 + (seed mod 4) in
+      let plain =
+        P.Answer.answers_list
+          (P.Answer.answer ~exec:(P.Exec.with_jobs jobs) catalog query)
+      in
+      let sink = Obs.Sink.memory () in
+      let traced_exec =
+        P.Exec.make ~jobs ~trace:(Obs.Trace.create sink) ()
+      in
+      let traced =
+        P.Answer.answers_list (P.Answer.answer ~exec:traced_exec catalog query)
+      in
+      plain = traced && List.length (Obs.Sink.spans sink) = 1)
+
+let test_answer_span_tree () =
+  let prng = Util.Prng.create 2003 in
+  let d = Workload.University.build_delearning prng ~courses_per_peer:3 in
+  let _, stanford = List.hd d.Workload.University.peers in
+  let sink = Obs.Sink.memory () in
+  let exec = P.Exec.make ~trace:(Obs.Trace.create sink) () in
+  let result =
+    P.Answer.answer ~exec d.Workload.University.catalog
+      (Workload.University.course_query stanford)
+  in
+  check_b "answers found" true (P.Answer.answers_list result <> []);
+  match Obs.Sink.spans sink with
+  | [ root ] ->
+      (* The exact phase sequence of the answer path, in order. *)
+      Alcotest.(check (list string))
+        "phases in order"
+        [ "answer"; "reformulate"; "sweep"; "eval" ]
+        (Obs.Span.names root);
+      let sweep = Option.get (Obs.Span.find root "sweep") in
+      let attr_i name sp =
+        match List.assoc_opt name sp.Obs.Span.attrs with
+        | Some (Obs.Span.Int i) -> i
+        | _ -> Alcotest.failf "missing int attr %s" name
+      in
+      check_b "sweep saw the rewritings" true (attr_i "input" sweep > 0);
+      let eval = Option.get (Obs.Span.find root "eval") in
+      check_i "eval answers attr matches result" (attr_i "answers" eval)
+        (List.length (P.Answer.answers_list result));
+      check_b "reformulate counts rewritings" true
+        (attr_i "rewritings" (Option.get (Obs.Span.find root "reformulate"))
+         > 0)
+  | spans -> Alcotest.failf "expected one root span, got %d" (List.length spans)
+
+let test_cache_stats_accessor () =
+  let catalog, uw, mit = two_peer_catalog `Equality in
+  let cache = P.Cache.create ~capacity:2 catalog () in
+  let query i =
+    q (atom "ans" [ v "X"; v "Y"; Term.Const (vs (string_of_int i)) ])
+      [ P.Peer.atom uw "course" [ v "X"; v "Y" ] ]
+  in
+  let s0 = P.Cache.stats cache in
+  check_i "fresh hits" 0 s0.P.Cache.hits;
+  check_i "fresh misses" 0 s0.P.Cache.misses;
+  ignore (P.Cache.answer cache (query 0));
+  ignore (P.Cache.answer cache (query 0));
+  ignore (P.Cache.answer cache (query 1));
+  let s1 = P.Cache.stats cache in
+  check_i "one hit" 1 s1.P.Cache.hits;
+  check_i "two misses" 2 s1.P.Cache.misses;
+  check_i "no evictions yet" 0 s1.P.Cache.evictions;
+  (* Overflow the capacity-2 cache: the third distinct query evicts. *)
+  ignore (P.Cache.answer cache (query 2));
+  check_i "one eviction" 1 (P.Cache.stats cache).P.Cache.evictions;
+  (* Invalidation is counted separately from eviction; the rewritings
+     read MIT's stored relation (the only one holding data). *)
+  let stored = P.Peer.stored_pred mit "subject" in
+  ignore (P.Cache.invalidate cache (P.Updategram.make ~rel:stored ()));
+  let s2 = P.Cache.stats cache in
+  check_b "invalidated counted" true (s2.P.Cache.invalidated > 0);
+  check_i "evictions unchanged by invalidate" 1 s2.P.Cache.evictions;
+  (* stats agrees with the legacy accessors. *)
+  check_i "hits accessor agrees" (P.Cache.hits cache) s2.P.Cache.hits;
+  check_i "misses accessor agrees" (P.Cache.misses cache) s2.P.Cache.misses
 
 (* ------------------------------------------------------------------ *)
 (* Placement *)
@@ -1039,4 +1143,9 @@ let () =
            test_parallel_keyword_ranking ]
        @ qc
            [ prop_parallel_answer_matches_sequential;
-             prop_parallel_reformulation_matches_sequential ]) ]
+             prop_parallel_reformulation_matches_sequential ]);
+      ("observability",
+       [ Alcotest.test_case "answer span tree" `Quick test_answer_span_tree;
+         Alcotest.test_case "cache stats accessor" `Quick
+           test_cache_stats_accessor ]
+       @ qc [ prop_trace_changes_no_answers ]) ]
