@@ -1199,15 +1199,103 @@ let e15_configs ~peers ~cap ~threshold_pct () =
 
 let e15 () = e15_configs ~peers:48 ~cap:256 ~threshold_pct:2.0 ()
 
+(* ------------------------------------------------------------------ *)
+(* E16: completeness/latency under peer failures. Distributed execution
+   on the E14 topology (Mesh 2) with an increasing fraction of peers
+   failed: how much of the answer survives, and what the retry layer
+   spends finding out. The zero-fault configuration is asserted complete
+   from every peer — a CI guard against silent degradation. *)
+
+let e16_configs ~peers ~tuples_per_peer ~rates () =
+  header "E16"
+    "answer completeness and retry cost under peer failures (Mesh 2)";
+  let n = peers in
+  let prng = Util.Prng.create (1600 + n) in
+  let topology = Pdms.Topology.generate ~prng (Pdms.Topology.Mesh 2) ~n in
+  let g =
+    Workload.Peers_gen.generate (Util.Prng.split prng) ~topology
+      ~tuples_per_peer ()
+  in
+  let catalog = g.Workload.Peers_gen.catalog in
+  let names = List.init n (Printf.sprintf "p%d") in
+  let network =
+    Pdms.Network.of_topology topology ~names ~base_latency_ms:15.0
+  in
+  let query = Workload.Peers_gen.course_query g ~at:0 in
+  let full_answers =
+    Relalg.Relation.cardinality (Pdms.Answer.answer catalog query).Pdms.Answer.answers
+  in
+  (* Zero-fault guard: every peer's seed query must come back complete. *)
+  List.iteri
+    (fun i _ ->
+      let p =
+        Pdms.Distributed.execute catalog network
+          ~at:(Printf.sprintf "p%d" i)
+          (Workload.Peers_gen.course_query g ~at:i)
+      in
+      if not p.Pdms.Distributed.report.Pdms.Distributed.complete then (
+        Printf.printf
+          "E16 FAILED: zero-fault query at p%d reported incomplete\n" i;
+        exit 1))
+    names;
+  let table =
+    T.create
+      [ "fail_rate"; "peers_down"; "complete"; "answers"; "full"; "dropped";
+        "retries"; "backoff_ms"; "distributed_ms"; "wall_ms" ]
+  in
+  List.iter
+    (fun rate ->
+      Pdms.Network.Fault.heal network;
+      let fprng = Util.Prng.create (1660 + int_of_float (rate *. 100.0)) in
+      let downed =
+        List.filter
+          (fun p ->
+            (not (String.equal p "p0")) && Util.Prng.bernoulli fprng rate)
+          names
+      in
+      List.iter (Pdms.Network.Fault.fail_peer network) downed;
+      let ms, plan =
+        wall_ms (fun () ->
+            Pdms.Distributed.execute catalog network ~at:"p0" query)
+      in
+      let r = plan.Pdms.Distributed.report in
+      let answers =
+        Relalg.Relation.cardinality plan.Pdms.Distributed.answers
+      in
+      T.add_row table
+        [ T.cell_f rate; T.cell_i (List.length downed);
+          string_of_bool r.Pdms.Distributed.complete; T.cell_i answers;
+          T.cell_i full_answers;
+          T.cell_i r.Pdms.Distributed.rewritings_dropped;
+          T.cell_i r.Pdms.Distributed.retries;
+          T.cell_f r.Pdms.Distributed.backoff_ms;
+          T.cell_f plan.Pdms.Distributed.distributed_ms; T.cell_f ms ];
+      Printf.printf
+        "BENCH_e16 {\"peers\":%d,\"fail_rate\":%.2f,\"peers_down\":%d,\
+         \"complete\":%b,\"answers\":%d,\"full_answers\":%d,\
+         \"rewritings_dropped\":%d,\"retries\":%d,\"backoff_ms\":%.1f,\
+         \"distributed_ms\":%.1f,\"wall_ms\":%.2f}\n"
+        n rate (List.length downed) r.Pdms.Distributed.complete answers
+        full_answers r.Pdms.Distributed.rewritings_dropped
+        r.Pdms.Distributed.retries r.Pdms.Distributed.backoff_ms
+        plan.Pdms.Distributed.distributed_ms ms)
+    rates;
+  Pdms.Network.Fault.heal network;
+  T.print table
+
+let e16 () =
+  e16_configs ~peers:12 ~tuples_per_peer:6 ~rates:[ 0.0; 0.1; 0.25; 0.5 ] ()
+
 (* Tiny sizes so `dune build @bench-smoke` exercises the harness without
    a full run. *)
 let smoke () =
   e1_sized [ 4 ] ();
   e13_configs [ (4, 10) ] ();
   e14_configs ~sweep:[ (6, 48) ] ~cache_entries:[ 32 ] ();
-  e15_configs ~peers:12 ~cap:128 ~threshold_pct:30.0 ()
+  e15_configs ~peers:12 ~cap:128 ~threshold_pct:30.0 ();
+  e16_configs ~peers:6 ~tuples_per_peer:2 ~rates:[ 0.0; 0.5 ] ()
 
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-            ("e15", e15) ]
+            ("e15", e15); ("e16", e16) ]

@@ -357,34 +357,22 @@ let search_cmd =
       $ Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"KEYWORD")
       $ exec_term)
 
-(* Build a uniform-latency network over the mapping graph's edges: two
-   peers are connected iff some mapping mentions both. *)
-let network_of_catalog catalog ~latency_ms =
-  let network = Pdms.Network.create () in
-  let seen = Hashtbl.create 16 in
-  List.iter
-    (fun (_, m) ->
-      let ps = Pdms.Peer_mapping.peers_mentioned m in
-      List.iter
-        (fun a ->
-          List.iter
-            (fun b ->
-              if String.compare a b < 0 && not (Hashtbl.mem seen (a, b)) then begin
-                Hashtbl.replace seen (a, b) ();
-                Pdms.Network.connect network a b ~latency_ms
-              end)
-            ps)
-        ps)
-    (Pdms.Catalog.mappings catalog);
-  network
-
-let distributed_pdms path query_text at latency cli =
+let distributed_pdms path query_text at latency fail_peers flaky retries cli =
   let catalog = load_pdms path in
   let query = parse_query_arg query_text in
-  let network = network_of_catalog catalog ~latency_ms:latency in
-  let plan =
-    Pdms.Distributed.execute ~exec:cli.exec catalog network ~at query
+  let network =
+    Pdms.Distributed.network_of_catalog catalog ~latency_ms:latency
   in
+  List.iter (Pdms.Network.Fault.fail_peer network) fail_peers;
+  if flaky > 0.0 then Pdms.Network.Fault.flaky network ~p:flaky ();
+  let exec =
+    {
+      cli.exec with
+      Pdms.Exec.retry =
+        { cli.exec.Pdms.Exec.retry with Pdms.Exec.max_attempts = retries };
+    }
+  in
+  let plan = Pdms.Distributed.execute ~exec catalog network ~at query in
   List.iter
     (fun (p : Pdms.Distributed.site_plan) ->
       Printf.printf "%-12s reads(local=%d remote=%d) fetch=%.2fms ship=%.2fms  %s\n"
@@ -393,10 +381,17 @@ let distributed_pdms path query_text at latency cli =
         p.Pdms.Distributed.ship_ms
         (Cq.Query.to_string p.Pdms.Distributed.rewriting))
     plan.Pdms.Distributed.sites;
+  Relalg.Relation.tuples plan.Pdms.Distributed.answers
+  |> List.map (fun row ->
+         Array.to_list (Array.map Relalg.Value.to_string row))
+  |> List.sort (List.compare String.compare)
+  |> List.iter (fun row -> print_endline (String.concat " | " row));
   Printf.printf
     "%d answers; distributed=%.2fms central-baseline=%.2fms\n"
     (Relalg.Relation.cardinality plan.Pdms.Distributed.answers)
     plan.Pdms.Distributed.distributed_ms plan.Pdms.Distributed.central_ms;
+  print_endline
+    (Pdms.Distributed.report_to_string plan.Pdms.Distributed.report);
   report_cli_exec cli
 
 let distributed_cmd =
@@ -406,7 +401,9 @@ let distributed_cmd =
          "Answer a query with peer-based distributed execution: pick the \
           cheapest site per rewriting over a uniform-latency network built \
           from the mapping graph, and compare against the ship-everything \
-          central baseline")
+          central baseline. Faults can be injected to watch the answer \
+          degrade: the tool still exits 0 and reports how much of the \
+          answer survived.")
     Term.(
       const distributed_pdms
       $ pdms_file_arg
@@ -416,6 +413,16 @@ let distributed_cmd =
       $ Arg.(value & opt float 10.0
              & info [ "latency" ] ~docv:"MS"
                  ~doc:"Per-KB link latency for every mapping-graph edge")
+      $ Arg.(value & opt_all string []
+             & info [ "fail-peer" ] ~docv:"PEER"
+                 ~doc:"Take a peer down before executing (repeatable)")
+      $ Arg.(value & opt float 0.0
+             & info [ "flaky" ] ~docv:"P"
+                 ~doc:"Probability in [0,1] that any individual send is \
+                       dropped (seeded PRNG, reproducible)")
+      $ Arg.(value & opt int 3
+             & info [ "retries" ] ~docv:"N"
+                 ~doc:"Send attempts per transfer, including the first")
       $ exec_term)
 
 let gen_pdms seed courses =

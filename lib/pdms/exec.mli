@@ -35,9 +35,46 @@ val no_pruning : pruning
 (** Everything off except a (high) depth cap and rewriting cap — used by
     the E2 ablation to expose the blow-up. *)
 
+(** {2 Retry policy for simulated network transfers}
+
+    Consumed by {!Network.send_with_retry}: every transfer the
+    distributed executor performs gets up to [max_attempts] tries, a
+    per-attempt delivery deadline, and exponential backoff with
+    multiplicative jitter between tries.  All randomness (the jitter)
+    comes from an explicit {!Util.Prng.t}, so retry schedules are
+    reproducible from a seed. *)
+
+type backoff = {
+  base_ms : float;  (** delay before the first retry *)
+  multiplier : float;  (** growth factor per further retry *)
+  jitter : float;
+      (** fraction in [\[0, 1\]]: each delay is scaled by a uniform
+          factor in [\[1 - jitter, 1 + jitter\]] *)
+}
+
+type retry = {
+  max_attempts : int;  (** total tries including the first (>= 1) *)
+  timeout_ms : float;
+      (** per-attempt delivery deadline in simulated ms; a delivery
+          slower than this counts as a failed attempt *)
+  backoff : backoff;
+}
+
+val default_backoff : backoff
+(** 10 ms base, doubling, 50% jitter. *)
+
+val default_retry : retry
+(** 3 attempts, 10 s per-attempt deadline, {!default_backoff}. *)
+
+val no_retry : retry
+(** One attempt, no deadline — the pre-fault-layer behaviour. *)
+
 type t = {
   jobs : int;  (** domains for the parallel phases (1 = sequential) *)
   pruning : pruning;
+  retry : retry;
+      (** retry/timeout/backoff policy for simulated network sends
+          (used by {!Distributed.execute}) *)
   trace : Obs.Trace.t;
       (** span collection; {!Obs.Trace.null} (the default) costs one
           branch per span site *)
@@ -47,17 +84,21 @@ type t = {
 }
 
 val default : t
-(** [jobs = 1], {!default_pruning}, no tracing, metrics on. *)
+(** [jobs = 1], {!default_pruning}, {!default_retry}, no tracing,
+    metrics on. *)
 
 val make :
-  ?jobs:int -> ?pruning:pruning -> ?trace:Obs.Trace.t -> ?metrics:bool ->
-  unit -> t
+  ?jobs:int -> ?pruning:pruning -> ?retry:retry -> ?trace:Obs.Trace.t ->
+  ?metrics:bool -> unit -> t
 
 val with_jobs : int -> t
 (** [with_jobs n] is {!default} with [jobs = n]. *)
 
 val with_pruning : pruning -> t
 (** [with_pruning p] is {!default} with [pruning = p]. *)
+
+val with_retry : retry -> t
+(** [with_retry r] is {!default} with [retry = r]. *)
 
 val with_trace : Obs.Trace.t -> t
 (** [with_trace tr] is {!default} with [trace = tr]. *)

@@ -58,12 +58,22 @@ let relation_entries ~memo rel_name rel =
       Hashtbl.replace token_memo uid (version, entries);
       entries
 
-let search ?(limit = 10) ?(exec = Exec.default) catalog keywords =
+let search ?(limit = 10) ?(exec = Exec.default) ?network catalog keywords =
   let jobs = exec.Exec.jobs in
   let trace = exec.Exec.trace in
   Obs.Trace.span trace "keyword.search" @@ fun () ->
   let memo_hits = ref 0 and memo_misses = ref 0 in
   let db = Catalog.global_db catalog in
+  (* Degraded search: relations owned by a downed peer are unreachable,
+     so they neither get tokenised nor ranked. *)
+  let reachable rel_name =
+    match network with
+    | None -> true
+    | Some net -> (
+        match Distributed.owner_of_pred rel_name with
+        | Some owner -> not (Network.Fault.is_down net owner)
+        | None -> true)
+  in
   let entries =
     Obs.Trace.span trace "collect" @@ fun () ->
     let entries =
@@ -71,7 +81,7 @@ let search ?(limit = 10) ?(exec = Exec.default) catalog keywords =
         (fun rel_name ->
           relation_entries ~memo:(memo_hits, memo_misses) rel_name
             (Relalg.Database.find db rel_name))
-        (Relalg.Database.names db)
+        (List.filter reachable (Relalg.Database.names db))
     in
     Obs.Trace.attr_i trace "tuples" (List.length entries);
     Obs.Trace.attr_i trace "memo_hits" !memo_hits;

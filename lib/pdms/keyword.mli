@@ -10,12 +10,17 @@ type hit = {
   score : float;
 }
 
-val search : ?limit:int -> ?exec:Exec.t -> Catalog.t -> string -> hit list
+val search :
+  ?limit:int -> ?exec:Exec.t -> ?network:Network.t -> Catalog.t -> string ->
+  hit list
 (** [search catalog "ancient history"] ranks every stored tuple in every
     peer against the keyword query (stemmed tokens, TF/IDF over the
     tuple corpus); default limit 10, zero scores dropped. [exec.jobs]
     shards the scoring pass across domains; the ranking is identical for
-    every value. Opens a ["keyword.search"] span (children ["collect"],
+    every value. When [network] is given, relations owned by a peer that
+    {!Network.Fault.is_down} are skipped — search degrades to the
+    reachable part of the PDMS instead of pretending dead peers
+    answered. Opens a ["keyword.search"] span (children ["collect"],
     ["score"], ["rank"]) and records [pdms.keyword.*] metrics, including
     token-memo hit/miss counts.
     Per-tuple token vectors are memoised across calls, keyed on

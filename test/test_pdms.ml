@@ -290,8 +290,86 @@ let test_network_routing () =
   (match P.Network.hops net "a" "c" with
   | Some h -> check_i "two hops" 2 h
   | None -> Alcotest.fail "disconnected");
-  let t = P.Network.send net ~src:"a" ~dst:"c" ~size:1024 in
-  Alcotest.(check (float 1e-9)) "send time" 16.0 t;
+  (match P.Network.send net ~src:"a" ~dst:"c" ~size:1024 with
+  | Ok t -> Alcotest.(check (float 1e-9)) "send time" 16.0 t
+  | Error e -> Alcotest.fail (P.Network.error_to_string e));
+  check_i "one message" 1 (P.Network.messages_sent net);
+  (* cost is pure: same price, no counter movement. *)
+  (match P.Network.cost net ~src:"a" ~dst:"c" ~size:1024 with
+  | Some c -> Alcotest.(check (float 1e-9)) "cost agrees with send" 16.0 c
+  | None -> Alcotest.fail "cost: disconnected");
+  check_i "cost sent nothing" 1 (P.Network.messages_sent net)
+
+let test_network_edge_dedupe () =
+  let net = P.Network.create () in
+  P.Network.connect net "a" "b" ~latency_ms:10.0;
+  P.Network.connect net "a" "b" ~latency_ms:25.0;
+  P.Network.connect net "b" "a" ~latency_ms:4.0;
+  (match P.Network.latency net "a" "b" with
+  | Some l -> Alcotest.(check (float 1e-9)) "lowest latency wins" 4.0 l
+  | None -> Alcotest.fail "disconnected");
+  Alcotest.(check (list string)) "peers sorted, no dups" [ "a"; "b" ]
+    (P.Network.peers net)
+
+let test_network_faults () =
+  let net = P.Network.create () in
+  P.Network.connect net "a" "b" ~latency_ms:10.0;
+  P.Network.connect net "b" "c" ~latency_ms:10.0;
+  let v0 = P.Network.Fault.topology_version net in
+  P.Network.Fault.fail_peer net "b";
+  check_b "version bumped" true (P.Network.Fault.topology_version net > v0);
+  check_b "b is down" true (P.Network.Fault.is_down net "b");
+  check_b "no route around b" true (P.Network.latency net "a" "c" = None);
+  (match P.Network.send net ~src:"a" ~dst:"b" ~size:64 with
+  | Error (P.Network.Peer_down "b") -> ()
+  | _ -> Alcotest.fail "expected Peer_down b");
+  check_i "failed sends not counted" 0 (P.Network.messages_sent net);
+  P.Network.Fault.heal_peer net "b";
+  check_b "healed route" true (P.Network.latency net "a" "c" = Some 20.0);
+  (* Cutting the a-b link severs a from everyone. *)
+  P.Network.Fault.cut_link net "a" "b";
+  (match P.Network.send net ~src:"a" ~dst:"c" ~size:64 with
+  | Error (P.Network.No_route ("a", "c")) -> ()
+  | _ -> Alcotest.fail "expected No_route");
+  P.Network.Fault.restore_link net "b" "a";
+  check_b "restored (either arg order)" true
+    (P.Network.latency net "a" "c" = Some 20.0);
+  (* Latency spike inflates the route but keeps it alive. *)
+  P.Network.Fault.spike net "a" "b" ~extra_ms:100.0;
+  check_b "spiked" true (P.Network.latency net "a" "c" = Some 120.0);
+  P.Network.Fault.heal net;
+  check_b "heal clears spikes" true (P.Network.latency net "a" "c" = Some 20.0)
+
+let test_network_retry_flaky () =
+  let net = P.Network.create () in
+  P.Network.connect net "a" "b" ~latency_ms:10.0;
+  P.Network.Fault.flaky net ~p:1.0 ();
+  let before = Obs.Metrics.snapshot () in
+  let retry = { P.Exec.default_retry with P.Exec.max_attempts = 3 } in
+  let prng = Util.Prng.create 42 in
+  let o = P.Network.send_with_retry net ~retry ~prng ~src:"a" ~dst:"b" ~size:64 in
+  (match o.P.Network.result with
+  | Error (P.Network.Link_drop _) -> ()
+  | _ -> Alcotest.fail "expected every attempt dropped");
+  check_i "three attempts" 3 o.P.Network.attempts;
+  check_i "two retries" 2 o.P.Network.retries;
+  check_b "backoff accumulated" true (o.P.Network.backoff_ms > 0.0);
+  check_b "elapsed covers timeouts + backoff" true
+    (o.P.Network.elapsed_ms >= o.P.Network.backoff_ms);
+  check_i "nothing delivered" 0 (P.Network.messages_sent net);
+  let after = Obs.Metrics.snapshot () in
+  let delta name =
+    Obs.Metrics.counter_value after name - Obs.Metrics.counter_value before name
+  in
+  check_i "pdms.net.retries" 2 (delta "pdms.net.retries");
+  check_i "pdms.net.gave_up" 1 (delta "pdms.net.gave_up");
+  (* Turning flakiness off makes the same exchange succeed first try. *)
+  P.Network.Fault.flaky net ~p:0.0 ();
+  let o2 =
+    P.Network.send_with_retry net ~retry ~prng ~src:"a" ~dst:"b" ~size:64
+  in
+  check_b "delivered" true (Result.is_ok o2.P.Network.result);
+  check_i "first attempt" 1 o2.P.Network.attempts;
   check_i "one message" 1 (P.Network.messages_sent net)
 
 let test_network_of_topology () =
@@ -551,6 +629,163 @@ let test_distributed_answers_match_answer () =
     = List.sort compare
         (List.map (fun r -> Array.map Relalg.Value.to_string r)
            (Relalg.Relation.tuples direct.P.Answer.answers)))
+
+let rel_sorted rel =
+  Relalg.Relation.tuples rel
+  |> List.map (fun r -> Array.to_list (Array.map Relalg.Value.to_string r))
+  |> List.sort compare
+
+(* Planning must be pure: with no faults, the traffic counters reflect
+   executed transfers only, not candidate-site cost probes. *)
+let test_distributed_messages_count_executed_only () =
+  let catalog, peers = chain_catalog 4 in
+  let network = P.Network.create () in
+  List.iteri
+    (fun i _ ->
+      if i < 3 then
+        P.Network.connect network
+          (Printf.sprintf "p%d" i)
+          (Printf.sprintf "p%d" (i + 1))
+          ~latency_ms:10.0)
+    peers;
+  P.Network.reset_counters network;
+  let p0 = List.hd peers in
+  let query =
+    q (atom "ans" [ v "T" ])
+      [ P.Peer.atom p0 "course" [ Term.str "c1"; v "T" ] ]
+  in
+  let plan = P.Distributed.execute catalog network ~at:"p0" query in
+  check_b "complete" true plan.P.Distributed.report.P.Distributed.complete;
+  check_i "no retries without faults" 0
+    plan.P.Distributed.report.P.Distributed.retries;
+  (* Every site plan here reads locally (remote_reads = 0), so the only
+     real transfers are the result ships from non-p0 sites. *)
+  let expected_ships =
+    List.length
+      (List.filter
+         (fun (sp : P.Distributed.site_plan) ->
+           not (String.equal sp.P.Distributed.site "p0"))
+         plan.P.Distributed.sites)
+  in
+  check_b "something actually shipped" true (expected_ships > 0);
+  check_i "messages = executed ships only" expected_ships
+    (P.Network.messages_sent network)
+
+(* Figure-2 six-university network under a partition: the answer
+   degrades to the reachable side and heals back to the full answer. *)
+let test_distributed_partitioned_six_universities () =
+  let prng = Util.Prng.create 2003 in
+  let d = Workload.University.build_delearning prng ~courses_per_peer:2 in
+  let catalog = d.Workload.University.catalog in
+  let network = d.Workload.University.network in
+  let _, stanford = List.hd d.Workload.University.peers in
+  let query = Workload.University.course_query stanford in
+  let full = P.Distributed.execute catalog network ~at:"stanford" query in
+  check_b "fault-free run complete" true
+    full.P.Distributed.report.P.Distributed.complete;
+  check_b "fault-free matches Answer.answer" true
+    (rel_sorted full.P.Distributed.answers
+    = rel_sorted (P.Answer.answer catalog query).P.Answer.answers);
+  (* Cut {stanford, berkeley, roma} off from {mit, oxford, tsinghua}. *)
+  let before = Obs.Metrics.snapshot () in
+  P.Network.Fault.partition network [ "stanford"; "berkeley"; "roma" ];
+  let part = P.Distributed.execute catalog network ~at:"stanford" query in
+  let report = part.P.Distributed.report in
+  check_b "partial" true (not report.P.Distributed.complete);
+  check_b "dropped rewritings counted" true
+    (report.P.Distributed.rewritings_dropped > 0);
+  check_b "failed sites named" true (report.P.Distributed.sites_failed <> []);
+  check_b "retries were spent" true (report.P.Distributed.retries > 0);
+  let after = Obs.Metrics.snapshot () in
+  check_b "pdms.distributed.partial nonzero" true
+    (Obs.Metrics.counter_value after "pdms.distributed.partial"
+     > Obs.Metrics.counter_value before "pdms.distributed.partial");
+  check_b "pdms.net.retries nonzero" true
+    (Obs.Metrics.counter_value after "pdms.net.retries"
+     > Obs.Metrics.counter_value before "pdms.net.retries");
+  (* Exactly the reachable side's tuples: titles are prefixed with the
+     owning university's name. *)
+  let reachable = [ "[stanford]"; "[berkeley]"; "[roma]" ] in
+  let rows = rel_sorted part.P.Distributed.answers in
+  check_b "only reachable tuples" true
+    (rows <> []
+    && List.for_all
+         (fun row ->
+           match row with
+           | title :: _ ->
+               List.exists
+                 (fun p -> String.length title >= String.length p
+                           && String.sub title 0 (String.length p) = p)
+                 reachable
+           | [] -> false)
+         rows);
+  let expected =
+    List.fold_left
+      (fun acc (name, n) ->
+        if List.mem name [ "stanford"; "berkeley"; "roma" ] then acc + n
+        else acc)
+      0 d.Workload.University.course_counts
+  in
+  check_i "reachable cardinality" expected (List.length rows);
+  (* Healing restores the full answer. *)
+  P.Network.Fault.heal network;
+  let healed = P.Distributed.execute catalog network ~at:"stanford" query in
+  check_b "healed complete" true
+    healed.P.Distributed.report.P.Distributed.complete;
+  check_b "healed matches full" true
+    (rel_sorted healed.P.Distributed.answers
+    = rel_sorted full.P.Distributed.answers)
+
+(* With faults disabled the result-typed path answers exactly what
+   Answer.answer does, complete and retry-free, for any jobs. *)
+let prop_distributed_no_faults_matches_answer =
+  QCheck.Test.make
+    ~name:"distributed = answer with faults off, complete (any jobs)"
+    ~count:25
+    (QCheck.make QCheck.Gen.(int_bound 10_000) ~print:string_of_int)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let kind =
+        match seed mod 4 with
+        | 0 -> P.Topology.Chain
+        | 1 -> P.Topology.Star
+        | 2 -> P.Topology.Ring
+        | _ -> P.Topology.Mesh 1
+      in
+      let n = 4 + (seed mod 3) in
+      let topology = P.Topology.generate ~prng kind ~n in
+      let g = Workload.Peers_gen.generate prng ~topology ~tuples_per_peer:3 () in
+      let catalog = g.Workload.Peers_gen.catalog in
+      let names = List.init n (Printf.sprintf "p%d") in
+      let network =
+        P.Network.of_topology topology ~names ~base_latency_ms:5.0
+      in
+      let query = Workload.Peers_gen.course_query g ~at:(seed mod 2) in
+      let jobs = 1 + (seed mod 4) in
+      let plan =
+        P.Distributed.execute ~exec:(P.Exec.with_jobs jobs) catalog network
+          ~at:"p0" query
+      in
+      let direct = P.Answer.answer ~exec:(P.Exec.with_jobs jobs) catalog query in
+      rel_sorted plan.P.Distributed.answers
+      = rel_sorted direct.P.Answer.answers
+      && plan.P.Distributed.report.P.Distributed.complete
+      && plan.P.Distributed.report.P.Distributed.retries = 0)
+
+(* Keyword search degrades with the network: a downed peer's relations
+   vanish from the ranking. *)
+let test_keyword_skips_down_peer () =
+  let catalog, _, _ = two_peer_catalog `Equality in
+  let network = P.Network.create () in
+  P.Network.connect network "uw" "mit" ~latency_ms:5.0;
+  check_b "reachable peer answers" true
+    (P.Keyword.search ~network catalog "databases" <> []);
+  P.Network.Fault.fail_peer network "mit";
+  check_i "down peer's tuples skipped" 0
+    (List.length (P.Keyword.search ~network catalog "databases"));
+  P.Network.Fault.heal_peer network "mit";
+  check_b "heals back" true
+    (P.Keyword.search ~network catalog "databases" <> [])
 
 (* ------------------------------------------------------------------ *)
 (* Cache *)
@@ -1099,6 +1334,10 @@ let () =
        [ Alcotest.test_case "shapes" `Quick test_topology_shapes ]);
       ("network",
        [ Alcotest.test_case "routing" `Quick test_network_routing;
+         Alcotest.test_case "edge dedupe" `Quick test_network_edge_dedupe;
+         Alcotest.test_case "faults" `Quick test_network_faults;
+         Alcotest.test_case "retry under flakiness" `Quick
+           test_network_retry_flaky;
          Alcotest.test_case "of_topology" `Quick test_network_of_topology ]);
       ("updategram",
        [ Alcotest.test_case "of_log" `Quick test_updategram_of_log;
@@ -1108,11 +1347,18 @@ let () =
        [ Alcotest.test_case "basic" `Quick test_view_maintenance_basic ]
        @ qc [ prop_view_maintenance_matches_recompute ]);
       ("keyword",
-       [ Alcotest.test_case "cross-peer search" `Quick test_keyword_search ]);
+       [ Alcotest.test_case "cross-peer search" `Quick test_keyword_search;
+         Alcotest.test_case "skips down peers" `Quick
+           test_keyword_skips_down_peer ]);
       ("distributed",
        [ Alcotest.test_case "owner parsing" `Quick test_distributed_owner_parsing;
          Alcotest.test_case "beats central" `Quick test_distributed_beats_central;
-         Alcotest.test_case "matches answer" `Quick test_distributed_answers_match_answer ]);
+         Alcotest.test_case "matches answer" `Quick test_distributed_answers_match_answer;
+         Alcotest.test_case "counts executed messages only" `Quick
+           test_distributed_messages_count_executed_only;
+         Alcotest.test_case "partitioned six universities" `Quick
+           test_distributed_partitioned_six_universities ]
+       @ qc [ prop_distributed_no_faults_matches_answer ]);
       ("cache",
        [ Alcotest.test_case "hit and invalidate" `Quick test_cache_hit_and_invalidate;
          Alcotest.test_case "freshness" `Quick test_cache_reflects_updates_after_invalidation;
