@@ -1286,6 +1286,121 @@ let e16_configs ~peers ~tuples_per_peer ~rates () =
 let e16 () =
   e16_configs ~peers:12 ~tuples_per_peer:6 ~rates:[ 0.0; 0.1; 0.25; 0.5 ] ()
 
+(* ------------------------------------------------------------------ *)
+(* E17: shared-prefix batch evaluation — the Cq.Plan trie against
+   per-rewriting union evaluation, on the Fig. 2 topology sweep. The
+   three-atom chain query unfolds to one rewriting per peer triple, so
+   sibling rewritings that differ only in their last atom share the
+   whole two-atom course-instr join as a trie prefix, and the trie
+   computes each shared join once. Guards: answers byte-identical to
+   the per-rewriting path at every point, bindings actually reused, and
+   a minimum speedup at the config's guard point (exit 1 otherwise). *)
+
+let e17_rows rel =
+  Relalg.Relation.tuples rel
+  |> List.map (fun row -> Array.to_list (Array.map Relalg.Value.to_string row))
+  |> List.sort compare
+
+let e17_configs ~repeats configs () =
+  header "E17"
+    "shared-prefix batch evaluation: Cq.Plan trie vs per-rewriting union \
+     (jobs=1)";
+  let table =
+    T.create
+      [ "topology"; "peers"; "rewritings"; "trie_nodes"; "shared"; "answers";
+        "nobatch_ms"; "batch_ms"; "speedup"; "reused" ]
+  in
+  List.iter
+    (fun (topo_name, kind, n, tuples_per_peer, min_speedup) ->
+      let prng = Util.Prng.create (1700 + n + tuples_per_peer) in
+      let topology = Pdms.Topology.generate ~prng kind ~n in
+      let g =
+        Workload.Peers_gen.generate (Util.Prng.split prng) ~topology
+          ~tuples_per_peer ~with_join:true ()
+      in
+      let query = Workload.Peers_gen.chain_query g ~at:0 in
+      let outcome =
+        Pdms.Reformulate.reformulate g.Workload.Peers_gen.catalog query
+      in
+      let rewritings = outcome.Pdms.Reformulate.rewritings in
+      (* One frozen snapshot shared by both modes: neither run pays for
+         or reuses the other's index builds. *)
+      let db = Pdms.Catalog.global_db_snapshot g.Workload.Peers_gen.catalog in
+      Relalg.Database.freeze db;
+      let nobatch_exec = Pdms.Exec.make ~batch:false () in
+      let best f =
+        let rec go best_ms last = function
+          | 0 -> (best_ms, Option.get last)
+          | k ->
+              let ms, result = wall_ms f in
+              go (Float.min best_ms ms) (Some result) (k - 1)
+        in
+        go infinity None (max 1 repeats)
+      in
+      let nobatch_ms, nobatch_out =
+        best (fun () -> Pdms.Answer.eval_union ~exec:nobatch_exec db rewritings)
+      in
+      let before = Obs.Metrics.snapshot () in
+      let batch_ms, batch_out =
+        best (fun () -> Pdms.Answer.eval_union db rewritings)
+      in
+      let after = Obs.Metrics.snapshot () in
+      let delta name =
+        (Obs.Metrics.counter_value after name
+        - Obs.Metrics.counter_value before name)
+        / max 1 repeats
+      in
+      let nodes = delta "cq.plan.nodes" in
+      let shared = delta "cq.plan.shared_prefix_atoms" in
+      let reused = delta "cq.plan.bindings_reused" in
+      if e17_rows batch_out <> e17_rows nobatch_out then begin
+        Printf.printf
+          "E17 FAILED: batch answers differ from --no-batch at %s n=%d\n"
+          topo_name n;
+        exit 1
+      end;
+      if reused <= 0 then begin
+        Printf.printf
+          "E17 FAILED: cq.plan.bindings_reused = %d at %s n=%d (no sharing?)\n"
+          reused topo_name n;
+        exit 1
+      end;
+      let speedup = nobatch_ms /. Float.max 0.001 batch_ms in
+      let answers = Relalg.Relation.cardinality batch_out in
+      T.add_row table
+        [ topo_name; T.cell_i n; T.cell_i (List.length rewritings);
+          T.cell_i nodes; T.cell_i shared; T.cell_i answers;
+          T.cell_f nobatch_ms; T.cell_f batch_ms; T.cell_f speedup;
+          T.cell_i reused ];
+      Printf.printf
+        "BENCH_e17 {\"topology\":\"%s\",\"peers\":%d,\"tuples_per_peer\":%d,\
+         \"rewritings\":%d,\"trie_nodes\":%d,\"shared_prefix_atoms\":%d,\
+         \"bindings_reused\":%d,\"answers\":%d,\"nobatch_ms\":%.2f,\
+         \"batch_ms\":%.2f,\"speedup\":%.2f}\n"
+        topo_name n tuples_per_peer (List.length rewritings) nodes shared
+        reused answers nobatch_ms batch_ms speedup;
+      match min_speedup with
+      | Some floor when speedup < floor ->
+          Printf.printf
+            "E17 FAILED: speedup %.2fx below the %.1fx floor at %s n=%d\n"
+            speedup floor topo_name n;
+          exit 1
+      | Some _ | None -> ())
+    configs;
+  T.print table
+
+let e17 () =
+  e17_configs ~repeats:5
+    [ ("chain", Pdms.Topology.Chain, 16, 48, None);
+      ("chain", Pdms.Topology.Chain, 32, 48, None);
+      ("tree", Pdms.Topology.Binary_tree, 16, 48, None);
+      ("tree", Pdms.Topology.Binary_tree, 48, 48, None);
+      ("mesh2", Pdms.Topology.Mesh 2, 16, 48, None);
+      ("mesh2", Pdms.Topology.Mesh 2, 32, 48, None);
+      (* The acceptance point: high-sharing 48-peer Mesh-2 union. *)
+      ("mesh2", Pdms.Topology.Mesh 2, 48, 48, Some 2.0) ]
+    ()
+
 (* Tiny sizes so `dune build @bench-smoke` exercises the harness without
    a full run. *)
 let smoke () =
@@ -1293,9 +1408,12 @@ let smoke () =
   e13_configs [ (4, 10) ] ();
   e14_configs ~sweep:[ (6, 48) ] ~cache_entries:[ 32 ] ();
   e15_configs ~peers:12 ~cap:128 ~threshold_pct:30.0 ();
-  e16_configs ~peers:6 ~tuples_per_peer:2 ~rates:[ 0.0; 0.5 ] ()
+  e16_configs ~peers:6 ~tuples_per_peer:2 ~rates:[ 0.0; 0.5 ] ();
+  (* Best-of-5 keeps the tiny high-sharing point's batch-never-slower
+     guard (1.0x) out of timer-noise territory. *)
+  e17_configs ~repeats:5 [ ("mesh2", Pdms.Topology.Mesh 2, 10, 20, Some 1.0) ] ()
 
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-            ("e15", e15); ("e16", e16) ]
+            ("e15", e15); ("e16", e16); ("e17", e17) ]

@@ -246,7 +246,7 @@ type cli_exec = {
   show_metrics : bool;
 }
 
-let make_cli_exec jobs pruning trace metrics =
+let make_cli_exec jobs pruning no_batch trace metrics =
   let pruning =
     match pruning with
     | `Default -> Pdms.Exec.default_pruning
@@ -257,7 +257,7 @@ let make_cli_exec jobs pruning trace metrics =
     match sink with Some s -> Obs.Trace.create s | None -> Obs.Trace.null
   in
   {
-    exec = Pdms.Exec.make ~jobs ~pruning ~trace:trace_t ();
+    exec = Pdms.Exec.make ~jobs ~pruning ~batch:(not no_batch) ~trace:trace_t ();
     sink;
     show_metrics = metrics;
   }
@@ -281,6 +281,15 @@ let exec_term =
             "Reformulation pruning heuristics: $(b,default) (all on) or \
              $(b,none) (ablation mode: every heuristic off, low depth cap).")
   in
+  let no_batch =
+    Arg.(
+      value & flag
+      & info [ "no-batch" ]
+          ~doc:
+            "Disable shared-prefix batch evaluation of the rewriting union \
+             (the Cq.Plan trie) and evaluate every rewriting independently. \
+             A/B escape hatch: the answer set is identical either way.")
+  in
   let trace =
     Arg.(
       value & flag
@@ -296,7 +305,7 @@ let exec_term =
           ~doc:"Print the Obs.Metrics counters accumulated by the run to \
                 stderr.")
   in
-  Term.(const make_cli_exec $ jobs $ pruning $ trace $ metrics)
+  Term.(const make_cli_exec $ jobs $ pruning $ no_batch $ trace $ metrics)
 
 let report_cli_exec cli =
   (match cli.sink with

@@ -1,12 +1,31 @@
 (** Evaluation of conjunctive queries over a database.
 
-    The evaluator performs index-assisted nested-loop joins with a greedy
-    bound-first atom ordering. Missing relations are treated as empty
-    (a PDMS peer may reference relations it stores no data for). *)
+    The evaluator performs index-assisted nested-loop joins with a
+    greedy, statistics-aware atom ordering: each step picks the atom
+    with the lowest estimated extension count (cardinality scaled by
+    1/distinct for every bound position, via the {!Relalg.Stats}
+    cache). Missing relations are treated as empty (a PDMS peer may
+    reference relations it stores no data for); an atom whose arity
+    disagrees with its stored relation also yields no bindings, and
+    bumps the [cq.eval.arity_mismatch] counter so the schema bug shows
+    up in metrics instead of vanishing as an empty answer. *)
 
 module Smap : Map.S with type key = string
 
 type binding = Relalg.Value.t Smap.t
+
+val resolve : binding -> Term.t -> Relalg.Value.t option
+(** The value a term denotes under a binding: [Some] for constants and
+    bound variables, [None] for unbound variables. *)
+
+val order_atoms : Relalg.Database.t -> Query.t -> Atom.t list
+(** The greedy stats-aware join order the evaluator would use for the
+    query's body — deterministic (ties break towards more bound
+    positions, then body order). Exposed for {!Plan}. *)
+
+val match_atom : Relalg.Database.t -> binding -> Atom.t -> binding list
+(** All extensions of one binding across one atom, in the relation's
+    candidate order. Exposed for {!Plan}'s trie walk. *)
 
 val run_bindings : Relalg.Database.t -> Query.t -> binding list
 (** All satisfying assignments of the body variables. *)

@@ -1,0 +1,63 @@
+(** Shared-prefix batch evaluation of a rewriting union.
+
+    [build] orders every body with the stats-aware {!Eval.order_atoms},
+    alpha-normalises it (variables renamed by first occurrence over the
+    ordered body, heads mapped through the same renaming), and folds the
+    ordered bodies into a prefix trie: each query is one root-to-leaf
+    path, internal nodes are shared join prefixes, and the node where a
+    body ends carries the query's head template. Alpha-equivalent
+    prefixes — the common case for sibling rewritings unfolded from the
+    same mapping chains — collapse onto one path, and fully identical
+    (body, head) queries collapse onto one emit point, so evaluation
+    computes every shared prefix binding set exactly once.
+
+    Evaluation walks the trie depth-first; with [jobs > 1] the walk is
+    sharded across top-level branches with {!Util.Pool} and per-branch
+    partial results are merged in branch order, so the answer set and
+    all reported counts are identical for every [jobs] (callers must
+    freeze the database first, as for the other parallel sweeps).
+
+    Instrumentation: [cq.plan.builds], [cq.plan.nodes],
+    [cq.plan.shared_prefix_atoms] and [cq.plan.bindings_reused]
+    counters, a [cq.plan.depth] histogram of per-query path depths, and
+    [plan] / [trie_eval] spans on the caller's tracer. *)
+
+type t
+
+type build_stats = {
+  queries : int;  (** queries folded into the trie *)
+  nodes : int;  (** trie nodes (root excluded) *)
+  shared_prefix_atoms : int;
+      (** sum over nodes of (queries through the node - 1): the number
+          of atom evaluations the trie shares away relative to
+          per-rewriting evaluation, structurally *)
+  duplicate_queries : int;
+      (** queries whose canonical (body, head) duplicated an earlier
+          one — they share an emit point *)
+  max_depth : int;  (** longest root-to-leaf path *)
+}
+
+val build : ?trace:Obs.Trace.t -> Relalg.Database.t -> Query.t list -> t
+(** Plan the union. Ordering consults {!Relalg.Stats} (cached per
+    relation state), so building is cheap to repeat on an unchanged
+    database. *)
+
+val stats : t -> build_stats
+
+val run_union_into :
+  ?jobs:int -> ?trace:Obs.Trace.t -> Relalg.Relation.t ->
+  Relalg.Database.t -> t -> int list
+(** Walk the trie once, [insert_distinct]-ing every head tuple into the
+    shared accumulator, exactly like {!Eval.run_union_into} over the
+    original list. Returns per-query pre-dedup tuple counts in input
+    order — equal to [|Eval.run_bindings q|] per query and independent
+    of [jobs]. With [jobs > 1] the caller must have frozen [db]. *)
+
+val run_each :
+  ?jobs:int -> ?trace:Obs.Trace.t -> Relalg.Database.t -> t ->
+  Relalg.Relation.t list
+(** Walk the trie once but give every query its own distinct-answer
+    relation (schema from {!Eval.head_schema}), in input order —
+    equivalent to [List.map (Eval.run db)] over the original list. Used
+    by the distributed executor, which sizes per-rewriting shipments.
+    With [jobs > 1] the caller must have frozen [db]. *)

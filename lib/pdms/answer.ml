@@ -24,9 +24,19 @@ let eval_union ?(exec = Exec.default) db = function
       Obs.Trace.span trace "eval" @@ fun () ->
       (* Each branch evaluates one rewriting at a time so the per-rewriting
          pre-dedup tuple counts come back; they are |run_bindings q| per
-         query, so identical for every [jobs]. *)
+         query, so identical for every [jobs] — and for the batch trie,
+         whose emit-node binding counts equal |run_bindings q| too. *)
       let out, per_rewriting =
-        if jobs <= 1 || List.length qs < 2 then begin
+        if exec.Exec.batch && List.length qs >= 2 then begin
+          (* Batch path: one shared-prefix trie over the whole union,
+             walked once; [jobs] shards across top-level branches. *)
+          if jobs > 1 then Relalg.Database.freeze db;
+          let plan = Cq.Plan.build ~trace db qs in
+          let out = Relalg.Relation.create (Cq.Eval.head_schema q0) in
+          let counts = Cq.Plan.run_union_into ~jobs ~trace out db plan in
+          (out, counts)
+        end
+        else if jobs <= 1 || List.length qs < 2 then begin
           let out = Relalg.Relation.create (Cq.Eval.head_schema q0) in
           let counts =
             List.map (fun q -> Cq.Eval.run_union_into out db [ q ]) qs
@@ -77,6 +87,7 @@ let eval_union ?(exec = Exec.default) db = function
       end;
       Obs.Trace.attr_i trace "rewritings" (List.length qs);
       Obs.Trace.attr_i trace "jobs" jobs;
+      Obs.Trace.attr_b trace "batch" (exec.Exec.batch && List.length qs >= 2);
       Obs.Trace.attr_i trace "tuples" tuples;
       Obs.Trace.attr_i trace "answers" answers;
       Obs.Trace.attr_i trace "dedup_dropped" (tuples - answers);

@@ -172,13 +172,22 @@ let execute ?(exec = Exec.default) catalog network ~at query =
   let rewritings = outcome.Reformulate.rewritings in
   let db = Catalog.global_db catalog in
   (* Evaluate each rewriting exactly once; the result feeds both the
-     ship-size estimate and the final union. *)
+     ship-size estimate and the final union. Site planning needs one
+     answer relation per rewriting, so the batch path runs the trie in
+     [run_each] mode — shared prefixes are still computed once. *)
   let results =
     Obs.Trace.span trace "eval" @@ fun () ->
     let jobs = exec.Exec.jobs in
     Obs.Trace.attr_i trace "jobs" jobs;
     Obs.Trace.attr_i trace "rewritings" (List.length rewritings);
-    if jobs <= 1 || List.length rewritings < 2 then
+    Obs.Trace.attr_b trace "batch"
+      (exec.Exec.batch && List.length rewritings >= 2);
+    if exec.Exec.batch && List.length rewritings >= 2 then begin
+      if jobs > 1 then Relalg.Database.freeze db;
+      let plan = Cq.Plan.build ~trace db rewritings in
+      Cq.Plan.run_each ~jobs ~trace db plan
+    end
+    else if jobs <= 1 || List.length rewritings < 2 then
       List.map (Cq.Eval.run db) rewritings
     else begin
       Relalg.Database.freeze db;

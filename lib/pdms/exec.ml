@@ -54,6 +54,7 @@ type t = {
   jobs : int;
   pruning : pruning;
   retry : retry;
+  batch : bool;
   trace : Obs.Trace.t;
   metrics : bool;
 }
@@ -63,15 +64,17 @@ let default =
     jobs = 1;
     pruning = default_pruning;
     retry = default_retry;
+    batch = true;
     trace = Obs.Trace.null;
     metrics = true;
   }
 
 let make ?(jobs = 1) ?(pruning = default_pruning) ?(retry = default_retry)
-    ?(trace = Obs.Trace.null) ?(metrics = true) () =
-  { jobs; pruning; retry; trace; metrics }
+    ?(batch = true) ?(trace = Obs.Trace.null) ?(metrics = true) () =
+  { jobs; pruning; retry; batch; trace; metrics }
 
 let with_jobs jobs = { default with jobs }
 let with_pruning pruning = { default with pruning }
 let with_retry retry = { default with retry }
+let with_batch batch = { default with batch }
 let with_trace trace = { default with trace }

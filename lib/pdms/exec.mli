@@ -75,6 +75,11 @@ type t = {
   retry : retry;
       (** retry/timeout/backoff policy for simulated network sends
           (used by {!Distributed.execute}) *)
+  batch : bool;
+      (** evaluate the rewriting union through the shared-prefix trie
+          of {!Cq.Plan} (default [true]); [false] evaluates every
+          rewriting independently — the [--no-batch] A/B escape hatch.
+          The answer set is identical either way. *)
   trace : Obs.Trace.t;
       (** span collection; {!Obs.Trace.null} (the default) costs one
           branch per span site *)
@@ -84,12 +89,12 @@ type t = {
 }
 
 val default : t
-(** [jobs = 1], {!default_pruning}, {!default_retry}, no tracing,
-    metrics on. *)
+(** [jobs = 1], {!default_pruning}, {!default_retry}, batch evaluation
+    on, no tracing, metrics on. *)
 
 val make :
-  ?jobs:int -> ?pruning:pruning -> ?retry:retry -> ?trace:Obs.Trace.t ->
-  ?metrics:bool -> unit -> t
+  ?jobs:int -> ?pruning:pruning -> ?retry:retry -> ?batch:bool ->
+  ?trace:Obs.Trace.t -> ?metrics:bool -> unit -> t
 
 val with_jobs : int -> t
 (** [with_jobs n] is {!default} with [jobs = n]. *)
@@ -99,6 +104,9 @@ val with_pruning : pruning -> t
 
 val with_retry : retry -> t
 (** [with_retry r] is {!default} with [retry = r]. *)
+
+val with_batch : bool -> t
+(** [with_batch b] is {!default} with [batch = b]. *)
 
 val with_trace : Obs.Trace.t -> t
 (** [with_trace tr] is {!default} with [trace = tr]. *)

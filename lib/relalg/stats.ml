@@ -1,0 +1,73 @@
+type t = { cardinality : int; distinct : int array }
+
+(* uid -> (version, stats). Entries for dead relations (dropped
+   snapshots mint fresh uids) are harmless but unbounded, so the table
+   is emptied once it passes a generous cap rather than tracked with a
+   precise eviction policy. *)
+let cache : (int, int * t) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+let max_entries = 8192
+let hits = ref 0
+let misses = ref 0
+
+let compute rel =
+  let arity = Schema.arity (Relation.schema rel) in
+  let seen = Array.init arity (fun _ -> Hashtbl.create 64) in
+  Relation.iter
+    (fun row ->
+      for i = 0 to arity - 1 do
+        Hashtbl.replace seen.(i) row.(i) ()
+      done)
+    rel;
+  { cardinality = Relation.cardinality rel;
+    distinct = Array.map Hashtbl.length seen }
+
+let of_relation rel =
+  let uid = Relation.uid rel in
+  let version = Relation.version rel in
+  Mutex.lock lock;
+  let cached =
+    match Hashtbl.find_opt cache uid with
+    | Some (v, s) when v = version -> Some s
+    | Some _ | None -> None
+  in
+  (match cached with Some _ -> incr hits | None -> incr misses);
+  Mutex.unlock lock;
+  match cached with
+  | Some s -> s
+  | None ->
+      (* Scan outside the lock: concurrent planners may race to compute
+         the same entry, but both scans see a consistent state (callers
+         freeze relations before sharing them across domains) and write
+         identical results. *)
+      let s = compute rel in
+      Mutex.lock lock;
+      if Hashtbl.length cache >= max_entries then Hashtbl.reset cache;
+      Hashtbl.replace cache uid (version, s);
+      Mutex.unlock lock;
+      s
+
+let selectivity s col =
+  if col < 0 || col >= Array.length s.distinct then 1.0
+  else
+    let d = s.distinct.(col) in
+    if d <= 1 then 1.0 else 1.0 /. float_of_int d
+
+let cache_hits () =
+  Mutex.lock lock;
+  let h = !hits in
+  Mutex.unlock lock;
+  h
+
+let cache_misses () =
+  Mutex.lock lock;
+  let m = !misses in
+  Mutex.unlock lock;
+  m
+
+let reset_cache () =
+  Mutex.lock lock;
+  Hashtbl.reset cache;
+  hits := 0;
+  misses := 0;
+  Mutex.unlock lock

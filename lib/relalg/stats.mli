@@ -1,0 +1,34 @@
+(** Per-relation statistics for join planning: cardinality plus a
+    distinct-value count per column, cached process-wide.
+
+    The cache is keyed on {!Relation.uid} and guarded by
+    {!Relation.version}: a cached entry is served only while the
+    relation's version is unchanged, so any [insert]/[delete]/[clear]
+    invalidates it implicitly — the next {!of_relation} rescans. The
+    table is mutex-protected; computing statistics happens outside the
+    lock, so concurrent planners at worst duplicate one scan. *)
+
+type t = {
+  cardinality : int;  (** tuple count at the cached version *)
+  distinct : int array;
+      (** distinct values per column, length = schema arity *)
+}
+
+val of_relation : Relation.t -> t
+(** Statistics for the relation's current state, from the cache when the
+    [(uid, version)] pair still matches, else by one O(tuples * arity)
+    scan that refreshes the cache. *)
+
+val selectivity : t -> int -> float
+(** [selectivity s col] is [1 / distinct.(col)] clamped to [(0, 1]] — the
+    expected fraction of tuples surviving an equality bound on [col].
+    Out-of-range columns and empty relations yield [1.0] (no reduction
+    claimed). *)
+
+val cache_hits : unit -> int
+val cache_misses : unit -> int
+(** Cumulative cache behaviour since load (or the last {!reset_cache}) —
+    exposed for tests and the E17 bench commentary. *)
+
+val reset_cache : unit -> unit
+(** Drop every cached entry and zero the hit/miss counters. *)

@@ -67,3 +67,13 @@ let join_query g ~at =
     [ Pdms.Peer.atom peer "course"
         [ Cq.Term.v "Code"; Cq.Term.v "Title"; Cq.Term.v "I" ];
       Pdms.Peer.atom peer "instr" [ Cq.Term.v "Code"; Cq.Term.v "Person" ] ]
+
+let chain_query g ~at =
+  let peer = g.peers.(at) in
+  Cq.Query.make
+    (Cq.Atom.make "ans" [ Cq.Term.v "T1"; Cq.Term.v "T2" ])
+    [ Pdms.Peer.atom peer "course"
+        [ Cq.Term.v "C"; Cq.Term.v "T1"; Cq.Term.v "I" ];
+      Pdms.Peer.atom peer "instr" [ Cq.Term.v "C"; Cq.Term.v "P" ];
+      Pdms.Peer.atom peer "course"
+        [ Cq.Term.v "C2"; Cq.Term.v "T2"; Cq.Term.v "P" ] ]

@@ -24,3 +24,10 @@ val course_query : generated -> at:int -> Cq.Query.t
 
 val join_query : generated -> at:int -> Cq.Query.t
 (** Course-instructor join at peer [at]; requires [with_join]. *)
+
+val chain_query : generated -> at:int -> Cq.Query.t
+(** Three-atom chain at peer [at]: course joined to instr on code,
+    joined to a second course atom on person ("titles of course pairs
+    sharing an instructor"). Requires [with_join]. Rewritings of this
+    query share two-atom join prefixes, which is what the batch
+    evaluator exploits. *)

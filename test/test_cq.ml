@@ -481,6 +481,128 @@ let test_signature_basics () =
   check_b "distinct keys" false
     (String.equal (Signature.key s1) (Signature.key s2))
 
+(* ------------------------------------------------------------------ *)
+(* Plan: shared-prefix batch evaluation *)
+
+let rel_rows rel =
+  Relalg.Relation.tuples rel
+  |> List.map (fun row -> Array.to_list (Array.map Relalg.Value.to_string row))
+  |> List.sort compare
+
+let test_plan_trie_shape () =
+  let db = Relalg.Database.create () in
+  let r = Relalg.Database.create_relation db "r" [ "a"; "b" ] in
+  let t = Relalg.Database.create_relation db "t" [ "a" ] in
+  List.iter
+    (fun (a, b) ->
+      Relalg.Relation.insert r [| Relalg.Value.Int a; Relalg.Value.Int b |])
+    [ (1, 2); (2, 1) ];
+  List.iter
+    (fun a -> Relalg.Relation.insert t [| Relalg.Value.Int a |])
+    [ 0; 1; 2; 3; 4 ];
+  (* r is smaller than t, so both bodies start with their r atom; the
+     alpha-normalised first atoms coincide and share one trie node. *)
+  let q1 =
+    q (atom "ans" [ v "X" ]) [ atom "r" [ v "X"; v "Y" ]; atom "t" [ v "Y" ] ]
+  in
+  let q2 =
+    q (atom "ans" [ v "A" ]) [ atom "r" [ v "A"; v "B" ]; atom "r" [ v "B"; v "A" ] ]
+  in
+  let plan = Plan.build db [ q1; q2 ] in
+  let s = Plan.stats plan in
+  check_i "queries" 2 s.Plan.queries;
+  check_i "nodes" 3 s.Plan.nodes;
+  check_i "shared prefix atoms" 1 s.Plan.shared_prefix_atoms;
+  check_i "no duplicates" 0 s.Plan.duplicate_queries;
+  check_i "max depth" 2 s.Plan.max_depth;
+  (* The walk emits exactly what per-rewriting evaluation does. *)
+  let out_b = Relalg.Relation.create (Eval.head_schema q1) in
+  let counts_b = Plan.run_union_into out_b db plan in
+  let out_s = Relalg.Relation.create (Eval.head_schema q1) in
+  let counts_s =
+    List.map (fun qq -> Eval.run_union_into out_s db [ qq ]) [ q1; q2 ]
+  in
+  check_b "same answers" true (rel_rows out_b = rel_rows out_s);
+  check_b "same per-query counts" true (counts_b = counts_s);
+  (* Fully identical queries collapse onto one emit point. *)
+  let dup = Plan.build db [ q1; q1 ] in
+  let sd = Plan.stats dup in
+  check_i "dup nodes" 2 sd.Plan.nodes;
+  check_i "dup shared" 2 sd.Plan.shared_prefix_atoms;
+  check_i "dup duplicates" 1 sd.Plan.duplicate_queries
+
+let test_plan_bindings_reused_counter () =
+  let db = Relalg.Database.create () in
+  let r = Relalg.Database.create_relation db "r" [ "a"; "b" ] in
+  let t = Relalg.Database.create_relation db "t" [ "a" ] in
+  List.iter
+    (fun (a, b) ->
+      Relalg.Relation.insert r [| Relalg.Value.Int a; Relalg.Value.Int b |])
+    [ (1, 2); (2, 1) ];
+  (* t larger than r, so the shared r atom stays first in both orders. *)
+  List.iter
+    (fun a -> Relalg.Relation.insert t [| Relalg.Value.Int a |])
+    [ 0; 1; 2; 3; 4 ];
+  let q1 =
+    q (atom "ans" [ v "X" ]) [ atom "r" [ v "X"; v "Y" ]; atom "t" [ v "Y" ] ]
+  in
+  let q2 =
+    q (atom "ans" [ v "A" ]) [ atom "r" [ v "A"; v "B" ]; atom "r" [ v "B"; v "A" ] ]
+  in
+  let plan = Plan.build db [ q1; q2 ] in
+  let before =
+    Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "cq.plan.bindings_reused"
+  in
+  let out = Relalg.Relation.create (Eval.head_schema q1) in
+  ignore (Plan.run_union_into out db plan : int list);
+  let after =
+    Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "cq.plan.bindings_reused"
+  in
+  (* The shared r node has 2 extensions serving 2 queries: 2 reused. *)
+  check_i "bindings reused" 2 (after - before)
+
+let test_arity_mismatch_counter () =
+  let db = Relalg.Database.create () in
+  ignore (Relalg.Database.create_relation db "r" [ "a"; "b" ]);
+  let bad = q (atom "ans" []) [ atom "r" [ v "X" ] ] in
+  let before =
+    Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "cq.eval.arity_mismatch"
+  in
+  check_i "no answers" 0 (Relalg.Relation.cardinality (Eval.run db bad));
+  let after =
+    Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "cq.eval.arity_mismatch"
+  in
+  check_b "counter bumped" true (after > before)
+
+(* Batch ≡ baseline on random unions: same union tuples, same
+   per-query pre-dedup counts, same per-query answer relations, for
+   sequential and sharded walks. *)
+let prop_plan_matches_per_rewriting =
+  QCheck.Test.make ~name:"trie batch = per-rewriting union (any jobs)"
+    ~count:300
+    QCheck.(pair arb_db (list_of_size Gen.(int_range 2 6) arb_query))
+    (fun (db, qs) ->
+      QCheck.assume (List.for_all Query.is_safe qs);
+      let q0 = List.hd qs in
+      let a0 = Atom.arity q0.Query.head in
+      QCheck.assume
+        (List.for_all (fun qq -> Atom.arity qq.Query.head = a0) qs);
+      let base = Relalg.Relation.create (Eval.head_schema q0) in
+      let base_counts =
+        List.map (fun qq -> Eval.run_union_into base db [ qq ]) qs
+      in
+      let base_each = List.map (fun qq -> rel_rows (Eval.run db qq)) qs in
+      let check_jobs jobs =
+        if jobs > 1 then Relalg.Database.freeze db;
+        let plan = Plan.build db qs in
+        let out = Relalg.Relation.create (Eval.head_schema q0) in
+        let counts = Plan.run_union_into ~jobs out db plan in
+        rel_rows out = rel_rows base
+        && counts = base_counts
+        && List.map rel_rows (Plan.run_each ~jobs db plan) = base_each
+      in
+      check_jobs 1 && check_jobs 3)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "cq"
@@ -528,6 +650,13 @@ let () =
          Alcotest.test_case "unsafe rejected" `Quick test_datalog_unsafe_rule_rejected ]);
       ("signature",
        [ Alcotest.test_case "basics" `Quick test_signature_basics ]);
+      ("plan",
+       [ Alcotest.test_case "trie shape" `Quick test_plan_trie_shape;
+         Alcotest.test_case "bindings reused counter" `Quick
+           test_plan_bindings_reused_counter;
+         Alcotest.test_case "arity mismatch counter" `Quick
+           test_arity_mismatch_counter ]
+       @ qc [ prop_plan_matches_per_rewriting ]);
       ("properties",
        qc
          [ prop_containment_sound; prop_minimize_preserves_answers;

@@ -772,6 +772,65 @@ let prop_distributed_no_faults_matches_answer =
       && plan.P.Distributed.report.P.Distributed.complete
       && plan.P.Distributed.report.P.Distributed.retries = 0)
 
+(* Batch (trie) and per-rewriting evaluation agree everywhere the union
+   is routed: Answer.answer and Distributed.execute, any jobs, faults
+   on and off. *)
+let prop_batch_matches_nobatch =
+  QCheck.Test.make
+    ~name:"batch trie = per-rewriting eval (answer + distributed, faults on/off)"
+    ~count:20
+    (QCheck.make QCheck.Gen.(int_bound 10_000) ~print:string_of_int)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let kind =
+        match seed mod 4 with
+        | 0 -> P.Topology.Chain
+        | 1 -> P.Topology.Star
+        | 2 -> P.Topology.Ring
+        | _ -> P.Topology.Mesh 1
+      in
+      let n = 4 + (seed mod 3) in
+      let topology = P.Topology.generate ~prng kind ~n in
+      let g =
+        Workload.Peers_gen.generate prng ~topology ~tuples_per_peer:3
+          ~with_join:true ()
+      in
+      let catalog = g.Workload.Peers_gen.catalog in
+      (* Join queries exercise real prefix sharing; plain course queries
+         exercise the no-sharing degenerate trie. *)
+      let query =
+        if seed mod 2 = 0 then Workload.Peers_gen.course_query g ~at:0
+        else Workload.Peers_gen.join_query g ~at:0
+      in
+      let jobs = 1 + (seed mod 4) in
+      let batch_exec = P.Exec.make ~jobs () in
+      let nobatch_exec = P.Exec.make ~jobs ~batch:false () in
+      let a_batch = P.Answer.answer ~exec:batch_exec catalog query in
+      let a_plain = P.Answer.answer ~exec:nobatch_exec catalog query in
+      let names = List.init n (Printf.sprintf "p%d") in
+      (* Odd seeds run the distributed comparison under a peer fault. *)
+      let mk_net () =
+        let network =
+          P.Network.of_topology topology ~names ~base_latency_ms:5.0
+        in
+        if seed mod 2 = 1 then
+          P.Network.Fault.fail_peer network (Printf.sprintf "p%d" (n - 1));
+        network
+      in
+      let d_batch =
+        P.Distributed.execute ~exec:batch_exec catalog (mk_net ()) ~at:"p0"
+          query
+      in
+      let d_plain =
+        P.Distributed.execute ~exec:nobatch_exec catalog (mk_net ()) ~at:"p0"
+          query
+      in
+      P.Answer.answers_list a_batch = P.Answer.answers_list a_plain
+      && rel_sorted d_batch.P.Distributed.answers
+         = rel_sorted d_plain.P.Distributed.answers
+      && d_batch.P.Distributed.report.P.Distributed.complete
+         = d_plain.P.Distributed.report.P.Distributed.complete)
+
 (* Keyword search degrades with the network: a downed peer's relations
    vanish from the ranking. *)
 let test_keyword_skips_down_peer () =
@@ -1237,10 +1296,11 @@ let test_answer_span_tree () =
   check_b "answers found" true (P.Answer.answers_list result <> []);
   match Obs.Sink.spans sink with
   | [ root ] ->
-      (* The exact phase sequence of the answer path, in order. *)
+      (* The exact phase sequence of the answer path, in order; batch
+         evaluation nests the trie planner and walk under "eval". *)
       Alcotest.(check (list string))
         "phases in order"
-        [ "answer"; "reformulate"; "sweep"; "eval" ]
+        [ "answer"; "reformulate"; "sweep"; "eval"; "plan"; "trie_eval" ]
         (Obs.Span.names root);
       let sweep = Option.get (Obs.Span.find root "sweep") in
       let attr_i name sp =
@@ -1358,7 +1418,9 @@ let () =
            test_distributed_messages_count_executed_only;
          Alcotest.test_case "partitioned six universities" `Quick
            test_distributed_partitioned_six_universities ]
-       @ qc [ prop_distributed_no_faults_matches_answer ]);
+       @ qc
+           [ prop_distributed_no_faults_matches_answer;
+             prop_batch_matches_nobatch ]);
       ("cache",
        [ Alcotest.test_case "hit and invalidate" `Quick test_cache_hit_and_invalidate;
          Alcotest.test_case "freshness" `Quick test_cache_reflects_updates_after_invalidation;

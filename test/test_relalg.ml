@@ -276,6 +276,31 @@ let prop_diff_disjoint =
       let d = Ops.diff a b in
       List.for_all (fun row -> not (Relation.mem b row)) (Relation.tuples d))
 
+(* ------------------------------------------------------------------ *)
+(* Stats: cached cardinality + distinct counts, invalidated by version *)
+
+let test_stats_distinct_and_cache () =
+  Stats.reset_cache ();
+  let r = people () in
+  let s = Stats.of_relation r in
+  check_i "cardinality" 3 s.Stats.cardinality;
+  check_i "distinct names" 3 s.Stats.distinct.(0);
+  check_i "distinct depts" 2 s.Stats.distinct.(1);
+  check_i "one miss" 1 (Stats.cache_misses ());
+  (* Unchanged relation: served from the cache. *)
+  let s' = Stats.of_relation r in
+  check_b "same stats" true (s = s');
+  check_i "one hit" 1 (Stats.cache_hits ());
+  (* Any mutation bumps the version and invalidates the entry. *)
+  Relation.insert r [| v_s "dan"; v_s "cs"; v_i 29 |];
+  let s2 = Stats.of_relation r in
+  check_i "recomputed cardinality" 4 s2.Stats.cardinality;
+  check_i "dept count unchanged" 2 s2.Stats.distinct.(1);
+  check_i "second miss" 2 (Stats.cache_misses ());
+  (* Selectivity: 1/distinct, clamped for degenerate columns. *)
+  check_b "dept selectivity" true (Stats.selectivity s2 1 = 0.5);
+  check_b "out of range is neutral" true (Stats.selectivity s2 9 = 1.0)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "relalg"
@@ -299,6 +324,9 @@ let () =
          Alcotest.test_case "group min/max" `Quick test_group_by_min_max;
          Alcotest.test_case "product" `Quick test_product_disjoint ]);
       ("database", [ Alcotest.test_case "basics" `Quick test_database ]);
+      ("stats",
+       [ Alcotest.test_case "distinct and cache" `Quick
+           test_stats_distinct_and_cache ]);
       ("properties",
        qc
          [ prop_find_by_equals_filter; prop_union_commutative;
