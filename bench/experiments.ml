@@ -1401,6 +1401,147 @@ let e17 () =
       ("mesh2", Pdms.Topology.Mesh 2, 48, 48, Some 2.0) ]
     ()
 
+(* E18: inverted-index keyword search — Kwindex vs --no-index brute
+   force over generated peer workloads. Repeated (warm) searches are
+   the regime the index targets: index entries, the merged df corpus,
+   and per-tuple norms are all version-guarded caches, so a warm query
+   touches only its tokens' postings, while the brute path rebuilds the
+   corpus and re-vectorizes every tuple per call. Guards: hit lists
+   byte-identical (scores, order, tie-breaks) between the two paths and
+   across every jobs value, and a minimum warm speedup at the config's
+   guard point (exit 1 otherwise). *)
+
+let e18_hits hits =
+  List.map
+    (fun (h : Pdms.Keyword.hit) ->
+      ( h.Pdms.Keyword.peer,
+        h.Pdms.Keyword.stored_rel,
+        Array.map Relalg.Value.to_string h.Pdms.Keyword.tuple,
+        Int64.bits_of_float h.Pdms.Keyword.score ))
+    hits
+
+let e18_configs ~repeats ~queries:nq configs () =
+  header "E18"
+    "inverted-index keyword search: Kwindex vs --no-index (warm repeated \
+     queries, jobs=1)";
+  let table =
+    T.create
+      [ "peers"; "tuples"; "docs"; "queries"; "candidates"; "skipped";
+        "brute_ms"; "indexed_ms"; "speedup" ]
+  in
+  List.iter
+    (fun (n, tuples_per_peer, min_speedup) ->
+      let prng = Util.Prng.create (1800 + n + tuples_per_peer) in
+      let topology = Pdms.Topology.generate ~prng (Pdms.Topology.Mesh 1) ~n in
+      let g =
+        Workload.Peers_gen.generate (Util.Prng.split prng) ~topology
+          ~tuples_per_peer ~with_join:true ()
+      in
+      let catalog = g.Workload.Peers_gen.catalog in
+      let queries =
+        Workload.Peers_gen.keyword_queries g (Util.Prng.split prng) ~n:nq
+      in
+      let docs = n * tuples_per_peer * 2 in
+      let jobs_list =
+        List.sort_uniq compare [ 1; 2; 4; Util.Pool.cpu_count () ]
+      in
+      (* Byte-identity guard: every query, both paths, every jobs value
+         (this also warms the version-guarded caches for the timing). *)
+      List.iter
+        (fun query ->
+          let reference =
+            e18_hits
+              (Pdms.Keyword.search
+                 ~exec:(Pdms.Exec.make ~index:false ())
+                 catalog query)
+          in
+          List.iter
+            (fun jobs ->
+              let brute =
+                e18_hits
+                  (Pdms.Keyword.search
+                     ~exec:(Pdms.Exec.make ~index:false ~jobs ())
+                     catalog query)
+              in
+              let indexed =
+                e18_hits
+                  (Pdms.Keyword.search ~exec:(Pdms.Exec.make ~jobs ())
+                     catalog query)
+              in
+              if brute <> reference || indexed <> reference then begin
+                Printf.printf
+                  "E18 FAILED: hit lists differ (jobs=%d, peers=%d, \
+                   query=%S)\n"
+                  jobs n query;
+                exit 1
+              end)
+            jobs_list)
+        queries;
+      let run exec =
+        List.iter
+          (fun query -> ignore (Pdms.Keyword.search ~exec catalog query))
+          queries
+      in
+      let best f =
+        let rec go best_ms = function
+          | 0 -> best_ms
+          | k ->
+              let ms, () = wall_ms f in
+              go (Float.min best_ms ms) (k - 1)
+        in
+        go infinity (max 1 repeats)
+      in
+      let brute_ms =
+        best (fun () -> run (Pdms.Exec.make ~index:false ()))
+      in
+      let before = Obs.Metrics.snapshot () in
+      let indexed_ms = best (fun () -> run Pdms.Exec.default) in
+      let after = Obs.Metrics.snapshot () in
+      (* Per query-batch repeat. *)
+      let delta name =
+        (Obs.Metrics.counter_value after name
+        - Obs.Metrics.counter_value before name)
+        / max 1 repeats
+      in
+      let candidates = delta "pdms.kwindex.candidates" in
+      let skipped = delta "pdms.kwindex.skipped_by_bound" in
+      let rebuilt = delta "pdms.kwindex.builds" in
+      if rebuilt > 0 then begin
+        Printf.printf
+          "E18 FAILED: %d index rebuilds during warm queries (peers=%d)\n"
+          rebuilt n;
+        exit 1
+      end;
+      let speedup = brute_ms /. Float.max 0.001 indexed_ms in
+      T.add_row table
+        [ T.cell_i n; T.cell_i tuples_per_peer; T.cell_i docs; T.cell_i nq;
+          T.cell_i candidates; T.cell_i skipped; T.cell_f brute_ms;
+          T.cell_f indexed_ms; T.cell_f speedup ];
+      Printf.printf
+        "BENCH_e18 {\"peers\":%d,\"tuples_per_peer\":%d,\"docs\":%d,\
+         \"queries\":%d,\"candidates\":%d,\"skipped_by_bound\":%d,\
+         \"brute_ms\":%.2f,\"indexed_ms\":%.2f,\"speedup\":%.2f}\n"
+        n tuples_per_peer docs nq candidates skipped brute_ms indexed_ms
+        speedup;
+      match min_speedup with
+      | Some floor when speedup < floor ->
+          Printf.printf
+            "E18 FAILED: warm speedup %.2fx below the %.1fx floor at \
+             peers=%d\n"
+            speedup floor n;
+          exit 1
+      | Some _ | None -> ())
+    configs;
+  T.print table
+
+let e18 () =
+  e18_configs ~repeats:3 ~queries:12
+    [ (16, 50, None);
+      (32, 100, None);
+      (* The acceptance point: largest workload, >= 5x warm speedup. *)
+      (48, 200, Some 5.0) ]
+    ()
+
 (* Tiny sizes so `dune build @bench-smoke` exercises the harness without
    a full run. *)
 let smoke () =
@@ -1411,9 +1552,12 @@ let smoke () =
   e16_configs ~peers:6 ~tuples_per_peer:2 ~rates:[ 0.0; 0.5 ] ();
   (* Best-of-5 keeps the tiny high-sharing point's batch-never-slower
      guard (1.0x) out of timer-noise territory. *)
-  e17_configs ~repeats:5 [ ("mesh2", Pdms.Topology.Mesh 2, 10, 20, Some 1.0) ] ()
+  e17_configs ~repeats:5 [ ("mesh2", Pdms.Topology.Mesh 2, 10, 20, Some 1.0) ] ();
+  (* Indexed-never-slower floor: warm repeated searches must at least
+     match brute force even at toy sizes. *)
+  e18_configs ~repeats:5 ~queries:4 [ (6, 20, Some 1.0) ] ()
 
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-            ("e15", e15); ("e16", e16); ("e17", e17) ]
+            ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18) ]

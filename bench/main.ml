@@ -1,13 +1,13 @@
 (* Benchmark harness entry point.
 
-   dune exec bench/main.exe              -- run every experiment (E1-E15)
+   dune exec bench/main.exe              -- run every experiment (E1-E18)
    dune exec bench/main.exe -- e4 e5     -- run a subset
    dune exec bench/main.exe -- smoke     -- tiny smoke run (@bench-smoke)
    dune exec bench/main.exe -- bechamel  -- Bechamel micro-benchmarks
    dune exec bench/main.exe -- all       -- experiments + micro-benchmarks *)
 
 let usage () =
-  Printf.printf "usage: bench/main.exe [e1..e15|smoke|bechamel|all]...\n";
+  Printf.printf "usage: bench/main.exe [e1..e18|smoke|bechamel|all]...\n";
   Printf.printf "available experiments: %s\n"
     (String.concat " " (List.map fst Experiments.all))
 

@@ -13,7 +13,8 @@
      revere distributed FILE QUERY --at P peer-based execution plan
 
    The last three share the execution-context flags -j/--jobs,
-   --pruning, --trace and --metrics (see [exec_term] below). Schema
+   --pruning, --no-batch, --no-index, --trace and --metrics (see
+   [exec_term] below). Schema
    files use the format of Corpus.Schema_parser. *)
 
 open Cmdliner
@@ -246,7 +247,7 @@ type cli_exec = {
   show_metrics : bool;
 }
 
-let make_cli_exec jobs pruning no_batch trace metrics =
+let make_cli_exec jobs pruning no_batch no_index trace metrics =
   let pruning =
     match pruning with
     | `Default -> Pdms.Exec.default_pruning
@@ -257,7 +258,9 @@ let make_cli_exec jobs pruning no_batch trace metrics =
     match sink with Some s -> Obs.Trace.create s | None -> Obs.Trace.null
   in
   {
-    exec = Pdms.Exec.make ~jobs ~pruning ~batch:(not no_batch) ~trace:trace_t ();
+    exec =
+      Pdms.Exec.make ~jobs ~pruning ~batch:(not no_batch)
+        ~index:(not no_index) ~trace:trace_t ();
     sink;
     show_metrics = metrics;
   }
@@ -290,6 +293,15 @@ let exec_term =
              (the Cq.Plan trie) and evaluate every rewriting independently. \
              A/B escape hatch: the answer set is identical either way.")
   in
+  let no_index =
+    Arg.(
+      value & flag
+      & info [ "no-index" ]
+          ~doc:
+            "Answer keyword searches by brute-force scoring of every tuple \
+             instead of the Kwindex inverted index. A/B escape hatch: the \
+             hit list is byte-identical either way.")
+  in
   let trace =
     Arg.(
       value & flag
@@ -305,7 +317,9 @@ let exec_term =
           ~doc:"Print the Obs.Metrics counters accumulated by the run to \
                 stderr.")
   in
-  Term.(const make_cli_exec $ jobs $ pruning $ no_batch $ trace $ metrics)
+  Term.(
+    const make_cli_exec $ jobs $ pruning $ no_batch $ no_index $ trace
+    $ metrics)
 
 let report_cli_exec cli =
   (match cli.sink with

@@ -55,6 +55,7 @@ type t = {
   pruning : pruning;
   retry : retry;
   batch : bool;
+  index : bool;
   trace : Obs.Trace.t;
   metrics : bool;
 }
@@ -65,16 +66,19 @@ let default =
     pruning = default_pruning;
     retry = default_retry;
     batch = true;
+    index = true;
     trace = Obs.Trace.null;
     metrics = true;
   }
 
 let make ?(jobs = 1) ?(pruning = default_pruning) ?(retry = default_retry)
-    ?(batch = true) ?(trace = Obs.Trace.null) ?(metrics = true) () =
-  { jobs; pruning; retry; batch; trace; metrics }
+    ?(batch = true) ?(index = true) ?(trace = Obs.Trace.null)
+    ?(metrics = true) () =
+  { jobs; pruning; retry; batch; index; trace; metrics }
 
 let with_jobs jobs = { default with jobs }
 let with_pruning pruning = { default with pruning }
 let with_retry retry = { default with retry }
 let with_batch batch = { default with batch }
+let with_index index = { default with index }
 let with_trace trace = { default with trace }

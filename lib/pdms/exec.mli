@@ -80,6 +80,11 @@ type t = {
           of {!Cq.Plan} (default [true]); [false] evaluates every
           rewriting independently — the [--no-batch] A/B escape hatch.
           The answer set is identical either way. *)
+  index : bool;
+      (** answer keyword searches from the {!Kwindex} inverted index
+          (default [true]); [false] re-vectorizes and scores every
+          tuple per query — the [--no-index] A/B escape hatch. Hit
+          lists are identical either way, tie-breaks included. *)
   trace : Obs.Trace.t;
       (** span collection; {!Obs.Trace.null} (the default) costs one
           branch per span site *)
@@ -94,7 +99,7 @@ val default : t
 
 val make :
   ?jobs:int -> ?pruning:pruning -> ?retry:retry -> ?batch:bool ->
-  ?trace:Obs.Trace.t -> ?metrics:bool -> unit -> t
+  ?index:bool -> ?trace:Obs.Trace.t -> ?metrics:bool -> unit -> t
 
 val with_jobs : int -> t
 (** [with_jobs n] is {!default} with [jobs = n]. *)
@@ -107,6 +112,9 @@ val with_retry : retry -> t
 
 val with_batch : bool -> t
 (** [with_batch b] is {!default} with [batch = b]. *)
+
+val with_index : bool -> t
+(** [with_index b] is {!default} with [index = b]. *)
 
 val with_trace : Obs.Trace.t -> t
 (** [with_trace tr] is {!default} with [trace = tr]. *)

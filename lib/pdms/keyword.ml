@@ -5,91 +5,91 @@ type hit = {
   score : float;
 }
 
-let tuple_tokens tuple =
-  Array.to_list tuple
-  |> List.concat_map (fun v -> Util.Tokenize.words (Relalg.Value.to_string v))
-  |> List.map Util.Stemmer.stem
-
-(* Tokenising + stemming every tuple dominates search time, and the
-   result only changes when the relation's contents do. Memoise the
-   per-relation entry lists keyed on {!Relalg.Relation.uid}, guarded by
-   {!Relalg.Relation.version} — any insert/delete/clear bumps the
-   version and forces a rebuild of just that relation's entries.
-   [Catalog.global_db] shares the peers' relation instances, so uids are
-   stable across calls. *)
-let max_memo_relations = 1024
-
-let token_memo :
-    ( int,
-      int * (string * string * Relalg.Relation.tuple * string list) list )
-    Hashtbl.t =
-  Hashtbl.create 64
-
 let m_searches = Obs.Metrics.counter "pdms.keyword.searches"
 let m_scored = Obs.Metrics.counter "pdms.keyword.tuples_scored"
 let m_memo_hits = Obs.Metrics.counter "pdms.keyword.memo_hits"
 let m_memo_misses = Obs.Metrics.counter "pdms.keyword.memo_misses"
 let m_hits_returned = Obs.Metrics.counter "pdms.keyword.hits_returned"
+let m_relations_indexed = Obs.Metrics.counter "pdms.kwindex.relations_indexed"
+let m_candidates = Obs.Metrics.counter "pdms.kwindex.candidates"
+let m_skipped = Obs.Metrics.counter "pdms.kwindex.skipped_by_bound"
 
-(* [memo] tallies hit/miss into the caller's locals so metrics stay
-   batched per search rather than paid per relation lookup. *)
-let relation_entries ~memo rel_name rel =
-  let memo_hits, memo_misses = memo in
-  let uid = Relalg.Relation.uid rel in
-  let version = Relalg.Relation.version rel in
-  match Hashtbl.find_opt token_memo uid with
-  | Some (v, entries) when v = version ->
-      Stdlib.incr memo_hits;
+(* Candidate-driven ranking: gather postings for the query's tokens
+   only, then rank relation by relation, skipping any relation whose
+   score upper bound cannot beat the current k-th score. Relations are
+   visited in database order and candidates in ascending tuple id, so
+   insertions into the heap happen in the same order the brute-force
+   scan would make them — tie-breaks included. *)
+let indexed ~jobs ~trace ~metrics ~limit entries query_toks =
+  let stamp, corpus = Kwindex.corpus ~metrics entries in
+  let query_vec = Util.Tfidf.vectorize corpus query_toks in
+  let probes =
+    Obs.Trace.span trace "kwindex.probe" @@ fun () ->
+    Obs.Trace.attr_i trace "jobs" jobs;
+    Util.Pool.map jobs
+      (fun e -> Kwindex.probe e ~stamp corpus query_vec)
       entries
-  | _ ->
-      Stdlib.incr memo_misses;
-      let peer =
-        match Distributed.owner_of_pred rel_name with
-        | Some p -> p
-        | None -> ""
-      in
-      let entries =
-        List.map
-          (fun tuple -> (peer, rel_name, tuple, tuple_tokens tuple))
-          (Relalg.Relation.tuples rel)
-      in
-      if Hashtbl.length token_memo >= max_memo_relations then
-        Hashtbl.reset token_memo;
-      Hashtbl.replace token_memo uid (version, entries);
-      entries
+  in
+  let candidates = ref 0 and skipped = ref 0 in
+  let hits =
+    Obs.Trace.span trace "rank" @@ fun () ->
+    let top = Util.Topk.create limit in
+    List.iter
+      (fun pr ->
+        candidates := !candidates + Array.length pr.Kwindex.candidates;
+        let skip =
+          match Util.Topk.min_score top with
+          | Some floor -> pr.Kwindex.bound <= floor
+          | None -> false
+        in
+        if skip then Stdlib.incr skipped
+        else
+          let e = pr.Kwindex.source in
+          Array.iter
+            (fun id ->
+              let score = pr.Kwindex.scores.(id) in
+              if score > 0.0 then
+                Util.Topk.add top score
+                  {
+                    peer = e.Kwindex.peer;
+                    stored_rel = e.Kwindex.rel_name;
+                    tuple = e.Kwindex.tuples.(id);
+                    score;
+                  })
+            pr.Kwindex.candidates)
+      probes;
+    let hits = List.map snd (Util.Topk.to_list top) in
+    Obs.Trace.attr_i trace "limit" limit;
+    Obs.Trace.attr_i trace "hits" (List.length hits);
+    Obs.Trace.attr_i trace "skipped_by_bound" !skipped;
+    hits
+  in
+  (hits, !candidates, !candidates, !skipped)
 
-let search ?(limit = 10) ?(exec = Exec.default) ?network catalog keywords =
-  let jobs = exec.Exec.jobs in
-  let trace = exec.Exec.trace in
-  Obs.Trace.span trace "keyword.search" @@ fun () ->
-  let memo_hits = ref 0 and memo_misses = ref 0 in
-  let db = Catalog.global_db catalog in
-  (* Degraded search: relations owned by a downed peer are unreachable,
-     so they neither get tokenised nor ranked. *)
-  let reachable rel_name =
-    match network with
-    | None -> true
-    | Some net -> (
-        match Distributed.owner_of_pred rel_name with
-        | Some owner -> not (Network.Fault.is_down net owner)
-        | None -> true)
+(* The [--no-index] baseline: rebuild the corpus and re-vectorize every
+   tuple per call, as the pre-index implementation did. Tokenisation
+   still comes from the shared Kwindex entries (the old token memo,
+   folded into the index store), so the A/B measures indexing proper,
+   not tokenisation caching. *)
+let brute ~jobs ~trace ~limit entries query_toks =
+  let docs =
+    List.concat_map
+      (fun e ->
+        Array.to_list
+          (Array.mapi
+             (fun id tfs ->
+               let toks =
+                 Array.to_list tfs
+                 |> List.concat_map (fun (tok, tf) ->
+                        List.init (int_of_float tf) (fun _ -> tok))
+               in
+               (e.Kwindex.peer, e.Kwindex.rel_name, e.Kwindex.tuples.(id), toks))
+             e.Kwindex.token_tfs))
+      entries
   in
-  let entries =
-    Obs.Trace.span trace "collect" @@ fun () ->
-    let entries =
-      List.concat_map
-        (fun rel_name ->
-          relation_entries ~memo:(memo_hits, memo_misses) rel_name
-            (Relalg.Database.find db rel_name))
-        (List.filter reachable (Relalg.Database.names db))
-    in
-    Obs.Trace.attr_i trace "tuples" (List.length entries);
-    Obs.Trace.attr_i trace "memo_hits" !memo_hits;
-    Obs.Trace.attr_i trace "memo_misses" !memo_misses;
-    entries
+  let corpus =
+    Util.Tfidf.build (List.map (fun (_, _, _, toks) -> toks) docs)
   in
-  let corpus = Util.Tfidf.build (List.map (fun (_, _, _, toks) -> toks) entries) in
-  let query_toks = List.map Util.Stemmer.stem (Util.Tokenize.words keywords) in
   let query_vec = Util.Tfidf.vectorize corpus query_toks in
   (* Scoring is pure, so it shards across domains; chunks are contiguous
      and re-concatenated in order, keeping the ranking (tie-breaks
@@ -97,7 +97,7 @@ let search ?(limit = 10) ?(exec = Exec.default) ?network catalog keywords =
   let scored =
     Obs.Trace.span trace "score" @@ fun () ->
     Obs.Trace.attr_i trace "jobs" jobs;
-    Util.Pool.chunk (max 1 jobs) entries
+    Util.Pool.chunk (max 1 jobs) docs
     |> Util.Pool.map jobs
          (List.map (fun (peer, stored_rel, tuple, toks) ->
               let score =
@@ -117,12 +117,58 @@ let search ?(limit = 10) ?(exec = Exec.default) ?network catalog keywords =
     Obs.Trace.attr_i trace "hits" (List.length hits);
     hits
   in
-  if exec.Exec.metrics then begin
+  (hits, List.length docs, 0, 0)
+
+let search ?(limit = 10) ?(exec = Exec.default) ?network catalog keywords =
+  let jobs = exec.Exec.jobs in
+  let trace = exec.Exec.trace in
+  let metrics = exec.Exec.metrics in
+  Obs.Trace.span trace "keyword.search" @@ fun () ->
+  let db = Catalog.global_db catalog in
+  (* Degraded search: relations owned by a downed peer are unreachable,
+     so their postings are excluded at query time — the index entries
+     themselves survive for when the peer heals. *)
+  let reachable rel_name =
+    match network with
+    | None -> true
+    | Some net -> (
+        match Distributed.owner_of_pred rel_name with
+        | Some owner -> not (Network.Fault.is_down net owner)
+        | None -> true)
+  in
+  let built = ref 0 in
+  let entries =
+    Obs.Trace.span trace "kwindex.build" @@ fun () ->
+    let entries =
+      List.map
+        (fun rel_name ->
+          let e, fresh =
+            Kwindex.get ~metrics ~rel_name (Relalg.Database.find db rel_name)
+          in
+          if fresh then Stdlib.incr built;
+          e)
+        (List.filter reachable (Relalg.Database.names db))
+    in
+    Obs.Trace.attr_i trace "relations" (List.length entries);
+    Obs.Trace.attr_i trace "built" !built;
+    entries
+  in
+  let query_toks = List.map Util.Stemmer.stem (Util.Tokenize.words keywords) in
+  let hits, scanned, candidates, skipped =
+    if exec.Exec.index then
+      indexed ~jobs ~trace ~metrics ~limit entries query_toks
+    else brute ~jobs ~trace ~limit entries query_toks
+  in
+  if metrics then begin
+    let n_entries = List.length entries in
     Obs.Metrics.incr m_searches;
-    Obs.Metrics.add m_scored (List.length entries);
-    Obs.Metrics.add m_memo_hits !memo_hits;
-    Obs.Metrics.add m_memo_misses !memo_misses;
-    Obs.Metrics.add m_hits_returned (List.length hits)
+    Obs.Metrics.add m_scored scanned;
+    Obs.Metrics.add m_memo_hits (n_entries - !built);
+    Obs.Metrics.add m_memo_misses !built;
+    Obs.Metrics.add m_hits_returned (List.length hits);
+    Obs.Metrics.add m_relations_indexed n_entries;
+    Obs.Metrics.add m_candidates candidates;
+    Obs.Metrics.add m_skipped skipped
   end;
   hits
 

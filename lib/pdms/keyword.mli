@@ -15,17 +15,29 @@ val search :
   hit list
 (** [search catalog "ancient history"] ranks every stored tuple in every
     peer against the keyword query (stemmed tokens, TF/IDF over the
-    tuple corpus); default limit 10, zero scores dropped. [exec.jobs]
-    shards the scoring pass across domains; the ranking is identical for
-    every value. When [network] is given, relations owned by a peer that
-    {!Network.Fault.is_down} are skipped — search degrades to the
-    reachable part of the PDMS instead of pretending dead peers
-    answered. Opens a ["keyword.search"] span (children ["collect"],
-    ["score"], ["rank"]) and records [pdms.keyword.*] metrics, including
-    token-memo hit/miss counts.
-    Per-tuple token vectors are memoised across calls, keyed on
-    each relation's [(uid, version)] pair, so repeated searches over an
-    unchanged database skip tokenisation entirely; any insert, delete or
-    clear invalidates just that relation's vectors. *)
+    tuple corpus); default limit 10, zero scores dropped.
+
+    Answers come from the {!Kwindex} inverted index: postings are
+    gathered for the query's tokens only, partial dot products
+    accumulate per candidate, and ranking early-terminates whole
+    relations whose score upper bound cannot beat the current k-th
+    score. Index entries rebuild only when a relation's
+    [(uid, version)] moves, so repeated searches over an unchanged
+    database skip tokenisation and vectorization entirely.
+    [exec.index = false] (the [--no-index] escape hatch) instead
+    re-vectorizes and cosine-scores every tuple per call; the hit list
+    is byte-identical either way — scores, order, and tie-breaks.
+
+    [exec.jobs] shards posting accumulation (or brute-force scoring)
+    across domains; the ranking is identical for every value. When
+    [network] is given, relations owned by a peer that
+    {!Network.Fault.is_down} are excluded at query time — search
+    degrades to the reachable part of the PDMS instead of pretending
+    dead peers answered, and the index entries survive for when the
+    peer heals.
+
+    Opens a ["keyword.search"] span (children ["kwindex.build"],
+    ["kwindex.probe"], ["rank"]; ["score"] on the brute path) and
+    records [pdms.keyword.*] plus [pdms.kwindex.*] metrics. *)
 
 val render_hit : hit -> string

@@ -1,0 +1,269 @@
+(* Incremental inverted index over stored relations.
+
+   One entry per relation, keyed on {!Relalg.Relation.uid} and guarded
+   by {!Relalg.Relation.version} — the same discipline as
+   {!Relalg.Stats} and the token memo this module replaces, except the
+   store evicts a single least-recently-used entry on overflow instead
+   of dumping everything (a reset would force a thundering rebuild of
+   every live relation on the next search).
+
+   Byte-identity with the brute-force scorer is load-bearing: the
+   [--no-index] escape hatch must produce the same hit lists bit for
+   bit. Three invariants keep it:
+   - per-tuple term frequencies are accumulated with the same
+     [+. 1.0] folds as {!Util.Tfidf.vectorize} and stored in ascending
+     token order, so norms fold in the exact op order of [vectorize];
+   - a tuple's weight is computed as [(tf *. idf) /. norm] — the two
+     rounding steps [vectorize] performs, in the same order;
+   - [probe] walks the query vector in ascending token order, so each
+     candidate's partial dot products arrive in the order
+     {!Util.Tfidf.cosine}'s merge would add them.
+   Document frequencies merge as exact integer counts; converting with
+   [float_of_int] equals [build]'s repeated [+. 1.0] for any count
+   below 2^53. *)
+
+module Smap = Map.Make (String)
+
+type posting = { ids : int array; tfs : float array; max_tf : float }
+(* [ids] ascending tuple ids; [tfs.(i)] is the term frequency of the
+   token in tuple [ids.(i)]. *)
+
+type entry = {
+  uid : int;
+  version : int;
+  peer : string;
+  rel_name : string;
+  tuples : Relalg.Relation.tuple array;
+  token_tfs : (string * float) array array;
+      (* per tuple, ascending token order *)
+  postings : (string, posting) Hashtbl.t;
+  doc_count : int;
+  mutable norms : (int * float array * float) option;
+      (* (corpus stamp, per-tuple norm, min positive norm) *)
+  mutable last_used : int;
+}
+
+type probe = {
+  source : entry;
+  scores : float array;
+  candidates : int array;
+  bound : float;
+}
+
+let m_builds = Obs.Metrics.counter "pdms.kwindex.builds"
+let m_postings = Obs.Metrics.counter "pdms.kwindex.postings"
+let m_df_merges = Obs.Metrics.counter "pdms.kwindex.df_merges"
+let h_posting_len = Obs.Metrics.histogram "pdms.kwindex.posting_len"
+
+let tuple_tokens tuple =
+  Array.to_list tuple
+  |> List.concat_map (fun v -> Util.Tokenize.words (Relalg.Value.to_string v))
+  |> List.map Util.Stemmer.stem
+
+let build ?(metrics = true) ~rel_name rel =
+  let peer =
+    match Distributed.owner_of_pred rel_name with Some p -> p | None -> ""
+  in
+  let tuples = Array.of_list (Relalg.Relation.tuples rel) in
+  let token_tfs =
+    Array.map
+      (fun tuple ->
+        let tf =
+          List.fold_left
+            (fun acc tok ->
+              Smap.update tok
+                (function None -> Some 1.0 | Some x -> Some (x +. 1.0))
+                acc)
+            Smap.empty (tuple_tokens tuple)
+        in
+        Array.of_list (Smap.bindings tf))
+      tuples
+  in
+  let acc : (string, (int * float) list) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun id tfs ->
+      Array.iter
+        (fun (tok, tf) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt acc tok) in
+          Hashtbl.replace acc tok ((id, tf) :: prev))
+        tfs)
+    token_tfs;
+  let postings = Hashtbl.create (max 16 (Hashtbl.length acc)) in
+  Hashtbl.iter
+    (fun tok rev ->
+      let l = List.rev rev in
+      let ids = Array.of_list (List.map fst l) in
+      let tfs = Array.of_list (List.map snd l) in
+      let max_tf = Array.fold_left Float.max 0.0 tfs in
+      if metrics then
+        Obs.Metrics.observe h_posting_len (float_of_int (Array.length ids));
+      Hashtbl.replace postings tok { ids; tfs; max_tf })
+    acc;
+  if metrics then begin
+    Obs.Metrics.incr m_builds;
+    Obs.Metrics.add m_postings (Hashtbl.length postings)
+  end;
+  {
+    uid = Relalg.Relation.uid rel;
+    version = Relalg.Relation.version rel;
+    peer;
+    rel_name;
+    tuples;
+    token_tfs;
+    postings;
+    doc_count = Array.length tuples;
+    norms = None;
+    last_used = 0;
+  }
+
+(* uid -> entry. Bounded; overflow evicts the single least-recently-used
+   entry (O(store) scan, paid only at the cap). *)
+let store : (int, entry) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+let max_entries = 1024
+let tick = ref 0
+
+(* Caller holds [lock]. *)
+let evict_lru () =
+  let victim =
+    Hashtbl.fold
+      (fun uid e acc ->
+        match acc with
+        | Some (_, lu) when lu <= e.last_used -> acc
+        | _ -> Some (uid, e.last_used))
+      store None
+  in
+  match victim with Some (uid, _) -> Hashtbl.remove store uid | None -> ()
+
+let get ?(metrics = true) ~rel_name rel =
+  let uid = Relalg.Relation.uid rel in
+  let version = Relalg.Relation.version rel in
+  Mutex.lock lock;
+  incr tick;
+  let now = !tick in
+  let cached =
+    match Hashtbl.find_opt store uid with
+    | Some e when e.version = version ->
+        e.last_used <- now;
+        Some e
+    | Some _ | None -> None
+  in
+  Mutex.unlock lock;
+  match cached with
+  | Some e -> (e, false)
+  | None ->
+      (* Build outside the lock: racing searches may both scan the
+         relation, but they write identical entries. *)
+      let e = build ~metrics ~rel_name rel in
+      e.last_used <- now;
+      Mutex.lock lock;
+      if (not (Hashtbl.mem store uid)) && Hashtbl.length store >= max_entries
+      then evict_lru ();
+      Hashtbl.replace store uid e;
+      Mutex.unlock lock;
+      (e, true)
+
+let store_size () =
+  Mutex.lock lock;
+  let n = Hashtbl.length store in
+  Mutex.unlock lock;
+  n
+
+(* The global corpus depends on the reachable set (down peers change df
+   and n per query), so it can't live in the per-relation entries. A
+   one-slot memo keyed on the reachable [(uid, version)] list serves the
+   repeated-search regime; each recompute mints a fresh stamp that
+   invalidates the per-entry norm caches. *)
+let stamp_counter = ref 0
+
+let corpus_memo : ((int * int) list * int * Util.Tfidf.corpus) option ref =
+  ref None
+
+let corpus ?(metrics = true) entries =
+  let key = List.map (fun e -> (e.uid, e.version)) entries in
+  Mutex.lock lock;
+  let memo = !corpus_memo in
+  Mutex.unlock lock;
+  match memo with
+  | Some (k, stamp, c) when k = key -> (stamp, c)
+  | _ ->
+      let df : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+      let n = ref 0 in
+      List.iter
+        (fun e ->
+          n := !n + e.doc_count;
+          Hashtbl.iter
+            (fun tok p ->
+              let prev = Option.value ~default:0 (Hashtbl.find_opt df tok) in
+              Hashtbl.replace df tok (prev + Array.length p.ids))
+            e.postings)
+        entries;
+      let counts = Hashtbl.fold (fun tok c acc -> (tok, c) :: acc) df [] in
+      let c = Util.Tfidf.of_counts ~n:!n counts in
+      Mutex.lock lock;
+      incr stamp_counter;
+      let stamp = !stamp_counter in
+      corpus_memo := Some (key, stamp, c);
+      Mutex.unlock lock;
+      if metrics then Obs.Metrics.incr m_df_merges;
+      (stamp, c)
+
+let norms entry ~stamp c =
+  match entry.norms with
+  | Some (s, ns, mn) when s = stamp -> (ns, mn)
+  | _ ->
+      let ns =
+        Array.map
+          (fun tfs ->
+            sqrt
+              (Array.fold_left
+                 (fun acc (tok, tf) ->
+                   let w = tf *. Util.Tfidf.idf c tok in
+                   acc +. (w *. w))
+                 0.0 tfs))
+          entry.token_tfs
+      in
+      let mn =
+        Array.fold_left
+          (fun acc n -> if n > 0.0 && n < acc then n else acc)
+          infinity ns
+      in
+      entry.norms <- Some (stamp, ns, mn);
+      (ns, mn)
+
+let probe entry ~stamp c query_vec =
+  let ns, min_norm = norms entry ~stamp c in
+  let scores = Array.make (max 1 entry.doc_count) 0.0 in
+  let seen = Array.make (max 1 entry.doc_count) false in
+  let touched = ref [] in
+  let bound = ref 0.0 in
+  List.iter
+    (fun (tok, qw) ->
+      match Hashtbl.find_opt entry.postings tok with
+      | None -> ()
+      | Some p ->
+          let idf = Util.Tfidf.idf c tok in
+          (* Every true per-token contribution is dominated term-wise
+             by [qw *. ((max_tf *. idf) /. min_norm)]; round-to-nearest
+             is monotone, so the accumulated bound dominates every
+             candidate's final score. *)
+          bound := !bound +. (qw *. ((p.max_tf *. idf) /. min_norm));
+          for i = 0 to Array.length p.ids - 1 do
+            let id = p.ids.(i) in
+            let w = (p.tfs.(i) *. idf) /. ns.(id) in
+            scores.(id) <- scores.(id) +. (qw *. w);
+            if not seen.(id) then begin
+              seen.(id) <- true;
+              touched := id :: !touched
+            end
+          done)
+    query_vec;
+  let candidates = Array.of_list (List.sort Int.compare !touched) in
+  { source = entry; scores; candidates; bound = !bound }
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset store;
+  corpus_memo := None;
+  tick := 0;
+  Mutex.unlock lock

@@ -1,0 +1,86 @@
+(** Version-guarded incremental inverted index for keyword search.
+
+    One {!entry} per stored relation, keyed on {!Relalg.Relation.uid}
+    and guarded by {!Relalg.Relation.version} (the {!Relalg.Stats}
+    discipline): postings lists [token -> (tuple_id, tf)], per-tuple
+    term-frequency vectors in ascending token order, and lazily
+    computed per-tuple norms. Any insert/delete/clear bumps the
+    relation's version and reindexes just that relation; the bounded
+    store evicts its least-recently-used entry on overflow instead of
+    resetting wholesale.
+
+    Scoring through {!probe} is bit-identical to vectorizing every
+    tuple and taking {!Util.Tfidf.cosine} against the query vector —
+    term frequencies, norms, and partial dot products replay the exact
+    floating-point op order of the brute-force path (see the
+    implementation header for the argument), which is what lets
+    [revere search --no-index] serve as a byte-exact A/B baseline.
+
+    Instrumented with [pdms.kwindex.{builds,postings,df_merges}]
+    counters and a [pdms.kwindex.posting_len] histogram; the search
+    layer adds the per-query counters. *)
+
+type posting = { ids : int array; tfs : float array; max_tf : float }
+(** One token's postings within a relation: parallel arrays of
+    ascending tuple ids and term frequencies, plus the largest tf
+    (feeds the early-termination bound). *)
+
+type entry = {
+  uid : int;
+  version : int;
+  peer : string;  (** owner per {!Distributed.owner_of_pred}, "" if unqualified *)
+  rel_name : string;
+  tuples : Relalg.Relation.tuple array;  (** snapshot, ids are indices *)
+  token_tfs : (string * float) array array;
+      (** per tuple: (token, tf) ascending by token *)
+  postings : (string, posting) Hashtbl.t;
+  doc_count : int;
+  mutable norms : (int * float array * float) option;
+      (** (corpus stamp, per-tuple norms, min positive norm) — managed
+          by {!probe}; treat as private *)
+  mutable last_used : int;  (** LRU clock — managed by {!get} *)
+}
+
+type probe = {
+  source : entry;
+  scores : float array;  (** indexed by tuple id; only candidates valid *)
+  candidates : int array;  (** ascending tuple ids sharing >= 1 query token *)
+  bound : float;
+      (** upper bound on any candidate's score in this relation; if it
+          cannot beat the current top-k floor the whole relation is
+          skippable without changing the result *)
+}
+
+val tuple_tokens : Relalg.Relation.tuple -> string list
+(** Tokenised + stemmed values of a tuple, in value order. *)
+
+val get :
+  ?metrics:bool -> rel_name:string -> Relalg.Relation.t -> entry * bool
+(** [get ~rel_name rel] returns the index entry for [rel], rebuilding
+    it only if the relation's version moved since the cached build.
+    The flag is [true] when a (re)build happened. Thread-safe. *)
+
+val corpus : ?metrics:bool -> entry list -> int * Util.Tfidf.corpus
+(** [corpus entries] merges the per-relation df deltas of the given
+    (reachable) entries into a global corpus, memoised on the entries'
+    [(uid, version)] list — repeated searches over an unchanged
+    reachable set reuse it. Returns a stamp identifying the corpus;
+    per-entry norm caches are keyed on it. *)
+
+val probe :
+  entry -> stamp:int -> Util.Tfidf.corpus -> Util.Tfidf.vector -> probe
+(** [probe entry ~stamp corpus query_vec] accumulates partial dot
+    products for the query's tokens over this relation's postings
+    only. [query_vec] must be token-ascending (as
+    {!Util.Tfidf.vectorize} output is). Computes and caches the
+    entry's norms for [stamp] on first use — safe to call from
+    parallel shards as long as each entry is probed by one shard. *)
+
+val store_size : unit -> int
+(** Number of relations currently indexed (bounded by {!max_entries}). *)
+
+val max_entries : int
+(** Store capacity; overflow evicts the least-recently-used entry. *)
+
+val reset : unit -> unit
+(** Drop every cached entry and the corpus memo (tests/benchmarks). *)

@@ -18,6 +18,14 @@ let build docs =
   in
   { df; n = List.length docs }
 
+let of_counts ~n counts =
+  let df =
+    List.fold_left
+      (fun acc (tok, c) -> Smap.add tok (float_of_int c) acc)
+      Smap.empty counts
+  in
+  { df; n }
+
 let num_docs c = c.n
 
 let idf c tok =
@@ -40,11 +48,37 @@ let vectorize c doc =
   let weighted = if norm > 0.0 then Smap.map (fun w -> w /. norm) weighted else weighted in
   Smap.bindings weighted
 
-let cosine va vb =
+(* Vectors produced by [vectorize] come from [Smap.bindings] and are
+   strictly sorted by token, so the dot product is a linear two-pointer
+   merge. Callers outside this module also feed count-ordered vectors
+   (e.g. Counter.items output), for which we keep the map-based path:
+   the merge is only valid when both sides are strictly ascending. *)
+let rec strictly_sorted = function
+  | [] | [ _ ] -> true
+  | (ka, _) :: ((kb, _) :: _ as rest) ->
+      String.compare ka kb < 0 && strictly_sorted rest
+
+let cosine_merge va vb =
+  let rec go acc va vb =
+    match (va, vb) with
+    | [], _ | _, [] -> acc
+    | (ka, wa) :: ra, (kb, wb) :: rb -> (
+        match String.compare ka kb with
+        | 0 -> go (acc +. (wa *. wb)) ra rb
+        | c when c < 0 -> go acc ra vb
+        | _ -> go acc va rb)
+  in
+  go 0.0 va vb
+
+let cosine_map va vb =
   let mb = List.fold_left (fun acc (k, v) -> Smap.add k v acc) Smap.empty vb in
   List.fold_left
     (fun acc (k, v) ->
       match Smap.find_opt k mb with None -> acc | Some w -> acc +. (v *. w))
     0.0 va
+
+let cosine va vb =
+  if strictly_sorted va && strictly_sorted vb then cosine_merge va vb
+  else cosine_map va vb
 
 let similarity c da db = cosine (vectorize c da) (vectorize c db)

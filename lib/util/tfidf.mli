@@ -9,6 +9,12 @@ type vector = (string * float) list
 val build : string list list -> corpus
 (** [build docs] computes document frequencies over tokenised documents. *)
 
+val of_counts : n:int -> (string * int) list -> corpus
+(** [of_counts ~n counts] assembles a corpus from precomputed integer
+    document frequencies over [n] documents (e.g. merged per-relation
+    deltas from an inverted index). Equivalent to [build] on any doc
+    set with those frequencies: counts below 2^53 convert exactly. *)
+
 val num_docs : corpus -> int
 
 val idf : corpus -> string -> float
@@ -18,6 +24,9 @@ val vectorize : corpus -> string list -> vector
 (** TF (raw count) * IDF, L2-normalised. *)
 
 val cosine : vector -> vector -> float
+(** Dot product over shared tokens. When both vectors are strictly
+    token-sorted (as [vectorize] output always is) this is a linear
+    two-pointer merge; otherwise it falls back to a map-based probe. *)
 
 val similarity : corpus -> string list -> string list -> float
 (** Cosine of the two vectorised documents. *)

@@ -1,27 +1,77 @@
-(* A simple sorted-list implementation: k is small (tens) in every use
-   site, so O(k) insertion is fine and keeps the code obvious. *)
-type 'a t = { k : int; mutable items : (float * 'a) list; mutable size : int }
+(* Array-backed bounded binary min-heap: the root is the weakest
+   retained item, so a full accumulator rejects a loser against one
+   slot in O(1) and pays O(log k) only when a newcomer displaces it.
+   The heap order key is (score, insertion sequence): among equal
+   scores the later insertion is the weaker item, which preserves the
+   tie-break of the original sorted-list implementation (first-come
+   wins among equals). *)
+
+type 'a slot = { score : float; seq : int; item : 'a }
+
+type 'a t = {
+  k : int;
+  mutable heap : 'a slot array;  (* [0, size): min-heap, weakest at 0 *)
+  mutable size : int;
+  mutable seq : int;  (* total adds so far = next insertion stamp *)
+}
 
 let create k =
   if k <= 0 then invalid_arg "Topk.create: k must be positive";
-  { k; items = []; size = 0 }
+  { k; heap = [||]; size = 0; seq = 0 }
 
-let add t score x =
-  let rec insert = function
-    | [] -> [ (score, x) ]
-    | (s, _) :: _ as rest when score > s -> (score, x) :: rest
-    | item :: rest -> item :: insert rest
-  in
-  t.items <- insert t.items;
-  t.size <- t.size + 1;
-  if t.size > t.k then begin
-    t.items <- List.filteri (fun i _ -> i < t.k) t.items;
-    t.size <- t.k
+(* [weaker a b]: is [a] dropped in preference to [b]? *)
+let weaker a b = a.score < b.score || (a.score = b.score && a.seq > b.seq)
+
+let swap h i j =
+  let t = h.(i) in
+  h.(i) <- h.(j);
+  h.(j) <- t
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if weaker h.(i) h.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
   end
 
-let to_list t = t.items
+let rec sift_down h size i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let weakest = ref i in
+  if l < size && weaker h.(l) h.(!weakest) then weakest := l;
+  if r < size && weaker h.(r) h.(!weakest) then weakest := r;
+  if !weakest <> i then begin
+    swap h i !weakest;
+    sift_down h size !weakest
+  end
 
-let min_score t =
-  if t.size < t.k then None
-  else
-    match List.rev t.items with [] -> None | (s, _) :: _ -> Some s
+let add t score item =
+  let s = { score; seq = t.seq; item } in
+  t.seq <- t.seq + 1;
+  if t.size < t.k then begin
+    (* The backing array is allocated lazily so empty accumulators
+       cost nothing; the first slot doubles as the filler value. *)
+    if Array.length t.heap = 0 then t.heap <- Array.make t.k s;
+    t.heap.(t.size) <- s;
+    t.size <- t.size + 1;
+    sift_up t.heap (t.size - 1)
+  end
+  else if weaker s t.heap.(0) then ()
+    (* Full and no stronger than the weakest kept item: equal scores
+       lose to the earlier insertion, exactly as the sorted list
+       truncated them. *)
+  else begin
+    t.heap.(0) <- s;
+    sift_down t.heap t.size 0
+  end
+
+let to_list t =
+  Array.to_list (Array.sub t.heap 0 t.size)
+  |> List.sort (fun a b ->
+         match Float.compare b.score a.score with
+         | 0 -> Int.compare a.seq b.seq
+         | c -> c)
+  |> List.map (fun s -> (s.score, s.item))
+
+let min_score t = if t.size < t.k then None else Some t.heap.(0).score

@@ -1,10 +1,14 @@
 (** Bounded best-k accumulator for ranked retrieval (DesignAdvisor,
-    semantic search). *)
+    semantic search). Backed by an array min-heap: [add] against a
+    full accumulator is O(1) when the item loses to the current
+    floor, O(log k) otherwise. Ties on score keep the earlier
+    insertion. *)
 
 type 'a t
 
 val create : int -> 'a t
-(** [create k] keeps the [k] highest-scoring items. *)
+(** [create k] keeps the [k] highest-scoring items.
+    @raise Invalid_argument if [k <= 0]. *)
 
 val add : 'a t -> float -> 'a -> unit
 

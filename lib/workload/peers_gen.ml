@@ -68,6 +68,30 @@ let join_query g ~at =
         [ Cq.Term.v "Code"; Cq.Term.v "Title"; Cq.Term.v "I" ];
       Pdms.Peer.atom peer "instr" [ Cq.Term.v "Code"; Cq.Term.v "Person" ] ]
 
+let keyword_query g prng =
+  let peer = g.peers.(Util.Prng.int prng (Array.length g.peers)) in
+  let rel =
+    Relalg.Database.find (Pdms.Peer.stored_db peer)
+      (Pdms.Peer.stored_pred peer "course")
+  in
+  let tuples = Array.of_list (Relalg.Relation.tuples rel) in
+  if Array.length tuples = 0 then "databases"
+  else
+    let tuple = tuples.(Util.Prng.int prng (Array.length tuples)) in
+    let words =
+      Array.to_list tuple
+      |> List.concat_map (fun v ->
+             Util.Tokenize.words (Relalg.Value.to_string v))
+      |> Array.of_list
+    in
+    if Array.length words = 0 then "databases"
+    else
+      let n = 1 + Util.Prng.int prng (min 3 (Array.length words)) in
+      String.concat " "
+        (List.init n (fun _ -> Util.Prng.pick_arr prng words))
+
+let keyword_queries g prng ~n = List.init n (fun _ -> keyword_query g prng)
+
 let chain_query g ~at =
   let peer = g.peers.(at) in
   Cq.Query.make

@@ -25,6 +25,13 @@ val course_query : generated -> at:int -> Cq.Query.t
 val join_query : generated -> at:int -> Cq.Query.t
 (** Course-instructor join at peer [at]; requires [with_join]. *)
 
+val keyword_query : generated -> Util.Prng.t -> string
+(** One keyword query of 1–3 words sampled from the values of a random
+    stored course tuple — guaranteed to have matching postings, which
+    is what the E18 indexed-vs-brute sweep wants. *)
+
+val keyword_queries : generated -> Util.Prng.t -> n:int -> string list
+
 val chain_query : generated -> at:int -> Cq.Query.t
 (** Three-atom chain at peer [at]: course joined to instr on code,
     joined to a second course atom on person ("titles of course pairs

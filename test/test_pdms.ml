@@ -847,6 +847,117 @@ let test_keyword_skips_down_peer () =
     (P.Keyword.search ~network catalog "databases" <> [])
 
 (* ------------------------------------------------------------------ *)
+(* Kwindex: the inverted index must be indistinguishable from the
+   brute-force scan — scores bit-identical, order and tie-breaks
+   included — for any jobs value and any fault schedule. *)
+
+let hit_key (h : P.Keyword.hit) =
+  ( h.P.Keyword.peer,
+    h.P.Keyword.stored_rel,
+    Array.map Relalg.Value.to_string h.P.Keyword.tuple,
+    Int64.bits_of_float h.P.Keyword.score )
+
+let prop_indexed_matches_brute =
+  QCheck.Test.make
+    ~name:"indexed hits = brute hits (bit-identical scores, any jobs, faults)"
+    ~count:25
+    (QCheck.make QCheck.Gen.(int_bound 10_000) ~print:string_of_int)
+    (fun seed ->
+      let prng = Util.Prng.create (seed + 31) in
+      let kind =
+        match seed mod 4 with
+        | 0 -> P.Topology.Chain
+        | 1 -> P.Topology.Star
+        | 2 -> P.Topology.Ring
+        | _ -> P.Topology.Mesh 2
+      in
+      let n = 3 + (seed mod 4) in
+      let topology = P.Topology.generate ~prng kind ~n in
+      let g =
+        Workload.Peers_gen.generate prng ~topology
+          ~tuples_per_peer:(2 + (seed mod 5))
+          ~with_join:(seed mod 2 = 0) ()
+      in
+      let catalog = g.Workload.Peers_gen.catalog in
+      let network =
+        if seed mod 3 = 0 then begin
+          let net =
+            P.Distributed.network_of_catalog catalog ~latency_ms:1.0
+          in
+          P.Network.Fault.fail_peer net (Printf.sprintf "p%d" (seed mod n));
+          Some net
+        end
+        else None
+      in
+      let limit = 1 + (seed mod 7) in
+      let query = Workload.Peers_gen.keyword_query g prng in
+      let run exec =
+        List.map hit_key (P.Keyword.search ~limit ~exec ?network catalog query)
+      in
+      let reference = run (P.Exec.make ~index:false ()) in
+      reference = run (P.Exec.make ~index:false ~jobs:3 ())
+      && List.for_all
+           (fun jobs -> run (P.Exec.make ~jobs ()) = reference)
+           [ 1; 3 ])
+
+let kwindex_builds () =
+  Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "pdms.kwindex.builds"
+
+(* Incremental maintenance: a warm search rebuilds nothing; touching
+   one relation reindexes that relation alone. *)
+let test_kwindex_incremental () =
+  let catalog = P.Catalog.create () in
+  let pa = P.Peer.create ~name:"pa" ~schema:[ ("r", [ "x"; "y" ]) ] in
+  let pb = P.Peer.create ~name:"pb" ~schema:[ ("s", [ "x"; "y" ]) ] in
+  P.Catalog.add_peer catalog pa;
+  P.Catalog.add_peer catalog pb;
+  let ra = P.Catalog.store_identity catalog pa ~rel:"r" in
+  let rb = P.Catalog.store_identity catalog pb ~rel:"s" in
+  Relalg.Relation.insert ra [| vs "cse444"; vs "databases" |];
+  Relalg.Relation.insert rb [| vs "cse451"; vs "operating systems" |];
+  ignore (P.Keyword.search catalog "databases");
+  let warm = kwindex_builds () in
+  ignore (P.Keyword.search catalog "systems");
+  check_i "warm repeat rebuilds nothing" warm (kwindex_builds ());
+  Relalg.Relation.insert ra [| vs "cse452"; vs "distributed systems" |];
+  let hits = P.Keyword.search catalog "distributed" in
+  check_i "only the touched relation reindexes" (warm + 1) (kwindex_builds ());
+  check_b "new tuple is searchable" true
+    (List.exists
+       (fun (h : P.Keyword.hit) ->
+         Array.exists
+           (fun v -> Relalg.Value.to_string v = "cse452")
+           h.P.Keyword.tuple)
+       hits)
+
+(* Overflow evicts one LRU victim, not the whole store (the old token
+   memo's Hashtbl.reset forced a thundering rebuild of everything). *)
+let test_kwindex_lru_eviction () =
+  P.Kwindex.reset ();
+  let b0 = kwindex_builds () in
+  let rel i =
+    let r = Relalg.Relation.create (Relalg.Schema.make "r" [ "x" ]) in
+    Relalg.Relation.insert r [| vs (Printf.sprintf "tok%d" i) |];
+    r
+  in
+  let rels = Array.init (P.Kwindex.max_entries + 5) rel in
+  Array.iteri
+    (fun i r ->
+      ignore (P.Kwindex.get ~rel_name:(Printf.sprintf "r%d!" i) r))
+    rels;
+  check_i "store bounded at capacity" P.Kwindex.max_entries
+    (P.Kwindex.store_size ());
+  let filled = kwindex_builds () in
+  check_i "every relation built exactly once"
+    (b0 + P.Kwindex.max_entries + 5) filled;
+  let last = Array.length rels - 1 in
+  ignore (P.Kwindex.get ~rel_name:(Printf.sprintf "r%d!" last) rels.(last));
+  check_i "recent entry survived the overflow" filled (kwindex_builds ());
+  ignore (P.Kwindex.get ~rel_name:"r0!" rels.(0));
+  check_i "oldest entry was evicted" (filled + 1) (kwindex_builds ());
+  P.Kwindex.reset ()
+
+(* ------------------------------------------------------------------ *)
 (* Cache *)
 
 let test_cache_hit_and_invalidate () =
@@ -1409,7 +1520,11 @@ let () =
       ("keyword",
        [ Alcotest.test_case "cross-peer search" `Quick test_keyword_search;
          Alcotest.test_case "skips down peers" `Quick
-           test_keyword_skips_down_peer ]);
+           test_keyword_skips_down_peer;
+         Alcotest.test_case "incremental reindex" `Quick
+           test_kwindex_incremental;
+         Alcotest.test_case "lru eviction" `Quick test_kwindex_lru_eviction ]
+       @ qc [ prop_indexed_matches_brute ]);
       ("distributed",
        [ Alcotest.test_case "owner parsing" `Quick test_distributed_owner_parsing;
          Alcotest.test_case "beats central" `Quick test_distributed_beats_central;

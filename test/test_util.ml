@@ -217,6 +217,70 @@ let test_tfidf () =
   (* The rarer term is worth more. *)
   check_b "idf favours rare terms" true (Util.Tfidf.idf c "talk" > Util.Tfidf.idf c "course")
 
+(* The pre-heap map-based cosine, kept as a reference model: the
+   two-pointer merge must agree with it bit for bit on sorted vectors
+   and the fallback must reproduce it on arbitrary ones. *)
+let cosine_reference va vb =
+  let module Smap = Map.Make (String) in
+  let mb = List.fold_left (fun acc (k, v) -> Smap.add k v acc) Smap.empty vb in
+  List.fold_left
+    (fun acc (k, v) ->
+      match Smap.find_opt k mb with None -> acc | Some w -> acc +. (v *. w))
+    0.0 va
+
+let sparse_vector_gen =
+  QCheck.Gen.(
+    let tok = map (Printf.sprintf "t%02d") (int_bound 30) in
+    let weight = map (fun x -> float_of_int x /. 7.0) (int_range (-20) 20) in
+    map
+      (fun kvs ->
+        (* unique tokens, ascending: what Tfidf.vectorize emits *)
+        List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) kvs)
+      (small_list (pair tok weight)))
+
+let prop_cosine_merge_matches_reference =
+  QCheck.Test.make ~name:"cosine two-pointer = map reference (sorted)"
+    ~count:500
+    (QCheck.make
+       QCheck.Gen.(pair sparse_vector_gen sparse_vector_gen)
+       ~print:(fun (a, b) ->
+         let pp v =
+           String.concat ";"
+             (List.map (fun (k, w) -> Printf.sprintf "%s:%g" k w) v)
+         in
+         pp a ^ " | " ^ pp b))
+    (fun (va, vb) ->
+      (* bit-for-bit, not approximately *)
+      Int64.equal
+        (Int64.bits_of_float (Util.Tfidf.cosine va vb))
+        (Int64.bits_of_float (cosine_reference va vb)))
+
+let test_cosine_unsorted_fallback () =
+  (* Counter.items-style input: ordered by count, not token. *)
+  let va = [ ("zeta", 2.0); ("alpha", 1.0) ] in
+  let vb = [ ("alpha", 3.0); ("zeta", 0.5); ("mid", 9.0) ] in
+  Alcotest.(check (float 1e-12))
+    "fallback equals reference" (cosine_reference va vb)
+    (Util.Tfidf.cosine va vb);
+  Alcotest.(check (float 1e-12)) "4.0" 4.0 (Util.Tfidf.cosine va vb)
+
+let test_tfidf_of_counts () =
+  let docs = [ [ "course"; "title" ]; [ "course"; "phone" ]; [ "talk" ] ] in
+  let built = Util.Tfidf.build docs in
+  let merged =
+    Util.Tfidf.of_counts ~n:3
+      [ ("course", 2); ("title", 1); ("phone", 1); ("talk", 1) ]
+  in
+  List.iter
+    (fun tok ->
+      check_b
+        (Printf.sprintf "idf %s identical" tok)
+        true
+        (Int64.equal
+           (Int64.bits_of_float (Util.Tfidf.idf built tok))
+           (Int64.bits_of_float (Util.Tfidf.idf merged tok))))
+    [ "course"; "title"; "phone"; "talk"; "absent" ]
+
 (* ------------------------------------------------------------------ *)
 (* Topk *)
 
@@ -229,6 +293,45 @@ let test_topk () =
   (match Util.Topk.min_score t with
   | Some s -> Alcotest.(check (float 1e-9)) "min score" 3.0 s
   | None -> Alcotest.fail "expected full accumulator")
+
+(* Sort-free reference model: the pre-heap sorted-list implementation
+   (insert after equal scores, truncate to k). The heap must reproduce
+   its output — order and tie-breaks — for any insertion sequence. *)
+let model_topk k xs =
+  let insert l (score, item) =
+    let rec go = function
+      | [] -> [ (score, item) ]
+      | (s, _) :: _ as l when score > s -> (score, item) :: l
+      | hd :: tl -> hd :: go tl
+    in
+    List.filteri (fun i _ -> i < k) (go l)
+  in
+  List.fold_left insert [] xs
+
+let model_min_score k l =
+  if List.length l < k then None
+  else Some (fst (List.nth l (List.length l - 1)))
+
+let prop_topk_model =
+  QCheck.Test.make ~name:"topk heap = sorted-list model (ties included)"
+    ~count:500
+    QCheck.(pair (int_range 1 8) (small_list (int_bound 4)))
+    (fun (k, raw) ->
+      (* scores drawn from 5 values to force plenty of ties; items are
+         insertion indices so tie-break order is observable *)
+      let xs = List.mapi (fun i s -> (float_of_int s, i)) raw in
+      let t = Util.Topk.create k in
+      List.iter (fun (s, x) -> Util.Topk.add t s x) xs;
+      let expect = model_topk k xs in
+      Util.Topk.to_list t = expect
+      && Util.Topk.min_score t = model_min_score k expect)
+
+let test_topk_create_guard () =
+  check_b "k = 0 rejected" true
+    (try
+       ignore (Util.Topk.create 0);
+       false
+     with Invalid_argument _ -> true)
 
 let prop_topk_sorted =
   QCheck.Test.make ~name:"topk sorted descending" ~count:200
@@ -365,9 +468,16 @@ let () =
        [ Alcotest.test_case "levenshtein" `Quick test_levenshtein;
          Alcotest.test_case "jaccard" `Quick test_jaccard ]
        @ qc [ prop_levenshtein_symmetric; prop_levenshtein_identity; prop_ngram_sim_bounds ]);
-      ("tfidf", [ Alcotest.test_case "ranking" `Quick test_tfidf ]);
+      ("tfidf",
+       [ Alcotest.test_case "ranking" `Quick test_tfidf;
+         Alcotest.test_case "unsorted cosine fallback" `Quick
+           test_cosine_unsorted_fallback;
+         Alcotest.test_case "of_counts = build" `Quick test_tfidf_of_counts ]
+       @ qc [ prop_cosine_merge_matches_reference ]);
       ("topk",
-       [ Alcotest.test_case "basic" `Quick test_topk ] @ qc [ prop_topk_sorted ]);
+       [ Alcotest.test_case "basic" `Quick test_topk;
+         Alcotest.test_case "create guard" `Quick test_topk_create_guard ]
+       @ qc [ prop_topk_sorted; prop_topk_model ]);
       ("union_find", [ Alcotest.test_case "basic" `Quick test_union_find ]);
       ("stats", [ Alcotest.test_case "descriptive" `Quick test_stats ]);
       ("ascii_table", [ Alcotest.test_case "render" `Quick test_ascii_table ]);
