@@ -596,14 +596,12 @@ let e9 () =
       let s = Relalg.Database.create_relation db "s" [ "b"; "c" ] in
       let domain = base_size / 2 in
       for _ = 1 to base_size do
-        ignore
-          (Relalg.Relation.insert_distinct r
-             [| Relalg.Value.Int (Util.Prng.int prng domain);
-                Relalg.Value.Int (Util.Prng.int prng domain) |]);
-        ignore
-          (Relalg.Relation.insert_distinct s
-             [| Relalg.Value.Int (Util.Prng.int prng domain);
-                Relalg.Value.Int (Util.Prng.int prng domain) |])
+        Cq.Eval.add_distinct r
+          [| Relalg.Value.Int (Util.Prng.int prng domain);
+             Relalg.Value.Int (Util.Prng.int prng domain) |];
+        Cq.Eval.add_distinct s
+          [| Relalg.Value.Int (Util.Prng.int prng domain);
+             Relalg.Value.Int (Util.Prng.int prng domain) |]
       done;
       let v = Cq.Term.v in
       let view =
@@ -1037,8 +1035,9 @@ let e14_cache_micro entry_counts =
   in
   Pdms.Catalog.add_peer catalog peer;
   let stored = Pdms.Catalog.store_identity catalog peer ~rel:"course" in
-  Relalg.Relation.insert stored
-    [| Relalg.Value.Str "cse444"; Relalg.Value.Str "databases" |];
+  Relalg.Relation.apply stored
+    (Relalg.Relation.Delta.add
+       [| Relalg.Value.Str "cse444"; Relalg.Value.Str "databases" |]);
   let mk i =
     Cq.Query.make
       (Cq.Atom.make (Printf.sprintf "q%d" i) [ Cq.Term.v "X"; Cq.Term.v "Y" ])
@@ -1542,6 +1541,218 @@ let e18 () =
       (48, 200, Some 5.0) ]
     ()
 
+(* ------------------------------------------------------------------ *)
+(* E19: live updates — delta-patched maintenance of the inverted index,
+   statistics and result caches vs the --no-incremental version-guarded
+   rebuild discipline.  Each round pushes a small updategram through
+   Updategram.apply and then brings the derived structures current: the
+   touched relation's index entry (Kwindex patches its postings vs a
+   full reindex), Stats.of_relation (delta fold vs rescan), and a
+   cached answer whose pinned constant can never unify with the changed
+   tuples (the delta probe keeps the entry; the baseline drops it and
+   pays a full re-answer every round).  Both modes replay the identical
+   update stream on identically generated worlds.  Guards: search hit
+   lists and query answers byte-identical between the modes for jobs in
+   {1,2,4}, zero pdms.delta.rebuild_fallbacks in the incremental runs,
+   and a minimum speedup at the config's guard point (exit 1
+   otherwise). *)
+
+let e19_world n tuples_per_peer =
+  let prng = Util.Prng.create (1900 + n + tuples_per_peer) in
+  let topology = Pdms.Topology.generate ~prng (Pdms.Topology.Mesh 1) ~n in
+  let g =
+    Workload.Peers_gen.generate (Util.Prng.split prng) ~topology
+      ~tuples_per_peer ~with_join:true ()
+  in
+  let queries =
+    Workload.Peers_gen.keyword_queries g (Util.Prng.split prng) ~n:4
+  in
+  let p0 = g.Workload.Peers_gen.peers.(0) in
+  let pinned =
+    Cq.Query.make
+      (Cq.Atom.make "pin" [ Cq.Term.v "T" ])
+      [ Pdms.Peer.atom p0 "course"
+          [ Cq.Term.Const (Relalg.Value.Str "e19-nosuch"); Cq.Term.v "T";
+            Cq.Term.v "I" ] ]
+  in
+  (g, queries, pinned)
+
+(* The update stream is a pure function of the round number, so separate
+   worlds replay byte-identical mutations: one insert per round into the
+   stored relations round-robin, plus (once the stream wraps around) the
+   retraction of the row inserted a full lap earlier. *)
+let e19_gram db names i =
+  let k = List.length names in
+  let rel = List.nth names (i mod k) in
+  let arity =
+    Relalg.Schema.arity (Relalg.Relation.schema (Relalg.Database.find db rel))
+  in
+  let row j =
+    Array.init arity (fun c ->
+        Relalg.Value.Str (Printf.sprintf "delta%d col%d" j c))
+  in
+  let deletes = if i >= k then [ row (i - k) ] else [] in
+  Pdms.Updategram.make ~rel ~inserts:[ row i ] ~deletes ()
+
+let e19_fallbacks () =
+  Obs.Metrics.counter_value (Obs.Metrics.snapshot ())
+    "pdms.delta.rebuild_fallbacks"
+
+let e19_configs ~rounds configs () =
+  header "E19"
+    "live updates: delta-patched index/stats/cache maintenance vs \
+     --no-incremental version-guarded rebuild (round-robin updategrams)";
+  let table =
+    T.create
+      [ "peers"; "tuples"; "rounds"; "patched"; "stats_patched";
+        "cache_kept"; "rebuild_ms"; "incremental_ms"; "speedup" ]
+  in
+  List.iter
+    (fun (n, tuples_per_peer, min_speedup) ->
+      (* A fresh world per mode and pass: identical seeds give identical
+         catalogs, so the streams are comparable tuple for tuple. *)
+      let fresh incremental =
+        Pdms.Kwindex.reset ();
+        Relalg.Stats.reset_cache ();
+        let g, queries, pinned = e19_world n tuples_per_peer in
+        let catalog = g.Workload.Peers_gen.catalog in
+        let db = Pdms.Catalog.global_db catalog in
+        let names = List.sort String.compare (Relalg.Database.names db) in
+        let exec = Pdms.Exec.make ~incremental () in
+        let cache = Pdms.Cache.create catalog () in
+        (* Warm every derived structure to the pre-update state. *)
+        List.iter (fun q -> ignore (Pdms.Keyword.search ~exec catalog q)) queries;
+        List.iter
+          (fun nm ->
+            ignore
+              (Relalg.Stats.of_relation ~incremental
+                 (Relalg.Database.find db nm)))
+          names;
+        ignore (Pdms.Cache.answer ~exec cache pinned);
+        (queries, pinned, catalog, db, names, exec, cache)
+      in
+      (* One maintenance round: apply the gram, then bring every derived
+         structure current for the touched relation.  This is the timed
+         unit — query *serving* (probing, corpus merge, ranking) costs
+         the same in both modes and is exercised untimed below. *)
+      let round (_, pinned, _, db, names, exec, cache) i =
+        let u = e19_gram db names i in
+        let rel = Relalg.Database.find db u.Pdms.Updategram.rel in
+        Pdms.Updategram.apply ~exec db u;
+        ignore (Pdms.Cache.invalidate ~exec cache u);
+        ignore
+          (Pdms.Kwindex.get ~incremental:exec.Pdms.Exec.incremental
+             ~rel_name:u.Pdms.Updategram.rel rel);
+        ignore
+          (Relalg.Stats.of_relation ~incremental:exec.Pdms.Exec.incremental
+             rel);
+        ignore (Pdms.Cache.answer ~exec cache pinned)
+      in
+      (* Byte-identity pass: replay the stream in both modes, transcribing
+         rendered hits (jobs in {1,2,4}) and query answers every round. *)
+      let transcript incremental =
+        let (queries, _, catalog, _, _, _, _) as world = fresh incremental in
+        let acc = ref [] in
+        for i = 0 to min rounds 8 - 1 do
+          round world i;
+          List.iter
+            (fun jobs ->
+              let e = Pdms.Exec.make ~incremental ~jobs () in
+              let hits =
+                Pdms.Keyword.search ~limit:10 ~exec:e catalog
+                  (List.nth queries (i mod List.length queries))
+              in
+              acc :=
+                List.rev_append (List.map Pdms.Keyword.render_hit hits) !acc)
+            [ 1; 2; 4 ];
+          let aq =
+            Cq.Query.make
+              (Cq.Atom.make "ans"
+                 [ Cq.Term.v "C"; Cq.Term.v "T"; Cq.Term.v "I" ])
+              [ Cq.Atom.make "p0.course"
+                  [ Cq.Term.v "C"; Cq.Term.v "T"; Cq.Term.v "I" ] ]
+          in
+          List.iter
+            (fun jobs ->
+              let e = Pdms.Exec.make ~incremental ~jobs () in
+              let answers =
+                Pdms.Answer.answers_list (Pdms.Answer.answer ~exec:e catalog aq)
+              in
+              acc :=
+                List.rev_append (List.map (String.concat "|") answers) !acc)
+            [ 1; 2; 4 ]
+        done;
+        !acc
+      in
+      let fb0 = e19_fallbacks () in
+      let t_incr = transcript true in
+      let fb_identity = e19_fallbacks () - fb0 in
+      let t_rebuild = transcript false in
+      if t_incr <> t_rebuild then begin
+        Printf.printf
+          "E19 FAILED: incremental and rebuild transcripts differ (peers=%d)\n"
+          n;
+        exit 1
+      end;
+      (* Timing pass. *)
+      let timed incremental =
+        let world = fresh incremental in
+        let ms, () =
+          wall_ms (fun () ->
+              for i = 0 to rounds - 1 do
+                round world i
+              done)
+        in
+        ms
+      in
+      let rebuild_ms = timed false in
+      let fb1 = e19_fallbacks () in
+      let before = Obs.Metrics.snapshot () in
+      let incremental_ms = timed true in
+      let after = Obs.Metrics.snapshot () in
+      let fb_timed = e19_fallbacks () - fb1 in
+      if fb_identity + fb_timed > 0 then begin
+        Printf.printf
+          "E19 FAILED: %d rebuild fallbacks in incremental mode (peers=%d)\n"
+          (fb_identity + fb_timed) n;
+        exit 1
+      end;
+      let delta name =
+        Obs.Metrics.counter_value after name
+        - Obs.Metrics.counter_value before name
+      in
+      let patched = delta "pdms.delta.patched_postings" in
+      let stats_patched = delta "pdms.delta.stats_patched" in
+      let cache_kept = delta "pdms.delta.cache_kept" in
+      let speedup = rebuild_ms /. Float.max 0.001 incremental_ms in
+      T.add_row table
+        [ T.cell_i n; T.cell_i tuples_per_peer; T.cell_i rounds;
+          T.cell_i patched; T.cell_i stats_patched; T.cell_i cache_kept;
+          T.cell_f rebuild_ms; T.cell_f incremental_ms; T.cell_f speedup ];
+      Printf.printf
+        "BENCH_e19 {\"peers\":%d,\"tuples_per_peer\":%d,\"rounds\":%d,\
+         \"patched_postings\":%d,\"stats_patched\":%d,\"cache_kept\":%d,\
+         \"rebuild_ms\":%.2f,\"incremental_ms\":%.2f,\"speedup\":%.2f}\n"
+        n tuples_per_peer rounds patched stats_patched cache_kept rebuild_ms
+        incremental_ms speedup;
+      match min_speedup with
+      | Some floor when speedup < floor ->
+          Printf.printf
+            "E19 FAILED: speedup %.2fx below the %.1fx floor at peers=%d\n"
+            speedup floor n;
+          exit 1
+      | Some _ | None -> ())
+    configs;
+  T.print table
+
+let e19 () =
+  e19_configs ~rounds:40
+    [ (8, 60, None);
+      (16, 120, None);
+      (* The acceptance point: largest workload, >= 5x incremental win. *)
+      (32, 200, Some 5.0) ]
+    ()
+
 (* Tiny sizes so `dune build @bench-smoke` exercises the harness without
    a full run. *)
 let smoke () =
@@ -1555,9 +1766,13 @@ let smoke () =
   e17_configs ~repeats:5 [ ("mesh2", Pdms.Topology.Mesh 2, 10, 20, Some 1.0) ] ();
   (* Indexed-never-slower floor: warm repeated searches must at least
      match brute force even at toy sizes. *)
-  e18_configs ~repeats:5 ~queries:4 [ (6, 20, Some 1.0) ] ()
+  e18_configs ~repeats:5 ~queries:4 [ (6, 20, Some 1.0) ] ();
+  (* Incremental-never-slower floor plus the byte-identity and
+     zero-fallback guards at toy sizes. *)
+  e19_configs ~rounds:5 [ (6, 40, Some 1.0) ] ()
 
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-            ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18) ]
+            ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
+            ("e19", e19) ]

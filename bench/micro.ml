@@ -69,14 +69,12 @@ let view_fixture =
   let r = Relalg.Database.create_relation db "r" [ "a"; "b" ] in
   let s = Relalg.Database.create_relation db "s" [ "b"; "c" ] in
   for _ = 1 to 2000 do
-    ignore
-      (Relalg.Relation.insert_distinct r
-         [| Relalg.Value.Int (Util.Prng.int prng 500);
-            Relalg.Value.Int (Util.Prng.int prng 500) |]);
-    ignore
-      (Relalg.Relation.insert_distinct s
-         [| Relalg.Value.Int (Util.Prng.int prng 500);
-            Relalg.Value.Int (Util.Prng.int prng 500) |])
+    Cq.Eval.add_distinct r
+      [| Relalg.Value.Int (Util.Prng.int prng 500);
+         Relalg.Value.Int (Util.Prng.int prng 500) |];
+    Cq.Eval.add_distinct s
+      [| Relalg.Value.Int (Util.Prng.int prng 500);
+         Relalg.Value.Int (Util.Prng.int prng 500) |]
   done;
   let v = Cq.Term.v in
   let view =

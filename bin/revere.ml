@@ -12,10 +12,10 @@
      revere search FILE WORD...           TF/IDF keyword search
      revere distributed FILE QUERY --at P peer-based execution plan
 
-   The last three share the execution-context flags -j/--jobs,
-   --pruning, --no-batch, --no-index, --trace and --metrics (see
-   [exec_term] below). Schema
-   files use the format of Corpus.Schema_parser. *)
+   The last three share the execution-context flags: -j/--jobs plus the
+   on/off pairs --[no-]batch, --[no-]index, --[no-]incremental,
+   --[no-]pruning, --[no-]trace and --[no-]metrics (see [exec_term]
+   below). Schema files use the format of Corpus.Schema_parser. *)
 
 open Cmdliner
 
@@ -239,7 +239,10 @@ let load_pdms path =
 
 (* Execution-context flags shared verbatim by `answer`, `search` and
    `distributed`: parsed once into a [Pdms.Exec.t] plus the two output
-   switches. Spans and metrics go to stderr so stdout stays pipeable. *)
+   switches. Every boolean switch is a [--FLAG]/[--no-FLAG] pair built
+   by one helper, so each command documents both directions and scripts
+   can always force a known state regardless of the default. Spans and
+   metrics go to stderr so stdout stays pipeable. *)
 
 type cli_exec = {
   exec : Pdms.Exec.t;
@@ -247,11 +250,31 @@ type cli_exec = {
   show_metrics : bool;
 }
 
-let make_cli_exec jobs pruning no_batch no_index trace metrics =
+(* The commands don't link every delta consumer (Updategram, Cache,
+   Propagate), so pre-register their counters by name — the registry is
+   idempotent — and every --metrics report shows the full pdms.delta.*
+   family, at zero when unused. *)
+let () =
+  List.iter
+    (fun n -> ignore (Obs.Metrics.counter ("pdms.delta." ^ n)))
+    [ "applied"; "cache_kept"; "replicas_converged" ]
+
+(* One on/off switch rendered as the flag pair [--name] / [--no-name];
+   [default] applies when neither is given, the last one given wins. *)
+let onoff name ~default ~on ~off =
+  let on = if default then on ^ " This is the default." else on in
+  let off = if default then off else off ^ " This is the default." in
+  Arg.(
+    value
+    & vflag default
+        [
+          (true, info [ name ] ~doc:on);
+          (false, info [ "no-" ^ name ] ~doc:off);
+        ])
+
+let make_cli_exec jobs pruning batch index incremental trace metrics =
   let pruning =
-    match pruning with
-    | `Default -> Pdms.Exec.default_pruning
-    | `None -> Pdms.Exec.no_pruning
+    if pruning then Pdms.Exec.default_pruning else Pdms.Exec.no_pruning
   in
   let sink = if trace then Some (Obs.Sink.memory ()) else None in
   let trace_t =
@@ -259,8 +282,8 @@ let make_cli_exec jobs pruning no_batch no_index trace metrics =
   in
   {
     exec =
-      Pdms.Exec.make ~jobs ~pruning ~batch:(not no_batch)
-        ~index:(not no_index) ~trace:trace_t ();
+      Pdms.Exec.make ~jobs ~pruning ~batch ~index ~incremental ~trace:trace_t
+        ();
     sink;
     show_metrics = metrics;
   }
@@ -276,50 +299,55 @@ let exec_term =
              for every value.")
   in
   let pruning =
-    Arg.(
-      value
-      & opt (enum [ ("default", `Default); ("none", `None) ]) `Default
-      & info [ "pruning" ] ~docv:"MODE"
-          ~doc:
-            "Reformulation pruning heuristics: $(b,default) (all on) or \
-             $(b,none) (ablation mode: every heuristic off, low depth cap).")
+    onoff "pruning" ~default:true
+      ~on:"Enable the reformulation pruning heuristics."
+      ~off:
+        "Ablation mode: every reformulation pruning heuristic off, low depth \
+         cap."
   in
-  let no_batch =
-    Arg.(
-      value & flag
-      & info [ "no-batch" ]
-          ~doc:
-            "Disable shared-prefix batch evaluation of the rewriting union \
-             (the Cq.Plan trie) and evaluate every rewriting independently. \
-             A/B escape hatch: the answer set is identical either way.")
+  let batch =
+    onoff "batch" ~default:true
+      ~on:
+        "Evaluate the rewriting union through the shared-prefix Cq.Plan trie."
+      ~off:
+        "Evaluate every rewriting independently instead of through the \
+         shared-prefix Cq.Plan trie. A/B escape hatch: the answer set is \
+         identical either way."
   in
-  let no_index =
-    Arg.(
-      value & flag
-      & info [ "no-index" ]
-          ~doc:
-            "Answer keyword searches by brute-force scoring of every tuple \
-             instead of the Kwindex inverted index. A/B escape hatch: the \
-             hit list is byte-identical either way.")
+  let index =
+    onoff "index" ~default:true
+      ~on:"Answer keyword searches through the Kwindex inverted index."
+      ~off:
+        "Answer keyword searches by brute-force scoring of every tuple. A/B \
+         escape hatch: the hit list is byte-identical either way."
+  in
+  let incremental =
+    onoff "incremental" ~default:true
+      ~on:
+        "Maintain derived structures (inverted index, statistics, caches, \
+         replicas) by patching them from the deltas retained in each \
+         relation's update log."
+      ~off:
+        "Rebuild derived structures from scratch whenever a base relation \
+         changes. A/B escape hatch: search hits and query answers are \
+         byte-identical either way."
   in
   let trace =
-    Arg.(
-      value & flag
-      & info [ "trace" ]
-          ~doc:
-            "Collect hierarchical spans for the whole answer path and print \
-             the span tree (timings, per-phase counts) to stderr.")
+    onoff "trace" ~default:false
+      ~on:
+        "Collect hierarchical spans for the whole answer path and print the \
+         span tree (timings, per-phase counts) to stderr."
+      ~off:"Do not collect or print spans."
   in
   let metrics =
-    Arg.(
-      value & flag
-      & info [ "metrics" ]
-          ~doc:"Print the Obs.Metrics counters accumulated by the run to \
-                stderr.")
+    onoff "metrics" ~default:false
+      ~on:
+        "Print the Obs.Metrics counters accumulated by the run to stderr."
+      ~off:"Do not print the counter snapshot."
   in
   Term.(
-    const make_cli_exec $ jobs $ pruning $ no_batch $ no_index $ trace
-    $ metrics)
+    const make_cli_exec $ jobs $ pruning $ batch $ index $ incremental
+    $ trace $ metrics)
 
 let report_cli_exec cli =
   (match cli.sink with

@@ -28,9 +28,11 @@ let join_university scenario prng ~name ~rel ~attrs ~courses =
   (* Step 1: local data. *)
   let stored = Pdms.Catalog.store_identity catalog peer ~rel in
   for _ = 1 to courses do
-    Relalg.Relation.insert stored
-      [| Relalg.Value.Str (Printf.sprintf "[%s] %s" name (Workload.Vocab.course_title prng));
-         Relalg.Value.Int (10 + Util.Prng.int prng 290) |]
+    Relalg.Relation.apply stored
+      (Relalg.Relation.Delta.add
+         [| Relalg.Value.Str
+              (Printf.sprintf "[%s] %s" name (Workload.Vocab.course_title prng));
+            Relalg.Value.Int (10 + Util.Prng.int prng 290) |])
   done;
   let new_model = Revere.schema_model_of_peer peer ~rel in
   (* Step 2: the corpus picks the semantically closest member. *)

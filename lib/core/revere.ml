@@ -38,7 +38,10 @@ let sync t ~catalog ~rel ~tag ~fields =
                | None -> Relalg.Value.Null)
              fields)
       in
-      if Relalg.Relation.insert_distinct stored tuple then incr inserted)
+      if not (Relalg.Relation.mem stored tuple) then begin
+        Relalg.Relation.apply stored (Relalg.Relation.Delta.add tuple);
+        incr inserted
+      end)
     (Mangrove.Repository.entities t.repository ~tag);
   !inserted
 

@@ -35,7 +35,11 @@ let eval edb (program : program) =
         let rel = Relalg.Database.find db r.Query.head.Atom.pred in
         let derived = Eval.run db r in
         Relalg.Relation.iter
-          (fun row -> if Relalg.Relation.insert_distinct rel row then changed := true)
+          (fun row ->
+            if not (Relalg.Relation.mem rel row) then begin
+              Relalg.Relation.apply rel (Relalg.Relation.Delta.add row);
+              changed := true
+            end)
           derived)
       program
   done;

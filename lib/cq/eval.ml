@@ -193,11 +193,13 @@ let head_tuple (q : Query.t) (b : binding) =
                ("Eval.run: unsafe query, unbound head term " ^ Term.to_string t))
        q.Query.head.Atom.args)
 
+let add_distinct out row =
+  if not (Relalg.Relation.mem out row) then
+    Relalg.Relation.apply out (Relalg.Relation.Delta.add row)
+
 let run db q =
   let out = Relalg.Relation.create (head_schema q) in
-  List.iter
-    (fun b -> ignore (Relalg.Relation.insert_distinct out (head_tuple q b)))
-    (run_bindings db q);
+  List.iter (fun b -> add_distinct out (head_tuple q b)) (run_bindings db q);
   out
 
 let run_union_into out db qs =
@@ -207,7 +209,7 @@ let run_union_into out db qs =
       List.iter
         (fun b ->
           Stdlib.incr attempts;
-          ignore (Relalg.Relation.insert_distinct out (head_tuple q b)))
+          add_distinct out (head_tuple q b))
         (run_bindings db q))
     qs;
   !attempts

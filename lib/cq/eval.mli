@@ -30,6 +30,11 @@ val match_atom : Relalg.Database.t -> binding -> Atom.t -> binding list
 val run_bindings : Relalg.Database.t -> Query.t -> binding list
 (** All satisfying assignments of the body variables. *)
 
+val add_distinct : Relalg.Relation.t -> Relalg.Relation.tuple -> unit
+(** Set-semantics append into a dedup accumulator: a {!Relalg.Relation.mem}
+    guard in front of a singleton {!Relalg.Relation.apply}. Exposed for
+    {!Plan} and the layers merging sharded partial answers. *)
+
 val run : Relalg.Database.t -> Query.t -> Relalg.Relation.t
 (** Distinct head tuples. Raises [Invalid_argument] on unsafe queries. *)
 
@@ -38,7 +43,7 @@ val run_union : Relalg.Database.t -> Query.t list -> Relalg.Relation.t
     the first query's head shapes the schema). Raises on an empty list. *)
 
 val run_union_into : Relalg.Relation.t -> Relalg.Database.t -> Query.t list -> int
-(** Evaluate every member and [insert_distinct] its head tuples into
+(** Evaluate every member and {!add_distinct} its head tuples into
     [out]: one shared hash-backed dedup set across the whole union,
     instead of a per-member relation. Useful for merging the partial
     results of sharded union evaluation. Returns the number of head

@@ -211,7 +211,7 @@ let run_union_into ?(jobs = 1) ?(trace = Obs.Trace.null) out db t =
   let emit_into rel counts e b =
     let tuple = head_tuple e b in
     counts.(e.query) <- counts.(e.query) + 1;
-    ignore (Relalg.Relation.insert_distinct rel tuple)
+    Eval.add_distinct rel tuple
   in
   (* Empty-body queries emit once from the empty binding, before any
      branch runs (same position in both the sequential and parallel
@@ -243,9 +243,7 @@ let run_union_into ?(jobs = 1) ?(trace = Obs.Trace.null) out db t =
       in
       List.fold_left
         (fun acc (partial, local, r) ->
-          Relalg.Relation.iter
-            (fun row -> ignore (Relalg.Relation.insert_distinct out row))
-            partial;
+          Relalg.Relation.iter (Eval.add_distinct out) partial;
           Array.iteri (fun i n -> counts.(i) <- counts.(i) + n) local;
           acc + r)
         0 partials
@@ -266,7 +264,7 @@ let run_each ?(jobs = 1) ?(trace = Obs.Trace.null) db t =
     Array.init nq (fun i ->
         Relalg.Relation.create (Eval.head_schema t.queries.(i)))
   in
-  let emit_fn e b = ignore (Relalg.Relation.insert_distinct outs.(e.query) (head_tuple e b)) in
+  let emit_fn e b = Eval.add_distinct outs.(e.query) (head_tuple e b) in
   List.iter (fun e -> emit_fn e Eval.Smap.empty) t.root.emits;
   let reused =
     if jobs <= 1 || List.length t.root.children < 2 then begin

@@ -51,7 +51,9 @@ let run ~tags repo (q : Cq.Query.t) =
                 (Cq.Eval.Smap.find_opt x binding))
             head_vars
         in
-        ignore (Relalg.Relation.insert_distinct out (Array.of_list row)))
+        let row = Array.of_list row in
+        if not (Relalg.Relation.mem out row) then
+          Relalg.Relation.apply out (Relalg.Relation.Delta.add row))
       bindings;
     Ok out
 

@@ -68,9 +68,7 @@ let eval_union ?(exec = Exec.default) db = function
           let out = Relalg.Relation.create (Cq.Eval.head_schema q0) in
           List.iter
             (fun (partial, _) ->
-              Relalg.Relation.iter
-                (fun row -> ignore (Relalg.Relation.insert_distinct out row))
-                partial)
+              Relalg.Relation.iter (Cq.Eval.add_distinct out) partial)
             partials;
           (out, List.concat_map snd partials)
         end

@@ -31,6 +31,7 @@ let m_hits = Obs.Metrics.counter "pdms.cache.hits"
 let m_misses = Obs.Metrics.counter "pdms.cache.misses"
 let m_evictions = Obs.Metrics.counter "pdms.cache.evictions"
 let m_invalidated = Obs.Metrics.counter "pdms.cache.invalidated"
+let m_kept = Obs.Metrics.counter "pdms.delta.cache_kept"
 
 let create ?(capacity = 64) catalog () =
   if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
@@ -156,13 +157,60 @@ let answer ?(exec = Exec.default) t q =
         | None -> ());
       result
 
-let invalidate t (u : Updategram.t) =
+(* Can [tuple] ground [atom]'s argument pattern?  Constants must agree
+   and repeated variables must bind consistently — a cheap one-atom
+   unification. *)
+let atom_matches (atom : Cq.Atom.t) tuple =
+  List.length atom.Cq.Atom.args = Array.length tuple
+  && begin
+       let env = Hashtbl.create 4 in
+       let rec go i = function
+         | [] -> true
+         | Cq.Term.Const c :: rest ->
+             Relalg.Value.equal c tuple.(i) && go (i + 1) rest
+         | Cq.Term.Var x :: rest -> (
+             match Hashtbl.find_opt env x with
+             | Some v -> Relalg.Value.equal v tuple.(i) && go (i + 1) rest
+             | None ->
+                 Hashtbl.replace env x tuple.(i);
+                 go (i + 1) rest)
+       in
+       go 0 atom.Cq.Atom.args
+     end
+
+(* A cached answer can only change if some body atom over the touched
+   relation unifies with some changed tuple; an entry where none does is
+   provably unaffected and may be kept. *)
+let entry_affected rel_name changed e =
+  List.exists
+    (fun (q : Cq.Query.t) ->
+      List.exists
+        (fun (a : Cq.Atom.t) ->
+          String.equal a.Cq.Atom.pred rel_name
+          && List.exists (atom_matches a) changed)
+        q.Cq.Query.body)
+    e.result.Answer.outcome.Reformulate.rewritings
+
+let invalidate ?(exec = Exec.default) t (u : Updategram.t) =
   match Hashtbl.find_opt t.by_pred u.Updategram.rel with
   | None -> 0
   | Some bucket ->
       (* Snapshot first: [remove] mutates the bucket being folded. *)
-      let victims = Hashtbl.fold (fun _ e acc -> e :: acc) bucket [] in
+      let changed = u.Updategram.deletes @ u.Updategram.inserts in
+      let victims, kept =
+        (* An empty updategram carries no tuples to probe against: it is
+           a wildcard "this relation changed somehow" signal and drops
+           every reader, as does the non-incremental baseline. *)
+        if exec.Exec.incremental && changed <> [] then
+          Hashtbl.fold
+            (fun _ e (vs, ks) ->
+              if entry_affected u.Updategram.rel changed e then (e :: vs, ks)
+              else (vs, ks + 1))
+            bucket ([], 0)
+        else (Hashtbl.fold (fun _ e acc -> e :: acc) bucket [], 0)
+      in
       List.iter (remove t) victims;
+      if kept > 0 && exec.Exec.metrics then Obs.Metrics.add m_kept kept;
       let n = List.length victims in
       t.invalidated_count <- t.invalidated_count + n;
       Obs.Metrics.add m_invalidated n;

@@ -18,11 +18,21 @@ val answer : ?exec:Exec.t -> t -> Cq.Query.t -> Answer.result
     ["cache.answer"] span (attribute [hit=true/false]; a miss nests the
     full ["answer"] span) and counts [pdms.cache.*] metrics. *)
 
-val invalidate : t -> Updategram.t -> int
+val invalidate : ?exec:Exec.t -> t -> Updategram.t -> int
 (** Drop entries whose rewritings mention the updategram's relation;
     returns how many were dropped. An inverted predicate index makes
     this O(affected entries), independent of cache size. Call this when
-    applying updates to any peer's stored data. *)
+    applying updates to any peer's stored data.
+
+    With [exec.incremental] (the default) the updategram is {e probed}
+    against each candidate entry first: an entry survives when no body
+    atom over the touched relation unifies with any changed tuple
+    (constants must match, repeated variables must bind consistently) —
+    its answers are provably unaffected.  Survivors count into
+    [pdms.delta.cache_kept]; [~exec:(Exec.with_incremental false)]
+    restores the drop-every-reader baseline.  An {e empty} updategram
+    carries nothing to probe and acts as a wildcard: every reader of
+    the relation is dropped in both modes. *)
 
 val invalidate_all : t -> unit
 

@@ -244,9 +244,7 @@ let execute ?(exec = Exec.default) catalog network ~at query =
         let out = Relalg.Relation.create (Cq.Eval.head_schema sp0.rewriting) in
         List.iter
           (fun (_, result) ->
-            Relalg.Relation.iter
-              (fun row -> ignore (Relalg.Relation.insert_distinct out row))
-              result)
+            Relalg.Relation.iter (Cq.Eval.add_distinct out) result)
           survived;
         out
   in

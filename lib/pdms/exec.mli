@@ -85,6 +85,14 @@ type t = {
           (default [true]); [false] re-vectorizes and scores every
           tuple per query — the [--no-index] A/B escape hatch. Hit
           lists are identical either way, tie-breaks included. *)
+  incremental : bool;
+      (** maintain derived structures (inverted index, statistics,
+          answer cache, replicas) by folding in retained
+          {!Relalg.Relation.Delta.t}s rather than rebuilding or
+          invalidating on every version bump (default [true]);
+          [false] restores the version-guarded rebuild discipline —
+          the [--no-incremental] A/B escape hatch.  Search results,
+          statistics, and replica contents are identical either way. *)
   trace : Obs.Trace.t;
       (** span collection; {!Obs.Trace.null} (the default) costs one
           branch per span site *)
@@ -99,7 +107,8 @@ val default : t
 
 val make :
   ?jobs:int -> ?pruning:pruning -> ?retry:retry -> ?batch:bool ->
-  ?index:bool -> ?trace:Obs.Trace.t -> ?metrics:bool -> unit -> t
+  ?index:bool -> ?incremental:bool -> ?trace:Obs.Trace.t ->
+  ?metrics:bool -> unit -> t
 
 val with_jobs : int -> t
 (** [with_jobs n] is {!default} with [jobs = n]. *)
@@ -115,6 +124,9 @@ val with_batch : bool -> t
 
 val with_index : bool -> t
 (** [with_index b] is {!default} with [index = b]. *)
+
+val with_incremental : bool -> t
+(** [with_incremental b] is {!default} with [incremental = b]. *)
 
 val with_trace : Obs.Trace.t -> t
 (** [with_trace tr] is {!default} with [trace = tr]. *)

@@ -75,16 +75,22 @@ let brute ~jobs ~trace ~limit entries query_toks =
   let docs =
     List.concat_map
       (fun e ->
-        Array.to_list
-          (Array.mapi
-             (fun id tfs ->
-               let toks =
-                 Array.to_list tfs
-                 |> List.concat_map (fun (tok, tf) ->
-                        List.init (int_of_float tf) (fun _ -> tok))
-               in
-               (e.Kwindex.peer, e.Kwindex.rel_name, e.Kwindex.tuples.(id), toks))
-             e.Kwindex.token_tfs))
+        (* Ascending live slots only: dead (tombstoned) slots belong to
+           deleted tuples and must not contribute documents or df. *)
+        let acc = ref [] in
+        for id = e.Kwindex.n_slots - 1 downto 0 do
+          if e.Kwindex.live.(id) then begin
+            let toks =
+              Array.to_list e.Kwindex.token_tfs.(id)
+              |> List.concat_map (fun (tok, tf) ->
+                     List.init (int_of_float tf) (fun _ -> tok))
+            in
+            acc :=
+              (e.Kwindex.peer, e.Kwindex.rel_name, e.Kwindex.tuples.(id), toks)
+              :: !acc
+          end
+        done;
+        !acc)
       entries
   in
   let corpus =
@@ -143,7 +149,8 @@ let search ?(limit = 10) ?(exec = Exec.default) ?network catalog keywords =
       List.map
         (fun rel_name ->
           let e, fresh =
-            Kwindex.get ~metrics ~rel_name (Relalg.Database.find db rel_name)
+            Kwindex.get ~metrics ~incremental:exec.Exec.incremental ~rel_name
+              (Relalg.Database.find db rel_name)
           in
           if fresh then Stdlib.incr built;
           e)

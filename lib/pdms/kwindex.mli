@@ -1,50 +1,67 @@
-(** Version-guarded incremental inverted index for keyword search.
+(** Version-guarded, delta-patched inverted index for keyword search.
 
     One {!entry} per stored relation, keyed on {!Relalg.Relation.uid}
     and guarded by {!Relalg.Relation.version} (the {!Relalg.Stats}
-    discipline): postings lists [token -> (tuple_id, tf)], per-tuple
+    discipline): postings lists [token -> (slot_id, tf)], per-slot
     term-frequency vectors in ascending token order, and lazily
-    computed per-tuple norms. Any insert/delete/clear bumps the
-    relation's version and reindexes just that relation; the bounded
-    store evicts its least-recently-used entry on overflow instead of
-    resetting wholesale.
+    computed per-slot norms.  When the relation's version moves, the
+    entry is {e patched} from {!Relalg.Relation.deltas_since} — removed
+    tuples are tombstoned in place (postings spliced, slot marked
+    dead), inserted tuples take fresh ascending slots — counted in
+    [pdms.delta.patched_postings].  A full reindex of the relation
+    happens only on a cold entry, when the delta log was truncated past
+    the cached version ([pdms.delta.rebuild_fallbacks]), or with
+    [~incremental:false]; the bounded store evicts its
+    least-recently-used entry on overflow instead of resetting
+    wholesale.
 
     Scoring through {!probe} is bit-identical to vectorizing every
     tuple and taking {!Util.Tfidf.cosine} against the query vector —
     term frequencies, norms, and partial dot products replay the exact
-    floating-point op order of the brute-force path (see the
-    implementation header for the argument), which is what lets
-    [revere search --no-index] serve as a byte-exact A/B baseline.
+    floating-point op order of the brute-force path, and patched
+    entries preserve live-doc enumeration order (tie-breaks included)
+    relative to a compacting rebuild (see the implementation header for
+    the argument).  This is what lets [revere search --no-index] and
+    [--no-incremental] serve as byte-exact A/B baselines.
 
     Instrumented with [pdms.kwindex.{builds,postings,df_merges}]
     counters and a [pdms.kwindex.posting_len] histogram; the search
     layer adds the per-query counters. *)
 
-type posting = { ids : int array; tfs : float array; max_tf : float }
-(** One token's postings within a relation: parallel arrays of
-    ascending tuple ids and term frequencies, plus the largest tf
+type posting = {
+  mutable ids : int array;
+  mutable tfs : float array;
+  mutable len : int;
+  mutable max_tf : float;
+}
+(** One token's postings within a relation: parallel arrays (capacity
+    may exceed [len]; cells [0 .. len-1] are meaningful) of ascending
+    live slot ids and term frequencies, plus the largest live tf
     (feeds the early-termination bound). *)
 
 type entry = {
   uid : int;
-  version : int;
+  mutable version : int;  (** the relation version the entry reflects *)
   peer : string;  (** owner per {!Distributed.owner_of_pred}, "" if unqualified *)
   rel_name : string;
-  tuples : Relalg.Relation.tuple array;  (** snapshot, ids are indices *)
-  token_tfs : (string * float) array array;
-      (** per tuple: (token, tf) ascending by token *)
+  mutable tuples : Relalg.Relation.tuple array;
+      (** slot -> tuple; meaningful for slots [0 .. n_slots-1] *)
+  mutable token_tfs : (string * float) array array;
+      (** per slot: (token, tf) ascending by token; [[||]] on dead slots *)
+  mutable live : bool array;  (** tombstone map over slots *)
+  mutable n_slots : int;  (** allocated slots, live or dead *)
   postings : (string, posting) Hashtbl.t;
-  doc_count : int;
+  mutable doc_count : int;  (** live slots only *)
   mutable norms : (int * float array * float) option;
-      (** (corpus stamp, per-tuple norms, min positive norm) — managed
+      (** (corpus stamp, per-slot norms, min positive norm) — managed
           by {!probe}; treat as private *)
   mutable last_used : int;  (** LRU clock — managed by {!get} *)
 }
 
 type probe = {
   source : entry;
-  scores : float array;  (** indexed by tuple id; only candidates valid *)
-  candidates : int array;  (** ascending tuple ids sharing >= 1 query token *)
+  scores : float array;  (** indexed by slot id; only candidates valid *)
+  candidates : int array;  (** ascending live slot ids sharing >= 1 query token *)
   bound : float;
       (** upper bound on any candidate's score in this relation; if it
           cannot beat the current top-k floor the whole relation is
@@ -55,13 +72,21 @@ val tuple_tokens : Relalg.Relation.tuple -> string list
 (** Tokenised + stemmed values of a tuple, in value order. *)
 
 val get :
-  ?metrics:bool -> rel_name:string -> Relalg.Relation.t -> entry * bool
-(** [get ~rel_name rel] returns the index entry for [rel], rebuilding
-    it only if the relation's version moved since the cached build.
-    The flag is [true] when a (re)build happened. Thread-safe. *)
+  ?metrics:bool ->
+  ?incremental:bool ->
+  rel_name:string ->
+  Relalg.Relation.t ->
+  entry * bool
+(** [get ~rel_name rel] returns the index entry for [rel].  A cached
+    entry at the current version is served as-is; a stale one is
+    delta-patched under the store lock when [incremental] (default
+    [true]) and the relation's delta log still reaches back — otherwise
+    it is rebuilt from scratch.  The flag is [true] only when a full
+    (re)build happened.  Thread-safe; concurrent searches serialise
+    their patching on the store lock. *)
 
 val corpus : ?metrics:bool -> entry list -> int * Util.Tfidf.corpus
-(** [corpus entries] merges the per-relation df deltas of the given
+(** [corpus entries] merges the per-relation df counts of the given
     (reachable) entries into a global corpus, memoised on the entries'
     [(uid, version)] list — repeated searches over an unchanged
     reachable set reuse it. Returns a stamp identifying the corpus;

@@ -148,8 +148,9 @@ let handle_line st line =
                                      "row %s: expected %d values, got %d" rel
                                      want got)
                               else begin
-                                Relalg.Relation.insert stored
-                                  (Array.of_list values);
+                                Relalg.Relation.apply stored
+                                  (Relalg.Relation.Delta.add
+                                     (Array.of_list values));
                                 Ok ()
                               end)))
               | None -> (

@@ -3,8 +3,16 @@
     create updategrams for views." A propagation registry holds
     materialised replicas of reformulated queries (e.g. the views that
     {!Placement} decided to replicate); pushing a base updategram
-    applies it to the shared database once and incrementally maintains
-    exactly the replicas that read the touched relation. *)
+    applies it to the shared database once, ships the effective delta to
+    every replica that reads the touched relation, and incrementally
+    maintains exactly those replicas.
+
+    When a simulated {!Network} is supplied, each dependent replica's
+    delta travels over it (via {!Network.send_with_retry} under
+    [exec.retry]); a replica whose transfer fails queues the updategram
+    in a per-replica lag list and serves stale answers until
+    {!reconcile} succeeds.  Successful deliveries and reconciliations
+    bump [pdms.delta.replicas_converged]. *)
 
 type t
 
@@ -18,14 +26,43 @@ val materialise :
     [Invalid_argument] on duplicate names. *)
 
 val tuples : t -> name:string -> Relalg.Relation.tuple list
-(** Distinct union across the replica's rewritings. *)
+(** Distinct union across the replica's rewritings — the replica's
+    {e last delivered} state; lagging replicas serve stale tuples. *)
 
 val cardinality : t -> name:string -> int
 
-val push : t -> Updategram.t -> (string * string) list
-(** Apply the updategram to the catalog's global database and maintain
-    dependent replicas incrementally; returns the (name, at) pairs that
-    were touched. Replicas not reading the relation pay nothing. *)
+val push :
+  ?exec:Exec.t ->
+  ?network:Network.t ->
+  ?prng:Util.Prng.t ->
+  t ->
+  Updategram.t ->
+  (string * string) list
+(** Apply the updategram to the catalog's global database (once) and
+    maintain dependent replicas; returns the (name, at) pairs that
+    converged.  Replicas not reading the relation pay nothing.  With a
+    [network], the delta is shipped to each dependent host first
+    ([exec.retry] + [prng] drive the retry loop); failed deliveries
+    land in the replica's lag queue instead.  [exec.incremental]
+    selects counting maintenance (default) vs full view recomputation —
+    replica contents are identical either way. *)
+
+val lagging : t -> (string * int) list
+(** Replicas with undelivered updategrams, with their backlog length,
+    sorted by name. *)
+
+val reconcile :
+  ?exec:Exec.t ->
+  ?network:Network.t ->
+  ?prng:Util.Prng.t ->
+  t ->
+  name:string ->
+  bool
+(** Re-deliver the replica's backlog.  On success the replica's views
+    are refreshed from the current database state (the base already
+    moved on — replaying stale grams would not converge), the lag queue
+    clears, and [pdms.delta.replicas_converged] bumps; on failure the
+    backlog is kept.  Returns whether the replica is now converged. *)
 
 val replicas : t -> (string * string) list
 (** Registered (name, host peer) pairs. *)

@@ -47,10 +47,47 @@ let of_log events =
     events;
   List.rev_map (fun rel -> !(Hashtbl.find grams rel)) !order
 
-let apply db t =
+let m_applied = Obs.Metrics.counter "pdms.delta.applied"
+
+(* The effective {!Relalg.Relation.Delta.t} this updategram denotes
+   against the relation's current contents: deletes keep one removal per
+   present tuple (stored relations are kept distinct), and inserts keep
+   the tuples that will actually land under insert-distinct semantics
+   once the deletes have gone through. *)
+let effective_delta rel t =
+  let dels =
+    List.fold_left
+      (fun acc tuple ->
+        if
+          Relalg.Relation.mem rel tuple
+          && not (List.exists (tuple_equal tuple) acc)
+        then tuple :: acc
+        else acc)
+      [] t.deletes
+    |> List.rev
+  in
+  let adds =
+    List.fold_left
+      (fun acc tuple ->
+        let present_after_dels =
+          Relalg.Relation.mem rel tuple
+          && not (List.exists (tuple_equal tuple) dels)
+        in
+        if present_after_dels || List.exists (tuple_equal tuple) acc then acc
+        else tuple :: acc)
+      [] t.inserts
+    |> List.rev
+  in
+  Relalg.Relation.Delta.make ~adds ~dels ()
+
+let apply ?(exec = Exec.default) db t =
   let rel = Relalg.Database.find db t.rel in
-  List.iter (fun tuple -> ignore (Relalg.Relation.delete rel tuple)) t.deletes;
-  List.iter (fun tuple -> ignore (Relalg.Relation.insert_distinct rel tuple)) t.inserts
+  Obs.Trace.span exec.Exec.trace "delta.apply" @@ fun () ->
+  let d = effective_delta rel t in
+  Obs.Trace.attr_s exec.Exec.trace "rel" t.rel;
+  Obs.Trace.attr_i exec.Exec.trace "delta.size" (Relalg.Relation.Delta.size d);
+  Relalg.Relation.apply rel d;
+  if exec.Exec.metrics then Obs.Metrics.incr m_applied
 
 let compose a b =
   if not (String.equal a.rel b.rel) then

@@ -20,9 +20,21 @@ val of_log : Storage.Relation_store.event list -> t list
 (** Fold a change log into one updategram per relation (insert-then-
     delete of the same tuple cancels). *)
 
-val apply : Relalg.Database.t -> t -> unit
-(** Deletes first, then distinct inserts. Missing relation raises
-    [Not_found]. *)
+val effective_delta : Relalg.Relation.t -> t -> Relalg.Relation.Delta.t
+(** What this updategram would actually change against the relation's
+    current contents: deletes of absent tuples are dropped, duplicate
+    deletes collapse to one removal (stored relations are distinct),
+    and inserts that would be no-ops under insert-distinct semantics
+    (already present and not deleted, or repeated within the gram) are
+    dropped.  This is the payload {!Propagate} ships to replicas. *)
+
+val apply : ?exec:Exec.t -> Relalg.Database.t -> t -> unit
+(** Deletes first, then distinct inserts — one
+    {!Relalg.Relation.apply} of the {!effective_delta}, so the
+    relation's version bumps at most once and the retained delta log
+    records the whole gram as a single entry.  Emits a [delta.apply]
+    span on [exec.trace] and bumps [pdms.delta.applied] when
+    [exec.metrics].  Missing relation raises [Not_found]. *)
 
 val compose : t -> t -> t
 (** Sequential composition (same relation required): the right operand

@@ -5,6 +5,7 @@ module Smap = Eval.Smap
 type t = {
   view : Query.t;
   db : Relalg.Database.t;
+  exec : Exec.t;
   (* rendered head tuple -> (derivation count, the tuple itself) *)
   counts : (string, int * Relalg.Relation.tuple) Hashtbl.t;
   mutable delta_bindings : int;
@@ -40,10 +41,10 @@ let recompute_counts t =
     (fun b -> bump t.counts (head_tuple t.view (resolve_with b)) 1)
     (Eval.run_bindings t.db t.view)
 
-let create db view =
+let create ?(exec = Exec.default) db view =
   if not (Query.is_safe view) then
     invalid_arg "View_maintenance.create: unsafe view";
-  let t = { view; db; counts = Hashtbl.create 64; delta_bindings = 0 } in
+  let t = { view; db; exec; counts = Hashtbl.create 64; delta_bindings = 0 } in
   recompute_counts t;
   t
 
@@ -128,24 +129,36 @@ let maintain_delete t ~rel tuple =
         bump t.counts (head_tuple t.view (resolve_with b)) (-1))
       (derivations_using t rel tuple)
 
-let apply t (u : Updategram.t) =
-  let rel = Relalg.Database.find t.db u.Updategram.rel in
-  (* Deletes: count derivations while the tuple is still present. *)
-  List.iter
-    (fun tuple ->
-      if Relalg.Relation.mem rel tuple then begin
-        maintain_delete t ~rel:u.Updategram.rel tuple;
-        ignore (Relalg.Relation.delete rel tuple)
-      end)
-    u.Updategram.deletes;
-  (* Inserts: add first, then count new derivations (all of them use the
-     new tuple, which was absent before). *)
-  List.iter
-    (fun tuple ->
-      if Relalg.Relation.insert_distinct rel tuple then
-        maintain_insert t ~rel:u.Updategram.rel tuple)
-    u.Updategram.inserts
-
 let refresh t = recompute_counts t
+
+let apply ?exec t (u : Updategram.t) =
+  let exec = Option.value ~default:t.exec exec in
+  if not exec.Exec.incremental then begin
+    (* The --no-incremental baseline: mutate, then recompute the view
+       from scratch.  Same final counts, none of the delta machinery. *)
+    Updategram.apply ~exec t.db u;
+    refresh t
+  end
+  else begin
+    let rel = Relalg.Database.find t.db u.Updategram.rel in
+    Obs.Trace.span exec.Exec.trace "view.maintain" @@ fun () ->
+    (* Deletes: count derivations while the tuple is still present. *)
+    List.iter
+      (fun tuple ->
+        if Relalg.Relation.mem rel tuple then begin
+          maintain_delete t ~rel:u.Updategram.rel tuple;
+          Relalg.Relation.apply rel (Relalg.Relation.Delta.remove tuple)
+        end)
+      u.Updategram.deletes;
+    (* Inserts: add first, then count new derivations (all of them use
+       the new tuple, which was absent before). *)
+    List.iter
+      (fun tuple ->
+        if not (Relalg.Relation.mem rel tuple) then begin
+          Relalg.Relation.apply rel (Relalg.Relation.Delta.add tuple);
+          maintain_insert t ~rel:u.Updategram.rel tuple
+        end)
+      u.Updategram.inserts
+  end
 
 let delta_bindings_processed t = t.delta_bindings

@@ -6,19 +6,25 @@
 
 type t
 
-val create : Relalg.Database.t -> Cq.Query.t -> t
+val create : ?exec:Exec.t -> Relalg.Database.t -> Cq.Query.t -> t
 (** Materialise the view over the database. The database is captured by
     reference: all subsequent updates must flow through {!apply} (or be
-    followed by {!refresh}). Raises [Invalid_argument] on unsafe
-    queries. *)
+    followed by {!refresh}). The execution context (default
+    {!Exec.default}) governs later {!apply} calls that don't override
+    it. Raises [Invalid_argument] on unsafe queries. *)
 
 val query : t -> Cq.Query.t
 val tuples : t -> Relalg.Relation.tuple list
 val cardinality : t -> int
 
-val apply : t -> Updategram.t -> unit
-(** Apply the updategram to the underlying database {e and} incrementally
-    maintain the view (deletes processed before inserts). *)
+val apply : ?exec:Exec.t -> t -> Updategram.t -> unit
+(** Apply the updategram to the underlying database {e and} maintain
+    the view (deletes processed before inserts).  With
+    [exec.incremental] (the default) the view's derivation counts are
+    patched per touched tuple under a [view.maintain] span; with
+    [~exec:(Exec.with_incremental false)] the database is mutated and
+    the view fully recomputed — the A/B baseline with identical final
+    contents.  [exec] defaults to the context given at {!create}. *)
 
 val refresh : t -> unit
 (** Full recomputation from the current database state. *)

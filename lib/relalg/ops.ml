@@ -1,14 +1,20 @@
 type agg = Count | Sum of string | Min of string | Max of string | Avg of string
 
+(* Local conveniences over the unified mutation API: ops build their
+   output relation row by row, either as a bag ([add]) or with a
+   membership guard ([add_distinct]). *)
+let add out row = Relation.apply out (Relation.Delta.add row)
+let add_distinct out row = if not (Relation.mem out row) then add out row
+
 let select pred rel =
   let out = Relation.create (Relation.schema rel) in
-  Relation.iter (fun row -> if pred row then Relation.insert out row) rel;
+  Relation.iter (fun row -> if pred row then add out row) rel;
   out
 
 let select_eq attr v rel =
   let col = Schema.index_of (Relation.schema rel) attr in
   let out = Relation.create (Relation.schema rel) in
-  List.iter (Relation.insert out) (Relation.find_by rel col v);
+  Relation.apply out (Relation.Delta.of_rows (Relation.find_by rel col v));
   out
 
 let project attrs rel =
@@ -18,7 +24,7 @@ let project attrs rel =
   Relation.iter
     (fun row ->
       let projected = Array.of_list (List.map (fun c -> row.(c)) cols) in
-      ignore (Relation.insert_distinct out projected))
+      add_distinct out projected)
     rel;
   out
 
@@ -62,7 +68,7 @@ let natural_join left right =
           List.iter
             (fun rrow ->
               let extra = List.map (fun c -> rrow.(c)) r_only_cols in
-              Relation.insert out (Array.append lrow (Array.of_list extra)))
+              add out (Array.append lrow (Array.of_list extra)))
             matches)
     left;
   out
@@ -75,7 +81,7 @@ let product left right =
   let out = Relation.create (Schema.make "product" (lattrs @ rattrs)) in
   Relation.iter
     (fun lrow ->
-      Relation.iter (fun rrow -> Relation.insert out (Array.append lrow rrow)) right)
+      Relation.iter (fun rrow -> add out (Array.append lrow rrow)) right)
     left;
   out
 
@@ -86,15 +92,15 @@ let check_compatible a b op =
 let union a b =
   check_compatible a b "union";
   let out = Relation.create (Relation.schema a) in
-  Relation.iter (fun row -> ignore (Relation.insert_distinct out row)) a;
-  Relation.iter (fun row -> ignore (Relation.insert_distinct out row)) b;
+  Relation.iter (add_distinct out) a;
+  Relation.iter (add_distinct out) b;
   out
 
 let diff a b =
   check_compatible a b "diff";
   let out = Relation.create (Relation.schema a) in
   Relation.iter
-    (fun row -> if not (Relation.mem b row) then ignore (Relation.insert_distinct out row))
+    (fun row -> if not (Relation.mem b row) then add_distinct out row)
     a;
   out
 
@@ -102,7 +108,7 @@ let intersect a b =
   check_compatible a b "intersect";
   let out = Relation.create (Relation.schema a) in
   Relation.iter
-    (fun row -> if Relation.mem b row then ignore (Relation.insert_distinct out row))
+    (fun row -> if Relation.mem b row then add_distinct out row)
     a;
   out
 
@@ -158,13 +164,13 @@ let group_by keys aggs rel =
   Hashtbl.iter
     (fun key rows ->
       let agg_vals = List.map (compute_agg rows s) aggs in
-      Relation.insert out (Array.of_list (key @ agg_vals)))
+      add out (Array.of_list (key @ agg_vals)))
     groups;
   out
 
 let distinct rel =
   let out = Relation.create (Relation.schema rel) in
-  Relation.iter (fun row -> ignore (Relation.insert_distinct out row)) rel;
+  Relation.iter (add_distinct out) rel;
   out
 
 let sort_by attr rel =
@@ -172,4 +178,7 @@ let sort_by attr rel =
   let sorted =
     List.sort (fun a b -> Value.compare a.(col) b.(col)) (Relation.tuples rel)
   in
-  Relation.of_tuples (Relation.schema rel) (List.rev sorted)
+  (* Rows are stored and enumerated in insertion order now, so the
+     ascending sort loads as-is (the pre-delta code reversed to cancel
+     the newest-first enumeration). *)
+  Relation.of_tuples (Relation.schema rel) sorted

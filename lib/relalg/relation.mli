@@ -1,10 +1,55 @@
-(** An in-memory relation: a schema and a bag of tuples with a
-    hash-set membership structure (O(1) [mem]/[insert_distinct]) and
-    per-column hash indexes. Indexes are built lazily and maintained
-    incrementally on insertion; deletion drops them. *)
+(** An in-memory relation: a schema and a bag of tuples in insertion
+    order, with a hash-set membership structure (O(1) [mem]) and
+    per-column hash indexes.  Indexes are built lazily and maintained
+    incrementally on insertion; deletion drops them.
+
+    {b Mutation is unified}: every change goes through {!apply} with an
+    explicit {!Delta.t} (a folded multiset of row insertions and
+    removals).  Each effective application bumps {!version} by one and
+    is retained in a bounded in-relation delta log, so derived
+    structures (indexes, statistics, caches, replicas) can ask
+    {!deltas_since} "what changed since the version I saw" and patch
+    themselves instead of rebuilding — falling back to a rebuild only
+    when the log was truncated. *)
 
 type tuple = Value.t array
 type t
+
+(** First-class change descriptions: what {!apply} consumes and what
+    the retained log stores.  [adds] and [dels] are multisets (a tuple
+    may appear several times); applying means "remove one copy per
+    [dels] occurrence, then append one copy per [adds] occurrence, in
+    list order". *)
+module Delta : sig
+  type t
+
+  val empty : t
+  val add : tuple -> t
+  (** Single-row insertion. *)
+
+  val remove : tuple -> t
+  (** Single-copy removal. *)
+
+  val of_rows : tuple list -> t
+  (** Insert-only delta, rows appended in list order. *)
+
+  val removes : tuple list -> t
+
+  val make : ?adds:tuple list -> ?dels:tuple list -> unit -> t
+  (** Removals are applied before additions. *)
+
+  val adds : t -> tuple list
+  val dels : t -> tuple list
+  val is_empty : t -> bool
+
+  val size : t -> int
+  (** [List.length adds + List.length dels]. *)
+
+  val compose : t -> t -> t
+  (** [compose a b]: [b] happens after [a].  Add-then-del pairs cancel
+      exactly (the row was never observable); del-then-add pairs are
+      both kept so positional consumers see both events. *)
+end
 
 val create : Schema.t -> t
 val schema : t -> Schema.t
@@ -15,27 +60,43 @@ val uid : t -> int
     [of_tuples] mint fresh ones) — a stable key for external caches. *)
 
 val version : t -> int
-(** Mutation counter: bumped by every [insert], [delete] and [clear].
-    [(uid, version)] identifies a relation {e state}; caches keyed on it
-    are invalidated by any change to the contents. *)
+(** Mutation counter: bumped once by every {e effective} {!apply} and by
+    [clear].  [(uid, version)] identifies a relation {e state}; caches
+    keyed on it are invalidated by any change to the contents. *)
 
-val insert : t -> tuple -> unit
-(** Raises [Invalid_argument] on arity mismatch. Duplicates are kept
-    (bag semantics); use [insert_distinct] for set semantics. *)
+val apply : t -> Delta.t -> unit
+(** The single mutation entry point.  Removals first: one copy per
+    [dels] occurrence (absent tuples are ignored), order-preserving.
+    Then additions: one copy appended per [adds] occurrence (bag
+    semantics — callers wanting set semantics guard with {!mem}).
+    Raises [Invalid_argument] on arity mismatch.  An application with
+    no effect (e.g. removals of absent tuples only) does not bump the
+    version.  The {e effective} delta — what actually changed — is
+    retained in the delta log for {!deltas_since}. *)
 
-val insert_distinct : t -> tuple -> bool
-(** Returns [false] (and does nothing) if an equal tuple is present.
-    Constant-time membership via the internal tuple hash set. *)
+val deltas_since : t -> int -> Delta.t list option
+(** [deltas_since t v] is the chronological list of effective deltas
+    that lead from state [v] to the current state — [Some []] when
+    [v = version t] — or [None] when the log no longer reaches back to
+    [v] (capacity truncation, or a [clear]), in which case the caller
+    must rebuild from the current contents. *)
 
-val bulk_insert : t -> tuple list -> unit
-(** Insert many rows at once (bag semantics). Equivalent to iterated
-    [insert] but intended for loading: live indexes absorb the rows
-    incrementally instead of being rebuilt per row. *)
+val delta_since : t -> int -> Delta.t option
+(** {!deltas_since} folded with {!Delta.compose} — convenient for
+    consumers that don't need positional replay (statistics, caches,
+    shipping to replicas). *)
 
-val delete : t -> tuple -> int
-(** Removes all equal tuples; returns how many were removed. *)
+val delta_floor : t -> int
+(** Oldest version still reconstructible from the delta log;
+    [deltas_since t v] is [None] exactly when [v < delta_floor t]. *)
+
+val mem : t -> tuple -> bool
+(** Constant-time membership via the internal tuple hash set. *)
 
 val tuples : t -> tuple list
+(** All rows, oldest first (insertion order).  Memoised per version —
+    O(1) on repeated calls against an unchanged relation. *)
+
 val iter : (tuple -> unit) -> t -> unit
 val fold : ('a -> tuple -> 'a) -> 'a -> t -> 'a
 
@@ -53,11 +114,14 @@ val find_by_bound : t -> (int * Value.t) list -> tuple list
 val freeze : t -> unit
 (** Build the index for every column, so that subsequent [find_by] /
     [find_by_bound] calls are mutation-free — the precondition for
-    sharing the relation read-only across domains. A later insert or
-    delete re-enters the ordinary (single-domain) regime. *)
+    sharing the relation read-only across domains. A later {!apply}
+    re-enters the ordinary (single-domain) regime. *)
 
-val mem : t -> tuple -> bool
 val of_tuples : Schema.t -> tuple list -> t
 val copy : t -> t
+
 val clear : t -> unit
+(** Empties the relation and truncates the delta log (consumers keyed
+    on an earlier version must rebuild). *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,23 +1,28 @@
 (** Per-relation statistics for join planning: cardinality plus a
     distinct-value count per column, cached process-wide.
 
-    The cache is keyed on {!Relation.uid} and guarded by
-    {!Relation.version}: a cached entry is served only while the
-    relation's version is unchanged, so any [insert]/[delete]/[clear]
-    invalidates it implicitly — the next {!of_relation} rescans. The
-    table is mutex-protected; computing statistics happens outside the
-    lock, so concurrent planners at worst duplicate one scan. *)
+    The cache is keyed on {!Relation.uid} and {e maintained} from
+    {!Relation.deltas_since}: when the relation's version has moved, the
+    cached per-column value-count tables are patched with the retained
+    deltas (O(changed rows x arity)) instead of rescanned.  A full
+    O(tuples x arity) rescan happens only on a cold entry, when the
+    delta log was truncated past the cached version (counted in
+    [pdms.delta.rebuild_fallbacks]), or with [~incremental:false].
+    The table is mutex-protected; full scans happen outside the lock,
+    so concurrent planners at worst duplicate one scan. *)
 
 type t = {
-  cardinality : int;  (** tuple count at the cached version *)
+  cardinality : int;  (** tuple count at the served version *)
   distinct : int array;
       (** distinct values per column, length = schema arity *)
 }
 
-val of_relation : Relation.t -> t
-(** Statistics for the relation's current state, from the cache when the
-    [(uid, version)] pair still matches, else by one O(tuples * arity)
-    scan that refreshes the cache. *)
+val of_relation : ?incremental:bool -> Relation.t -> t
+(** Statistics for the relation's current state.  [incremental]
+    (default [true]) allows delta-patching a stale cached entry —
+    counted in [pdms.delta.stats_patched] and {!cache_patches};
+    [false] forces the version-guarded rebuild discipline (any change
+    rescans), the [--no-incremental] A/B baseline. *)
 
 val selectivity : t -> int -> float
 (** [selectivity s col] is [1 / distinct.(col)] clamped to [(0, 1]] — the
@@ -28,7 +33,12 @@ val selectivity : t -> int -> float
 val cache_hits : unit -> int
 val cache_misses : unit -> int
 (** Cumulative cache behaviour since load (or the last {!reset_cache}) —
-    exposed for tests and the E17 bench commentary. *)
+    exposed for tests and the E17 bench commentary.  A delta-patched
+    serve counts as a hit (no rescan happened). *)
+
+val cache_patches : unit -> int
+(** How many serves were answered by folding retained deltas into a
+    stale entry rather than rescanning. *)
 
 val reset_cache : unit -> unit
-(** Drop every cached entry and zero the hit/miss counters. *)
+(** Drop every cached entry and zero the hit/miss/patch counters. *)

@@ -28,14 +28,22 @@ let emit t event =
 
 let insert t name tuple =
   let rel = Relalg.Database.find t.db name in
-  let added = Relalg.Relation.insert_distinct rel tuple in
-  if added then emit t (Inserted (name, tuple));
+  let added = not (Relalg.Relation.mem rel tuple) in
+  if added then begin
+    Relalg.Relation.apply rel (Relalg.Relation.Delta.add tuple);
+    emit t (Inserted (name, tuple))
+  end;
   added
 
 let delete t name tuple =
   let rel = Relalg.Database.find t.db name in
-  let removed = Relalg.Relation.delete rel tuple > 0 in
-  if removed then emit t (Deleted (name, tuple));
+  let removed = Relalg.Relation.mem rel tuple in
+  if removed then begin
+    (* Stored relations are kept distinct by [insert], so one removal
+       per copy empties the membership. *)
+    Relalg.Relation.apply rel (Relalg.Relation.Delta.remove tuple);
+    emit t (Deleted (name, tuple))
+  end;
   removed
 
 let subscribe t f = t.subscribers <- f :: t.subscribers

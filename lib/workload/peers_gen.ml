@@ -25,17 +25,19 @@ let generate prng ~topology ~tuples_per_peer ?(with_join = false) () =
       let stored = Pdms.Catalog.store_identity catalog peer ~rel:"course" in
       for _ = 1 to tuples_per_peer do
         let code = Vocab.course_code prng in
-        Relalg.Relation.insert stored
-          [| Relalg.Value.Str code;
-             Relalg.Value.Str (Vocab.course_title prng);
-             Relalg.Value.Str (Vocab.person_name prng) |]
+        Relalg.Relation.apply stored
+          (Relalg.Relation.Delta.add
+             [| Relalg.Value.Str code;
+                Relalg.Value.Str (Vocab.course_title prng);
+                Relalg.Value.Str (Vocab.person_name prng) |])
       done;
       if with_join then begin
         let stored_instr = Pdms.Catalog.store_identity catalog peer ~rel:"instr" in
         for _ = 1 to tuples_per_peer do
-          Relalg.Relation.insert stored_instr
-            [| Relalg.Value.Str (Vocab.course_code prng);
-               Relalg.Value.Str (Vocab.person_name prng) |]
+          Relalg.Relation.apply stored_instr
+            (Relalg.Relation.Delta.add
+               [| Relalg.Value.Str (Vocab.course_code prng);
+                  Relalg.Value.Str (Vocab.person_name prng) |])
         done
       end)
     peers;

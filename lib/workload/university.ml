@@ -161,11 +161,14 @@ let build_delearning prng ~courses_per_peer =
         let stored_instr = Pdms.Catalog.store_identity catalog peer ~rel:irel in
         for _ = 1 to courses_per_peer do
           let title = Printf.sprintf "[%s] %s" name (Vocab.course_title prng) in
-          Relalg.Relation.insert stored
-            [| Relalg.Value.Str title;
-               Relalg.Value.Int (10 + Util.Prng.int prng 290) |];
-          Relalg.Relation.insert stored_instr
-            [| Relalg.Value.Str (Vocab.person_name prng); Relalg.Value.Str title |]
+          Relalg.Relation.apply stored
+            (Relalg.Relation.Delta.add
+               [| Relalg.Value.Str title;
+                  Relalg.Value.Int (10 + Util.Prng.int prng 290) |]);
+          Relalg.Relation.apply stored_instr
+            (Relalg.Relation.Delta.add
+               [| Relalg.Value.Str (Vocab.person_name prng);
+                  Relalg.Value.Str title |])
         done;
         (name, courses_per_peer))
       peers

@@ -11,18 +11,19 @@ let shred xml =
     !counter
   in
   let vi i = Relalg.Value.Int i and vs s = Relalg.Value.Str s in
+  let add rel row = Relalg.Relation.apply rel (Relalg.Relation.Delta.add row) in
   let rec go node =
     let id = next () in
     (match node with
     | Xml.Text s ->
-        Relalg.Relation.insert node_rel [| vi id; vs "#text" |];
-        Relalg.Relation.insert content_rel [| vi id; vs s |]
+        add node_rel [| vi id; vs "#text" |];
+        add content_rel [| vi id; vs s |]
     | Xml.Element (tag, _, children) ->
-        Relalg.Relation.insert node_rel [| vi id; vs tag |];
+        add node_rel [| vi id; vs tag |];
         List.iteri
           (fun pos child ->
             let child_id = go child in
-            Relalg.Relation.insert edge_rel [| vi id; vi child_id; vi pos |])
+            add edge_rel [| vi id; vi child_id; vi pos |])
           children);
     id
   in

@@ -55,8 +55,9 @@ let test_schema_model_of_peer_carries_data () =
   let catalog = Pdms.Catalog.create () in
   Pdms.Catalog.add_peer catalog (Core.Revere.peer node);
   let stored = Pdms.Catalog.store_identity catalog (Core.Revere.peer node) ~rel:"course" in
-  Relalg.Relation.insert stored
-    [| Relalg.Value.Str "cse444"; Relalg.Value.Str "databases" |];
+  Relalg.Relation.apply stored
+    (Relalg.Relation.Delta.add
+       [| Relalg.Value.Str "cse444"; Relalg.Value.Str "databases" |]);
   let model = Core.Revere.schema_model_of_peer (Core.Revere.peer node) ~rel:"course" in
   match model.Corpus.Schema_model.relations with
   | [ r ] ->

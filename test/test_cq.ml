@@ -10,6 +10,15 @@ let q head body = Query.make head body
 let check_i = Alcotest.(check int)
 let check_b = Alcotest.(check bool)
 
+let insert rel row = Relalg.Relation.apply rel (Relalg.Relation.Delta.add row)
+
+let insert_distinct rel row =
+  if Relalg.Relation.mem rel row then false
+  else begin
+    insert rel row;
+    true
+  end
+
 (* A small university edb:
    course(id, title, dept)    teaches(prof, id)    office(prof, room) *)
 let edb () =
@@ -18,15 +27,15 @@ let edb () =
   let teaches = Relalg.Database.create_relation db "teaches" [ "prof"; "id" ] in
   let office = Relalg.Database.create_relation db "office" [ "prof"; "room" ] in
   let vs x = Relalg.Value.Str x in
-  List.iter (Relalg.Relation.insert course)
+  List.iter (insert course)
     [ [| vs "cse444"; vs "databases"; vs "cs" |];
       [| vs "cse446"; vs "ml"; vs "cs" |];
       [| vs "hist101"; vs "ancient history"; vs "history" |] ];
-  List.iter (Relalg.Relation.insert teaches)
+  List.iter (insert teaches)
     [ [| vs "alon"; vs "cse444" |];
       [| vs "oren"; vs "cse446" |];
       [| vs "mary"; vs "hist101" |] ];
-  List.iter (Relalg.Relation.insert office)
+  List.iter (insert office)
     [ [| vs "alon"; vs "ac101" |]; [| vs "oren"; vs "ac202" |] ];
   db
 
@@ -56,8 +65,8 @@ let test_eval_constant_filter () =
 let test_eval_repeated_var () =
   let db = Relalg.Database.create () in
   let r = Relalg.Database.create_relation db "r" [ "a"; "b" ] in
-  Relalg.Relation.insert r [| Relalg.Value.Int 1; Relalg.Value.Int 1 |];
-  Relalg.Relation.insert r [| Relalg.Value.Int 1; Relalg.Value.Int 2 |];
+  insert r [| Relalg.Value.Int 1; Relalg.Value.Int 1 |];
+  insert r [| Relalg.Value.Int 1; Relalg.Value.Int 2 |];
   let query = q (atom "ans" [ v "X" ]) [ atom "r" [ v "X"; v "X" ] ] in
   check_i "diagonal only" 1 (Relalg.Relation.cardinality (Eval.run db query))
 
@@ -195,7 +204,7 @@ let test_datalog_transitive_closure () =
   let db = Relalg.Database.create () in
   let edge = Relalg.Database.create_relation db "edge" [ "src"; "dst" ] in
   let vi i = Relalg.Value.Int i in
-  List.iter (Relalg.Relation.insert edge)
+  List.iter (insert edge)
     [ [| vi 1; vi 2 |]; [| vi 2; vi 3 |]; [| vi 3; vi 4 |] ];
   let program =
     [ q (atom "path" [ v "X"; v "Y" ]) [ atom "edge" [ v "X"; v "Y" ] ];
@@ -394,11 +403,11 @@ let gen_db =
        List.iter
          (fun (a, b) ->
            ignore
-             (Relalg.Relation.insert_distinct r [| Relalg.Value.Int a; Relalg.Value.Int b |]))
+             (insert_distinct r [| Relalg.Value.Int a; Relalg.Value.Int b |]))
          rs;
        List.iter
          (fun a ->
-           ignore (Relalg.Relation.insert_distinct t [| Relalg.Value.Int a |]))
+           ignore (insert_distinct t [| Relalg.Value.Int a |]))
          ts;
        db))
 
@@ -495,10 +504,10 @@ let test_plan_trie_shape () =
   let t = Relalg.Database.create_relation db "t" [ "a" ] in
   List.iter
     (fun (a, b) ->
-      Relalg.Relation.insert r [| Relalg.Value.Int a; Relalg.Value.Int b |])
+      insert r [| Relalg.Value.Int a; Relalg.Value.Int b |])
     [ (1, 2); (2, 1) ];
   List.iter
-    (fun a -> Relalg.Relation.insert t [| Relalg.Value.Int a |])
+    (fun a -> insert t [| Relalg.Value.Int a |])
     [ 0; 1; 2; 3; 4 ];
   (* r is smaller than t, so both bodies start with their r atom; the
      alpha-normalised first atoms coincide and share one trie node. *)
@@ -537,11 +546,11 @@ let test_plan_bindings_reused_counter () =
   let t = Relalg.Database.create_relation db "t" [ "a" ] in
   List.iter
     (fun (a, b) ->
-      Relalg.Relation.insert r [| Relalg.Value.Int a; Relalg.Value.Int b |])
+      insert r [| Relalg.Value.Int a; Relalg.Value.Int b |])
     [ (1, 2); (2, 1) ];
   (* t larger than r, so the shared r atom stays first in both orders. *)
   List.iter
-    (fun a -> Relalg.Relation.insert t [| Relalg.Value.Int a |])
+    (fun a -> insert t [| Relalg.Value.Int a |])
     [ 0; 1; 2; 3; 4 ];
   let q1 =
     q (atom "ans" [ v "X" ]) [ atom "r" [ v "X"; v "Y" ]; atom "t" [ v "Y" ] ]

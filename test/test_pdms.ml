@@ -10,6 +10,7 @@ let q head body = Query.make head body
 let check_i = Alcotest.(check int)
 let check_b = Alcotest.(check bool)
 let vs s = Relalg.Value.Str s
+let insert rel row = Relalg.Relation.apply rel (Relalg.Relation.Delta.add row)
 
 (* ------------------------------------------------------------------ *)
 (* Scenario builders *)
@@ -23,7 +24,7 @@ let two_peer_catalog mapping_kind =
   P.Catalog.add_peer catalog uw;
   P.Catalog.add_peer catalog mit;
   let stored = P.Catalog.store_identity catalog mit ~rel:"subject" in
-  List.iter (Relalg.Relation.insert stored)
+  List.iter (insert stored)
     [ [| vs "6.033"; vs "systems" |]; [| vs "6.830"; vs "databases" |] ];
   let lhs = q (atom "m" [ v "C"; v "T" ]) [ P.Peer.atom mit "subject" [ v "C"; v "T" ] ] in
   let rhs = q (atom "m" [ v "C"; v "T" ]) [ P.Peer.atom uw "course" [ v "C"; v "T" ] ] in
@@ -62,7 +63,7 @@ let test_definitional_mapping () =
   P.Catalog.add_peer catalog uw;
   P.Catalog.add_peer catalog mit;
   let stored = P.Catalog.store_identity catalog mit ~rel:"subject" in
-  Relalg.Relation.insert stored [| vs "6.033"; vs "systems" |];
+  insert stored [| vs "6.033"; vs "systems" |];
   (* GAV-style: uw.course defined from mit.subject. *)
   let rule =
     q
@@ -89,7 +90,7 @@ let chain_catalog n =
   in
   let last = List.nth peers (n - 1) in
   let stored = P.Catalog.store_identity catalog last ~rel:"course" in
-  List.iter (Relalg.Relation.insert stored)
+  List.iter (insert stored)
     [ [| vs "c1"; vs "ancient history" |]; [| vs "c2"; vs "databases" |] ];
   List.iteri
     (fun i p ->
@@ -139,7 +140,7 @@ let test_same_mapping_twice_in_one_query () =
   P.Catalog.add_peer catalog a;
   P.Catalog.add_peer catalog b;
   let stored = P.Catalog.store_identity catalog b ~rel:"r2" in
-  List.iter (Relalg.Relation.insert stored)
+  List.iter (insert stored)
     [ [| vs "1"; vs "2" |]; [| vs "3"; vs "4" |] ];
   let lhs = q (atom "m" [ v "X"; v "Y" ]) [ P.Peer.atom b "r2" [ v "X"; v "Y" ] ] in
   let rhs = q (atom "m" [ v "X"; v "Y" ]) [ P.Peer.atom a "r" [ v "X"; v "Y" ] ] in
@@ -156,7 +157,7 @@ let test_local_plus_remote_union () =
   let catalog, uw, _ = two_peer_catalog `Equality in
   (* Give UW local storage too. *)
   let stored = P.Catalog.store_identity catalog uw ~rel:"course" in
-  Relalg.Relation.insert stored [| vs "cse444"; vs "databases uw" |];
+  insert stored [| vs "cse444"; vs "databases uw" |];
   let query = q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom uw "course" [ v "X"; v "Y" ] ] in
   check_i "local + remote" 3
     (Relalg.Relation.cardinality (P.Answer.answer catalog query).P.Answer.answers)
@@ -173,8 +174,8 @@ let test_join_query_through_mapping () =
   P.Catalog.add_peer catalog b;
   let sr = P.Catalog.store_identity catalog b ~rel:"r2" in
   let ss = P.Catalog.store_identity catalog b ~rel:"s2" in
-  List.iter (Relalg.Relation.insert sr) [ [| vs "1"; vs "2" |]; [| vs "5"; vs "6" |] ];
-  List.iter (Relalg.Relation.insert ss) [ [| vs "2"; vs "3" |] ];
+  List.iter (insert sr) [ [| vs "1"; vs "2" |]; [| vs "5"; vs "6" |] ];
+  List.iter (insert ss) [ [| vs "2"; vs "3" |] ];
   (* Two separate mappings, one per relation. *)
   let m1_lhs = q (atom "m" [ v "X"; v "Y" ]) [ P.Peer.atom b "r2" [ v "X"; v "Y" ] ] in
   let m1_rhs = q (atom "m" [ v "X"; v "Y" ]) [ P.Peer.atom a "r" [ v "X"; v "Y" ] ] in
@@ -205,9 +206,9 @@ let test_mesh_completeness () =
         in
         P.Catalog.add_peer catalog p;
         let stored = P.Catalog.store_identity catalog p ~rel:"course" in
-        Relalg.Relation.insert stored
+        insert stored
           [| vs (Printf.sprintf "c%d" i); vs (Printf.sprintf "t%d" i) |];
-        Relalg.Relation.insert stored
+        insert stored
           [| vs (Printf.sprintf "c%d'" i); vs (Printf.sprintf "t%d'" i) |];
         p)
   in
@@ -248,7 +249,7 @@ let test_projection_mapping () =
   P.Catalog.add_peer catalog uw;
   P.Catalog.add_peer catalog mit;
   let stored = P.Catalog.store_identity catalog mit ~rel:"subject" in
-  Relalg.Relation.insert stored [| vs "6.033"; vs "systems" |];
+  insert stored [| vs "6.033"; vs "systems" |];
   let lhs = q (atom "m" [ v "C" ]) [ P.Peer.atom mit "subject" [ v "C"; v "T" ] ] in
   let rhs = q (atom "m" [ v "C" ]) [ P.Peer.atom uw "course" [ v "C"; v "T" ] ] in
   ignore (P.Catalog.add_mapping catalog (P.Peer_mapping.inclusion ~lhs ~rhs));
@@ -515,7 +516,7 @@ let test_storage_description_selection () =
       [ P.Peer.atom uw "course" [ v "C"; v "T"; Term.str "cs" ] ]
   in
   P.Catalog.add_storage catalog (P.Storage_desc.make P.Storage_desc.Containment view);
-  List.iter (Relalg.Relation.insert stored)
+  List.iter (insert stored)
     [ [| vs "cse444"; vs "databases" |]; [| vs "cse446"; vs "ml" |] ];
   (* Asking for CS courses is answered from storage... *)
   let q_cs =
@@ -591,7 +592,7 @@ let test_distributed_beats_central () =
   let last = List.nth peers 3 in
   let stored = Relalg.Database.find (P.Peer.stored_db last) (P.Peer.stored_pred last "course") in
   for i = 0 to 199 do
-    Relalg.Relation.insert stored
+    insert stored
       [| vs (Printf.sprintf "bulk%d" i); vs "filler" |]
   done;
   let p0 = List.hd peers in
@@ -913,15 +914,21 @@ let test_kwindex_incremental () =
   P.Catalog.add_peer catalog pb;
   let ra = P.Catalog.store_identity catalog pa ~rel:"r" in
   let rb = P.Catalog.store_identity catalog pb ~rel:"s" in
-  Relalg.Relation.insert ra [| vs "cse444"; vs "databases" |];
-  Relalg.Relation.insert rb [| vs "cse451"; vs "operating systems" |];
+  insert ra [| vs "cse444"; vs "databases" |];
+  insert rb [| vs "cse451"; vs "operating systems" |];
   ignore (P.Keyword.search catalog "databases");
   let warm = kwindex_builds () in
   ignore (P.Keyword.search catalog "systems");
   check_i "warm repeat rebuilds nothing" warm (kwindex_builds ());
-  Relalg.Relation.insert ra [| vs "cse452"; vs "distributed systems" |];
+  let patched () =
+    Obs.Metrics.counter_value (Obs.Metrics.snapshot ())
+      "pdms.delta.patched_postings"
+  in
+  let patched0 = patched () in
+  insert ra [| vs "cse452"; vs "distributed systems" |];
   let hits = P.Keyword.search catalog "distributed" in
-  check_i "only the touched relation reindexes" (warm + 1) (kwindex_builds ());
+  check_i "the touched relation patches, no rebuild" warm (kwindex_builds ());
+  check_b "postings were patched" true (patched () > patched0);
   check_b "new tuple is searchable" true
     (List.exists
        (fun (h : P.Keyword.hit) ->
@@ -937,7 +944,7 @@ let test_kwindex_lru_eviction () =
   let b0 = kwindex_builds () in
   let rel i =
     let r = Relalg.Relation.create (Relalg.Schema.make "r" [ "x" ]) in
-    Relalg.Relation.insert r [| vs (Printf.sprintf "tok%d" i) |];
+    insert r [| vs (Printf.sprintf "tok%d" i) |];
     r
   in
   let rels = Array.init (P.Kwindex.max_entries + 5) rel in
@@ -955,6 +962,108 @@ let test_kwindex_lru_eviction () =
   check_i "recent entry survived the overflow" filled (kwindex_builds ());
   ignore (P.Kwindex.get ~rel_name:"r0!" rels.(0));
   check_i "oldest entry was evicted" (filled + 1) (kwindex_builds ());
+  P.Kwindex.reset ()
+
+let delta_fallbacks () =
+  Obs.Metrics.counter_value (Obs.Metrics.snapshot ())
+    "pdms.delta.rebuild_fallbacks"
+
+(* The delta-patched index must be indistinguishable from rebuilding on
+   every change: identical rendered hit lists over a random stream of
+   inserts and deletes, for any jobs value, with faults on or off.  The
+   stream stays far below the delta-log caps, so the incremental run
+   must also never fall back to a rebuild. *)
+let prop_kwindex_incremental_matches_rebuild =
+  QCheck.Test.make
+    ~name:"incremental index = rebuilt index under random delta streams"
+    ~count:20
+    (QCheck.make QCheck.Gen.(int_bound 10_000) ~print:string_of_int)
+    (fun seed ->
+      (* Both modes rebuild the same world from the seed: same catalog,
+         same op stream, same queries — only [incremental] differs. *)
+      let run incremental =
+        P.Kwindex.reset ();
+        let prng = Util.Prng.create (seed + 77) in
+        let kind =
+          match seed mod 3 with
+          | 0 -> P.Topology.Chain
+          | 1 -> P.Topology.Star
+          | _ -> P.Topology.Ring
+        in
+        let n = 3 + (seed mod 3) in
+        let topology = P.Topology.generate ~prng kind ~n in
+        let g =
+          Workload.Peers_gen.generate prng ~topology
+            ~tuples_per_peer:(2 + (seed mod 4)) ()
+        in
+        let catalog = g.Workload.Peers_gen.catalog in
+        let db = P.Catalog.global_db catalog in
+        let names = List.sort String.compare (Relalg.Database.names db) in
+        let network =
+          if seed mod 2 = 0 then begin
+            let net =
+              P.Distributed.network_of_catalog catalog ~latency_ms:1.0
+            in
+            P.Network.Fault.fail_peer net (Printf.sprintf "p%d" (seed mod n));
+            Some net
+          end
+          else None
+        in
+        let ops = Util.Prng.create (seed + 1234) in
+        let query = Workload.Peers_gen.keyword_query g ops in
+        let transcript = ref [] in
+        for i = 0 to 11 do
+          let rel =
+            Relalg.Database.find db (Util.Prng.pick ops names)
+          in
+          let arity = Relalg.Schema.arity (Relalg.Relation.schema rel) in
+          (match (Util.Prng.int ops 3, Relalg.Relation.tuples rel) with
+          | (0 | 1), _ | _, [] ->
+              let row =
+                Array.init arity (fun _ ->
+                    vs (Printf.sprintf "word%d" (Util.Prng.int ops 40)))
+              in
+              Relalg.Relation.apply rel (Relalg.Relation.Delta.add row)
+          | _, rows ->
+              Relalg.Relation.apply rel
+                (Relalg.Relation.Delta.remove (Util.Prng.pick ops rows)));
+          let exec =
+            P.Exec.make ~jobs:(1 + (i mod 3)) ~incremental ()
+          in
+          let hits = P.Keyword.search ~limit:5 ~exec ?network catalog query in
+          transcript :=
+            List.rev_append (List.map P.Keyword.render_hit hits) !transcript
+        done;
+        !transcript
+      in
+      let f0 = delta_fallbacks () in
+      let incr = run true in
+      let no_fallbacks = delta_fallbacks () = f0 in
+      let rebuilt = run false in
+      P.Kwindex.reset ();
+      incr = rebuilt && no_fallbacks)
+
+(* Exceeding the bounded delta log forces one honest rebuild, counted
+   in pdms.delta.rebuild_fallbacks; afterwards small deltas patch
+   again. *)
+let test_kwindex_truncation_fallback () =
+  P.Kwindex.reset ();
+  let r = Relalg.Relation.create (Relalg.Schema.make "t" [ "x"; "y" ]) in
+  insert r [| vs "alpha"; vs "beta" |];
+  ignore (P.Kwindex.get ~rel_name:"t!" r);
+  let builds0 = kwindex_builds () in
+  let f0 = delta_fallbacks () in
+  for i = 0 to 599 do
+    insert r [| vs (Printf.sprintf "w%d" i); vs "filler" |]
+  done;
+  check_b "log truncated past the cached version" true
+    (Relalg.Relation.deltas_since r 1 = None);
+  ignore (P.Kwindex.get ~rel_name:"t!" r);
+  check_i "one full rebuild" (builds0 + 1) (kwindex_builds ());
+  check_b "fallback counted" true (delta_fallbacks () > f0);
+  insert r [| vs "gamma"; vs "delta" |];
+  ignore (P.Kwindex.get ~rel_name:"t!" r);
+  check_i "small delta patches again" (builds0 + 1) (kwindex_builds ());
   P.Kwindex.reset ()
 
 (* ------------------------------------------------------------------ *)
@@ -991,7 +1100,7 @@ let test_cache_reflects_updates_after_invalidation () =
   (* New data arrives at MIT; the stale cache would miss it. *)
   let stored_pred = P.Peer.stored_pred mit "subject" in
   let stored = Relalg.Database.find (P.Peer.stored_db mit) stored_pred in
-  Relalg.Relation.insert stored [| vs "6.001"; vs "sicp" |];
+  insert stored [| vs "6.001"; vs "sicp" |];
   check_i "stale while cached" 2
     (Relalg.Relation.cardinality (P.Cache.answer cache query).P.Answer.answers);
   ignore (P.Cache.invalidate cache (P.Updategram.make ~rel:stored_pred ()));
@@ -1077,7 +1186,7 @@ let test_cache_invalidate_exact () =
         in
         P.Catalog.add_peer catalog p;
         let stored = P.Catalog.store_identity catalog p ~rel:"course" in
-        Relalg.Relation.insert stored
+        insert stored
           [| vs (Printf.sprintf "c%d" i); vs "title" |];
         p)
   in
@@ -1098,6 +1207,47 @@ let test_cache_invalidate_exact () =
     peers;
   check_i "others still cached" (hits0 + 3) (P.Cache.hits cache)
 
+(* The incremental invalidation probe keeps an entry when no rewriting
+   atom over the touched relation unifies with any changed tuple, and
+   drops the rest; the non-incremental baseline drops every reader. *)
+let test_cache_delta_probe () =
+  let catalog, uw, mit = two_peer_catalog `Equality in
+  let stored = P.Peer.stored_pred mit "subject" in
+  let pinned =
+    q (atom "ans" [ v "Y" ])
+      [ P.Peer.atom uw "course" [ Term.Const (vs "6.033"); v "Y" ] ]
+  in
+  let broad =
+    q (atom "ans" [ v "X"; v "Y" ]) [ P.Peer.atom uw "course" [ v "X"; v "Y" ] ]
+  in
+  let kept () =
+    Obs.Metrics.counter_value (Obs.Metrics.snapshot ()) "pdms.delta.cache_kept"
+  in
+  let cache = P.Cache.create catalog () in
+  let fill () =
+    ignore (P.Cache.answer cache pinned);
+    ignore (P.Cache.answer cache broad);
+    check_i "two entries cached" 2 (P.Cache.entries cache)
+  in
+  fill ();
+  let k0 = kept () in
+  let u =
+    P.Updategram.make ~rel:stored ~inserts:[ [| vs "6.001"; vs "sicp" |] ] ()
+  in
+  check_i "only the unifying reader drops" 1 (P.Cache.invalidate cache u);
+  check_i "pinned entry survives" 1 (P.Cache.entries cache);
+  check_b "survivor counted in pdms.delta.cache_kept" true (kept () > k0);
+  check_i "a tuple matching the constant takes the survivor" 1
+    (P.Cache.invalidate cache
+       (P.Updategram.make ~rel:stored
+          ~inserts:[ [| vs "6.033"; vs "recitation" |] ]
+          ()));
+  check_i "cache drained" 0 (P.Cache.entries cache);
+  (* The rebuild-everything baseline drops both readers at once. *)
+  fill ();
+  check_i "non-incremental drops all readers" 2
+    (P.Cache.invalidate ~exec:(P.Exec.with_incremental false) cache u)
+
 (* When every mapping is an inclusion with single-atom sides, the PDMS
    semantics coincides with a datalog program; the reformulation answers
    must match naive bottom-up evaluation exactly. *)
@@ -1114,7 +1264,7 @@ let test_datalog_reference_agreement () =
         P.Catalog.add_peer catalog p;
         let stored = P.Catalog.store_identity catalog p ~rel:"course" in
         for k = 1 to 3 do
-          Relalg.Relation.insert stored
+          insert stored
             [| vs (Printf.sprintf "c%d_%d" i k);
                vs (Printf.sprintf "t%d" (Util.Prng.int prng 4)) |]
         done;
@@ -1356,6 +1506,51 @@ let test_propagate_multiple_replicas_consistent () =
     (List.length
        (P.Propagate.push prop (P.Updategram.make ~rel:"nosuch!" ~inserts:[] ())))
 
+(* A downed replica host cannot take the delta: the push reports it
+   lagging and serving stale answers while the reachable replica
+   converges; healing the peer and reconciling replays the backlog and
+   catches the replica up with the survivors. *)
+let test_propagate_lag_and_reconcile () =
+  let catalog, uw, mit = two_peer_catalog `Equality in
+  let prop = P.Propagate.create catalog in
+  let q_uw =
+    q (atom "a" [ v "X"; v "Y" ]) [ P.Peer.atom uw "course" [ v "X"; v "Y" ] ]
+  in
+  let q_mit =
+    q (atom "b" [ v "X"; v "Y" ]) [ P.Peer.atom mit "subject" [ v "X"; v "Y" ] ]
+  in
+  ignore (P.Propagate.materialise prop ~name:"at-uw" ~at:"uw" q_uw);
+  ignore (P.Propagate.materialise prop ~name:"at-mit" ~at:"mit" q_mit);
+  let network = P.Distributed.network_of_catalog catalog ~latency_ms:1.0 in
+  P.Network.Fault.fail_peer network "uw";
+  let stored = P.Peer.stored_pred mit "subject" in
+  let push row =
+    P.Propagate.push prop ~network
+      (P.Updategram.make ~rel:stored ~inserts:[ row ] ())
+  in
+  let touched = push [| vs "6.001"; vs "sicp" |] in
+  check_b "mit's own replica converged" true
+    (List.mem ("at-mit", "mit") touched);
+  check_b "uw replica not in the converged set" false
+    (List.mem ("at-uw", "uw") touched);
+  check_i "uw backlog of one" 1 (List.assoc "at-uw" (P.Propagate.lagging prop));
+  check_i "mit view grew" 3 (P.Propagate.cardinality prop ~name:"at-mit");
+  check_i "uw serves stale answers" 2
+    (P.Propagate.cardinality prop ~name:"at-uw");
+  (* While down, a second update deepens the backlog. *)
+  ignore (push [| vs "6.004"; vs "computation structures" |]);
+  check_i "uw backlog of two" 2 (List.assoc "at-uw" (P.Propagate.lagging prop));
+  check_b "reconcile fails while still down" false
+    (P.Propagate.reconcile prop ~network ~name:"at-uw");
+  check_i "backlog kept on failure" 2
+    (List.assoc "at-uw" (P.Propagate.lagging prop));
+  P.Network.Fault.heal_peer network "uw";
+  check_b "reconcile succeeds after heal" true
+    (P.Propagate.reconcile prop ~network ~name:"at-uw");
+  check_i "no lagging replicas" 0 (List.length (P.Propagate.lagging prop));
+  check_i "uw caught up" 4 (P.Propagate.cardinality prop ~name:"at-uw");
+  check_i "mit caught up too" 4 (P.Propagate.cardinality prop ~name:"at-mit")
+
 (* ------------------------------------------------------------------ *)
 (* Observability: tracing must be invisible in the answers, and the
    span tree must reflect the answer path's phases. *)
@@ -1523,8 +1718,12 @@ let () =
            test_keyword_skips_down_peer;
          Alcotest.test_case "incremental reindex" `Quick
            test_kwindex_incremental;
-         Alcotest.test_case "lru eviction" `Quick test_kwindex_lru_eviction ]
-       @ qc [ prop_indexed_matches_brute ]);
+         Alcotest.test_case "lru eviction" `Quick test_kwindex_lru_eviction;
+         Alcotest.test_case "truncation falls back to rebuild" `Quick
+           test_kwindex_truncation_fallback ]
+       @ qc
+           [ prop_indexed_matches_brute;
+             prop_kwindex_incremental_matches_rebuild ]);
       ("distributed",
        [ Alcotest.test_case "owner parsing" `Quick test_distributed_owner_parsing;
          Alcotest.test_case "beats central" `Quick test_distributed_beats_central;
@@ -1543,7 +1742,9 @@ let () =
          Alcotest.test_case "lru touch protects" `Quick
            test_cache_lru_touch_protects;
          Alcotest.test_case "invalidate exact" `Quick
-           test_cache_invalidate_exact ]
+           test_cache_invalidate_exact;
+         Alcotest.test_case "delta probe keeps unaffected entries" `Quick
+           test_cache_delta_probe ]
        @ qc [ prop_cache_lru_reference_model ]);
       ("datalog-reference",
        [ Alcotest.test_case "inclusion chain agreement" `Quick
@@ -1556,7 +1757,9 @@ let () =
       ("propagate",
        [ Alcotest.test_case "remote replica" `Quick test_propagate_to_remote_replica;
          Alcotest.test_case "multiple replicas" `Quick
-           test_propagate_multiple_replicas_consistent ]);
+           test_propagate_multiple_replicas_consistent;
+         Alcotest.test_case "lag and reconcile" `Quick
+           test_propagate_lag_and_reconcile ]);
       ("placement",
        [ Alcotest.test_case "greedy improves" `Quick test_placement_greedy_improves ]);
       ("parallel",

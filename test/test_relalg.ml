@@ -4,20 +4,21 @@ open Relalg
 
 let v_i i = Value.Int i
 let v_s s = Value.Str s
+let insert r row = Relation.apply r (Relation.Delta.add row)
 let check_i = Alcotest.(check int)
 let check_b = Alcotest.(check bool)
 
 let people () =
   let r = Relation.create (Schema.make "people" [ "name"; "dept"; "age" ]) in
-  Relation.insert r [| v_s "ada"; v_s "cs"; v_i 36 |];
-  Relation.insert r [| v_s "bob"; v_s "cs"; v_i 41 |];
-  Relation.insert r [| v_s "carol"; v_s "ee"; v_i 29 |];
+  insert r [| v_s "ada"; v_s "cs"; v_i 36 |];
+  insert r [| v_s "bob"; v_s "cs"; v_i 41 |];
+  insert r [| v_s "carol"; v_s "ee"; v_i 29 |];
   r
 
 let depts () =
   let r = Relation.create (Schema.make "depts" [ "dept"; "building" ]) in
-  Relation.insert r [| v_s "cs"; v_s "allen" |];
-  Relation.insert r [| v_s "ee"; v_s "meb" |];
+  insert r [| v_s "cs"; v_s "allen" |];
+  insert r [| v_s "ee"; v_s "meb" |];
   r
 
 (* ------------------------------------------------------------------ *)
@@ -52,52 +53,62 @@ let test_relation_insert_and_find () =
   check_i "cardinality" 3 (Relation.cardinality r);
   check_i "index lookup" 2 (List.length (Relation.find_by r 1 (v_s "cs")));
   (* Index must see rows inserted after it was built. *)
-  Relation.insert r [| v_s "dan"; v_s "cs"; v_i 50 |];
+  insert r [| v_s "dan"; v_s "cs"; v_i 50 |];
   check_i "index after insert" 3 (List.length (Relation.find_by r 1 (v_s "cs")))
 
 let test_relation_arity_mismatch () =
   let r = people () in
   check_b "raises" true
     (try
-       Relation.insert r [| v_s "x" |];
+       insert r [| v_s "x" |];
        false
      with Invalid_argument _ -> true)
 
-let test_relation_distinct_delete () =
+let test_relation_apply_multiset () =
   let r = Relation.create (Schema.make "r" [ "a" ]) in
-  check_b "first insert" true (Relation.insert_distinct r [| v_i 1 |]);
-  check_b "dup rejected" false (Relation.insert_distinct r [| v_i 1 |]);
-  Relation.insert r [| v_i 1 |];
-  check_i "delete removes all" 2 (Relation.delete r [| v_i 1 |]);
-  check_i "empty" 0 (Relation.cardinality r)
+  insert r [| v_i 1 |];
+  check_b "mem" true (Relation.mem r [| v_i 1 |]);
+  insert r [| v_i 1 |];
+  check_i "bag keeps both copies" 2 (Relation.cardinality r);
+  Relation.apply r (Relation.Delta.remove [| v_i 1 |]);
+  check_i "remove takes one copy" 1 (Relation.cardinality r);
+  check_b "still a member" true (Relation.mem r [| v_i 1 |]);
+  Relation.apply r (Relation.Delta.remove [| v_i 1 |]);
+  check_i "empty" 0 (Relation.cardinality r);
+  check_b "gone" false (Relation.mem r [| v_i 1 |]);
+  (* Removing an absent tuple is a silent no-op. *)
+  Relation.apply r (Relation.Delta.remove [| v_i 9 |]);
+  check_i "still empty" 0 (Relation.cardinality r)
 
 let test_relation_bulk_insert_index () =
   let schema = Schema.make "r" [ "a"; "b" ] in
   let r = Relation.create schema in
   (* Build the column-0 index before any bulk load. *)
   check_i "empty index" 0 (List.length (Relation.find_by r 0 (v_i 1)));
-  Relation.bulk_insert r
-    (List.init 40 (fun i -> [| v_i (i mod 4); v_i i |]));
+  Relation.apply r
+    (Relation.Delta.of_rows (List.init 40 (fun i -> [| v_i (i mod 4); v_i i |])));
   check_i "bulk rows visible" 40 (Relation.cardinality r);
   check_i "index sees bulk rows" 10 (List.length (Relation.find_by r 0 (v_i 1)));
   (* A second bulk load must extend, not rebuild-and-lose. *)
-  Relation.bulk_insert r [ [| v_i 1; v_i 99 |]; [| v_i 7; v_i 100 |] ];
+  Relation.apply r
+    (Relation.Delta.of_rows [ [| v_i 1; v_i 99 |]; [| v_i 7; v_i 100 |] ]);
   check_i "index extended" 11 (List.length (Relation.find_by r 0 (v_i 1)));
   check_i "new key indexed" 1 (List.length (Relation.find_by r 0 (v_i 7)));
   check_b "mem via hash set" true (Relation.mem r [| v_i 7; v_i 100 |]);
   check_b "absent row" false (Relation.mem r [| v_i 7; v_i 101 |]);
-  (* of_tuples goes through bulk_insert and must behave identically. *)
+  (* of_tuples goes through apply and must behave identically. *)
   let r' = Relation.of_tuples schema (Relation.tuples r) in
   check_i "of_tuples cardinality" 42 (Relation.cardinality r');
   check_i "of_tuples index" 11 (List.length (Relation.find_by r' 0 (v_i 1)))
 
 let test_relation_find_by_bound () =
   let r = Relation.create (Schema.make "r" [ "a"; "b"; "c" ]) in
-  Relation.bulk_insert r
-    [ [| v_i 1; v_s "x"; v_i 10 |];
-      [| v_i 1; v_s "y"; v_i 11 |];
-      [| v_i 2; v_s "x"; v_i 12 |];
-      [| v_i 1; v_s "x"; v_i 13 |] ];
+  Relation.apply r
+    (Relation.Delta.of_rows
+       [ [| v_i 1; v_s "x"; v_i 10 |];
+         [| v_i 1; v_s "y"; v_i 11 |];
+         [| v_i 2; v_s "x"; v_i 12 |];
+         [| v_i 1; v_s "x"; v_i 13 |] ]);
   check_i "no bound cols = all rows" 4
     (List.length (Relation.find_by_bound r []));
   check_i "single bound col" 3
@@ -213,7 +224,7 @@ let test_database () =
   check_b "mem" true (Database.mem db "people");
   check_b "copy is deep" true
     (let c = Database.copy db in
-     Relation.insert (Database.find c "people") [| v_s "eve"; v_s "cs"; v_i 1 |];
+     insert (Database.find c "people") [| v_s "eve"; v_s "cs"; v_i 1 |];
      Relation.cardinality (Database.find db "people") = 3)
 
 (* ------------------------------------------------------------------ *)
@@ -277,7 +288,53 @@ let prop_diff_disjoint =
       List.for_all (fun row -> not (Relation.mem b row)) (Relation.tuples d))
 
 (* ------------------------------------------------------------------ *)
-(* Stats: cached cardinality + distinct counts, invalidated by version *)
+(* Delta log *)
+
+let test_delta_log_basics () =
+  let r = Relation.create (Schema.make "r" [ "a" ]) in
+  let v0 = Relation.version r in
+  Relation.apply r (Relation.Delta.of_rows [ [| v_i 1 |]; [| v_i 2 |] ]);
+  Relation.apply r (Relation.Delta.remove [| v_i 1 |]);
+  check_i "cardinality" 1 (Relation.cardinality r);
+  (match Relation.deltas_since r v0 with
+  | Some [ d1; d2 ] ->
+      check_i "first adds" 2 (List.length (Relation.Delta.adds d1));
+      check_i "second dels" 1 (List.length (Relation.Delta.dels d2))
+  | _ -> Alcotest.fail "expected two log entries");
+  check_b "current version folds to empty" true
+    (Relation.deltas_since r (Relation.version r) = Some []);
+  (* A no-op application bumps nothing and logs nothing. *)
+  let v = Relation.version r in
+  Relation.apply r (Relation.Delta.remove [| v_i 99 |]);
+  check_i "no-op keeps version" v (Relation.version r);
+  check_b "no-op logs nothing" true
+    (Relation.deltas_since r v = Some [])
+
+let test_delta_compose () =
+  let open Relation.Delta in
+  check_b "add-then-del cancels" true
+    (is_empty (compose (of_rows [ [| v_i 1 |] ]) (remove [| v_i 1 |])));
+  check_i "del-then-add keeps both" 2
+    (size (compose (remove [| v_i 1 |]) (of_rows [ [| v_i 1 |] ])))
+
+let test_delta_log_truncation () =
+  let r = Relation.create (Schema.make "r" [ "a" ]) in
+  let v0 = Relation.version r in
+  (* Overflow the bounded log with single-row applies. *)
+  for i = 1 to 600 do
+    Relation.apply r (Relation.Delta.add [| v_i i |])
+  done;
+  check_b "origin out of reach" true (Relation.deltas_since r v0 = None);
+  check_b "floor still reachable" true
+    (Relation.deltas_since r (Relation.delta_floor r) <> None);
+  Relation.clear r;
+  check_b "clear truncates" true
+    (Relation.deltas_since r (Relation.version r - 1) = None);
+  check_b "clear leaves current reachable" true
+    (Relation.deltas_since r (Relation.version r) = Some [])
+
+(* ------------------------------------------------------------------ *)
+(* Stats: cached cardinality + distinct counts, patched by deltas *)
 
 let test_stats_distinct_and_cache () =
   Stats.reset_cache ();
@@ -291,15 +348,46 @@ let test_stats_distinct_and_cache () =
   let s' = Stats.of_relation r in
   check_b "same stats" true (s = s');
   check_i "one hit" 1 (Stats.cache_hits ());
-  (* Any mutation bumps the version and invalidates the entry. *)
-  Relation.insert r [| v_s "dan"; v_s "cs"; v_i 29 |];
+  (* A mutation bumps the version; the stale entry is patched from the
+     retained delta instead of rescanned. *)
+  insert r [| v_s "dan"; v_s "cs"; v_i 29 |];
   let s2 = Stats.of_relation r in
-  check_i "recomputed cardinality" 4 s2.Stats.cardinality;
+  check_i "patched cardinality" 4 s2.Stats.cardinality;
   check_i "dept count unchanged" 2 s2.Stats.distinct.(1);
+  check_i "still one miss" 1 (Stats.cache_misses ());
+  check_i "one patch" 1 (Stats.cache_patches ());
+  (* Forcing the version-guarded baseline rescans instead. *)
+  insert r [| v_s "eve"; v_s "ee"; v_i 30 |];
+  let s3 = Stats.of_relation ~incremental:false r in
+  check_i "rescanned cardinality" 5 s3.Stats.cardinality;
   check_i "second miss" 2 (Stats.cache_misses ());
   (* Selectivity: 1/distinct, clamped for degenerate columns. *)
   check_b "dept selectivity" true (Stats.selectivity s2 1 = 0.5);
   check_b "out of range is neutral" true (Stats.selectivity s2 9 = 1.0)
+
+let stats_ops_gen =
+  QCheck.make
+    ~print:(fun ops -> QCheck.Print.(list (triple bool int int)) ops)
+    QCheck.Gen.(list_size (int_bound 30) (triple bool (int_bound 5) (int_bound 5)))
+
+let prop_stats_patch_equals_rescan =
+  QCheck.Test.make ~name:"stats: delta patching == rescan" ~count:200
+    QCheck.(pair small_rel_gen stats_ops_gen)
+    (fun (rows, ops) ->
+      Stats.reset_cache ();
+      let r = rel_of rows "r" in
+      ignore (Stats.of_relation r) (* prime the cached entry *);
+      List.iter
+        (fun (is_del, a, b) ->
+          let row = [| v_i a; v_i b |] in
+          if is_del then Relation.apply r (Relation.Delta.remove row)
+          else Relation.apply r (Relation.Delta.add row))
+        ops;
+      let patched = Stats.of_relation r in
+      (* [copy] mints a fresh uid, forcing a cold full rescan. *)
+      let fresh = Stats.of_relation (Relation.copy r) in
+      patched.Stats.cardinality = fresh.Stats.cardinality
+      && patched.Stats.distinct = fresh.Stats.distinct)
 
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
@@ -311,7 +399,10 @@ let () =
       ("relation",
        [ Alcotest.test_case "insert and find" `Quick test_relation_insert_and_find;
          Alcotest.test_case "arity mismatch" `Quick test_relation_arity_mismatch;
-         Alcotest.test_case "distinct and delete" `Quick test_relation_distinct_delete;
+         Alcotest.test_case "apply multiset" `Quick test_relation_apply_multiset;
+         Alcotest.test_case "delta log" `Quick test_delta_log_basics;
+         Alcotest.test_case "delta compose" `Quick test_delta_compose;
+         Alcotest.test_case "delta log truncation" `Quick test_delta_log_truncation;
          Alcotest.test_case "bulk insert index" `Quick test_relation_bulk_insert_index;
          Alcotest.test_case "find_by_bound" `Quick test_relation_find_by_bound ]);
       ("ops",
@@ -330,4 +421,5 @@ let () =
       ("properties",
        qc
          [ prop_find_by_equals_filter; prop_union_commutative;
-           prop_join_subset_of_product; prop_diff_disjoint ]) ]
+           prop_join_subset_of_product; prop_diff_disjoint;
+           prop_stats_patch_equals_rescan ]) ]

@@ -129,12 +129,12 @@ let base_db prng n =
   let r = Relalg.Database.create_relation db "r" [ "a"; "b" ] in
   let t = Relalg.Database.create_relation db "s" [ "a"; "b" ] in
   for _ = 1 to n do
-    ignore
-      (Relalg.Relation.insert_distinct r
-         [| Relalg.Value.Int (Util.Prng.int prng 6); Relalg.Value.Int (Util.Prng.int prng 6) |]);
-    ignore
-      (Relalg.Relation.insert_distinct t
-         [| Relalg.Value.Int (Util.Prng.int prng 6); Relalg.Value.Int (Util.Prng.int prng 6) |])
+    Cq.Eval.add_distinct r
+      [| Relalg.Value.Int (Util.Prng.int prng 6);
+         Relalg.Value.Int (Util.Prng.int prng 6) |];
+    Cq.Eval.add_distinct t
+      [| Relalg.Value.Int (Util.Prng.int prng 6);
+         Relalg.Value.Int (Util.Prng.int prng 6) |]
   done;
   db
 
