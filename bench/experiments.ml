@@ -1753,6 +1753,166 @@ let e19 () =
       (32, 200, Some 5.0) ]
     ()
 
+(* ------------------------------------------------------------------ *)
+(* E20: durability cost — write-ahead logging overhead on the E19
+   maintenance sweep (guard: < 2x over in-memory), and recovery time as
+   a function of the WAL suffix length (snapshotting resets the curve
+   to near-zero). *)
+
+let e20_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "revere-e20-%d-%d" (Unix.getpid ()) !n)
+    in
+    Unix.mkdir dir 0o755;
+    dir
+
+let e20_configs ~rounds ~suffixes configs () =
+  header "E20"
+    "durability: WAL append overhead on the E19 maintenance sweep, and \
+     recovery time vs WAL suffix length";
+  let exec = Pdms.Exec.make ~incremental:true () in
+  (* One E19-style maintenance round, with the gram applied through
+     [apply_gram] — the only difference between the modes is whether
+     that call tees the effective delta into the WAL first. *)
+  let round apply_gram catalog db names cache pinned i =
+    let u = e19_gram db names i in
+    let rel = Relalg.Database.find db u.Pdms.Updategram.rel in
+    apply_gram u;
+    ignore (Pdms.Cache.invalidate ~exec cache u);
+    ignore
+      (Pdms.Kwindex.get ~incremental:true ~rel_name:u.Pdms.Updategram.rel rel);
+    ignore (Relalg.Stats.of_relation ~incremental:true rel);
+    ignore (Pdms.Cache.answer ~exec cache (pinned : Cq.Query.t));
+    ignore (catalog : Pdms.Catalog.t)
+  in
+  let warm catalog db queries pinned cache names =
+    List.iter (fun q -> ignore (Pdms.Keyword.search ~exec catalog q)) queries;
+    List.iter
+      (fun nm ->
+        ignore
+          (Relalg.Stats.of_relation ~incremental:true
+             (Relalg.Database.find db nm)))
+      names;
+    ignore (Pdms.Cache.answer ~exec cache pinned)
+  in
+  let table =
+    T.create
+      [ "peers"; "tuples"; "rounds"; "mem_ms"; "wal_ms"; "overhead";
+        "wal_kb"; "appends" ]
+  in
+  List.iter
+    (fun (n, tuples_per_peer, max_overhead) ->
+      (* In-memory baseline: the E19 sweep as-is. *)
+      Pdms.Kwindex.reset ();
+      Relalg.Stats.reset_cache ();
+      let g, queries, pinned = e19_world n tuples_per_peer in
+      let catalog = g.Workload.Peers_gen.catalog in
+      let db = Pdms.Catalog.global_db catalog in
+      let names = List.sort String.compare (Relalg.Database.names db) in
+      let cache = Pdms.Cache.create catalog () in
+      warm catalog db queries pinned cache names;
+      let mem_ms, () =
+        wall_ms (fun () ->
+            for i = 0 to rounds - 1 do
+              round
+                (fun u -> Pdms.Updategram.apply ~exec db u)
+                catalog db names cache pinned i
+            done)
+      in
+      (* Durable: an identically-seeded world recovered from its own
+         init snapshot, every effective delta teed into the WAL. *)
+      Pdms.Kwindex.reset ();
+      Relalg.Stats.reset_cache ();
+      let g2, queries2, pinned2 = e19_world n tuples_per_peer in
+      let dir = e20_dir () in
+      Pdms.Persist.init ~dir g2.Workload.Peers_gen.catalog;
+      let t = Pdms.Persist.open_dir_exn dir in
+      let catalog2 = Pdms.Persist.catalog t and db2 = Pdms.Persist.db t in
+      let names2 = List.sort String.compare (Relalg.Database.names db2) in
+      let cache2 = Pdms.Cache.create catalog2 () in
+      warm catalog2 db2 queries2 pinned2 cache2 names2;
+      let before = Obs.Metrics.snapshot () in
+      let wal_ms, () =
+        wall_ms (fun () ->
+            for i = 0 to rounds - 1 do
+              round
+                (fun u -> Pdms.Persist.apply ~exec t u)
+                catalog2 db2 names2 cache2 pinned2 i
+            done)
+      in
+      let after = Obs.Metrics.snapshot () in
+      let wal_bytes = Pdms.Persist.wal_size t in
+      Pdms.Persist.close t;
+      let appends =
+        Obs.Metrics.counter_value after "pdms.wal.appends"
+        - Obs.Metrics.counter_value before "pdms.wal.appends"
+      in
+      let overhead = wal_ms /. Float.max 0.001 mem_ms in
+      T.add_row table
+        [ T.cell_i n; T.cell_i tuples_per_peer; T.cell_i rounds;
+          T.cell_f mem_ms; T.cell_f wal_ms; T.cell_f overhead;
+          T.cell_f (float_of_int wal_bytes /. 1024.0); T.cell_i appends ];
+      Printf.printf
+        "BENCH_e20 {\"peers\":%d,\"tuples_per_peer\":%d,\"rounds\":%d,\
+         \"mem_ms\":%.2f,\"wal_ms\":%.2f,\"overhead\":%.2f,\
+         \"wal_bytes\":%d,\"appends\":%d}\n"
+        n tuples_per_peer rounds mem_ms wal_ms overhead wal_bytes appends;
+      match max_overhead with
+      | Some cap when overhead > cap ->
+          Printf.printf
+            "E20 FAILED: WAL overhead %.2fx above the %.1fx cap at peers=%d\n"
+            overhead cap n;
+          exit 1
+      | Some _ | None -> ())
+    configs;
+  T.print table;
+  (* Recovery time grows with the replayed WAL suffix; a snapshot
+     resets it to (nearly) the parse cost alone. *)
+  let rtable =
+    T.create [ "wal_records"; "recover_ms"; "snap_recover_ms" ]
+  in
+  List.iter
+    (fun suffix ->
+      Pdms.Kwindex.reset ();
+      Relalg.Stats.reset_cache ();
+      let g, _, _ = e19_world 6 30 in
+      let dir = e20_dir () in
+      Pdms.Persist.init ~dir g.Workload.Peers_gen.catalog;
+      let t = Pdms.Persist.open_dir_exn dir in
+      let db = Pdms.Persist.db t in
+      let names = List.sort String.compare (Relalg.Database.names db) in
+      for i = 0 to suffix - 1 do
+        Pdms.Persist.apply t (e19_gram db names i)
+      done;
+      Pdms.Persist.close t;
+      let recover_ms, t' = wall_ms (fun () -> Pdms.Persist.open_dir_exn dir) in
+      ignore (Pdms.Persist.snapshot t');
+      Pdms.Persist.close t';
+      let snap_recover_ms, t'' =
+        wall_ms (fun () -> Pdms.Persist.open_dir_exn dir)
+      in
+      Pdms.Persist.close t'';
+      T.add_row rtable
+        [ T.cell_i suffix; T.cell_f recover_ms; T.cell_f snap_recover_ms ];
+      Printf.printf
+        "BENCH_e20_recovery {\"wal_records\":%d,\"recover_ms\":%.2f,\
+         \"snap_recover_ms\":%.2f}\n"
+        suffix recover_ms snap_recover_ms)
+    suffixes;
+  T.print rtable
+
+let e20 () =
+  e20_configs ~rounds:400 ~suffixes:[ 100; 400; 1600 ]
+    [ (8, 60, None);
+      (* The acceptance point: logging every delta must stay under 2x
+         the in-memory sweep. *)
+      (16, 120, Some 2.0) ]
+    ()
+
 (* Tiny sizes so `dune build @bench-smoke` exercises the harness without
    a full run. *)
 let smoke () =
@@ -1761,6 +1921,11 @@ let smoke () =
   e14_configs ~sweep:[ (6, 48) ] ~cache_entries:[ 32 ] ();
   e15_configs ~peers:12 ~cap:128 ~threshold_pct:30.0 ();
   e16_configs ~peers:6 ~tuples_per_peer:2 ~rates:[ 0.0; 0.5 ] ();
+  (* Durability runs before the timing-guarded experiments (their
+     machine-sensitive floors can exit early): the WAL-overhead cap is
+     left unguarded at smoke sizes (a single round is timer noise); the
+     recovery path still runs. *)
+  e20_configs ~rounds:20 ~suffixes:[ 50 ] [ (6, 20, None) ] ();
   (* Best-of-5 keeps the tiny high-sharing point's batch-never-slower
      guard (1.0x) out of timer-noise territory. *)
   e17_configs ~repeats:5 [ ("mesh2", Pdms.Topology.Mesh 2, 10, 20, Some 1.0) ] ();
@@ -1775,4 +1940,4 @@ let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
             ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
             ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
             ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-            ("e19", e19) ]
+            ("e19", e19); ("e20", e20) ]

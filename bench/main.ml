@@ -7,7 +7,7 @@
    dune exec bench/main.exe -- all       -- experiments + micro-benchmarks *)
 
 let usage () =
-  Printf.printf "usage: bench/main.exe [e1..e19|smoke|bechamel|all]...\n";
+  Printf.printf "usage: bench/main.exe [e1..e20|smoke|bechamel|all]...\n";
   Printf.printf "available experiments: %s\n"
     (String.concat " " (List.map fst Experiments.all))
 

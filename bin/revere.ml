@@ -253,11 +253,14 @@ type cli_exec = {
 (* The commands don't link every delta consumer (Updategram, Cache,
    Propagate), so pre-register their counters by name — the registry is
    idempotent — and every --metrics report shows the full pdms.delta.*
-   family, at zero when unused. *)
+   and pdms.wal.* families, at zero when unused. *)
 let () =
   List.iter
     (fun n -> ignore (Obs.Metrics.counter ("pdms.delta." ^ n)))
-    [ "applied"; "cache_kept"; "replicas_converged" ]
+    [ "applied"; "cache_kept"; "replicas_converged" ];
+  List.iter
+    (fun n -> ignore (Obs.Metrics.counter ("pdms.wal." ^ n)))
+    [ "appends"; "bytes"; "fsyncs"; "replayed"; "torn_tail_drops"; "snapshots" ]
 
 (* One on/off switch rendered as the flag pair [--name] / [--no-name];
    [default] applies when neither is given, the last one given wins. *)
@@ -364,17 +367,57 @@ let parse_query_arg query_text =
       exit 1
   | Ok query -> query
 
-let pdms_file_arg =
-  Arg.(required & pos 0 (some file) None
-       & info [] ~docv:"PDMS_FILE" ~doc:"Pdms_file format")
+(* Catalog source shared by answer/search/distributed: either the
+   positional PDMS_FILE, or --data-dir DIR — a durable data directory,
+   recovered (snapshot + WAL replay) before serving.  Returns the
+   catalog and the positional arguments left after consuming the
+   optional file. *)
 
-let query_pos_arg =
-  Arg.(required & pos 1 (some string) None
-       & info [] ~docv:"QUERY" ~doc:"e.g. 'ans(X) :- uw.course(X, T)'")
+let data_dir_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:
+          "Recover the catalog from a durable data directory (newest \
+           snapshot + write-ahead-log replay; see `revere init') instead \
+           of reading a $(i,PDMS_FILE) argument.")
 
-let answer_pdms path query_text cli =
-  let catalog = load_pdms path in
-  let query = parse_query_arg query_text in
+let recover_catalog ~exec dir =
+  match Pdms.Persist.open_dir ~exec dir with
+  | Ok t ->
+      let catalog = Pdms.Persist.catalog t in
+      (* The read-only commands never append; opening (which also
+         repairs any torn WAL tail) and closing is the whole story. *)
+      Pdms.Persist.close t;
+      catalog
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+let source_catalog ~exec data_dir args =
+  match (data_dir, args) with
+  | None, file :: rest -> (load_pdms file, rest)
+  | Some dir, rest -> (recover_catalog ~exec dir, rest)
+  | None, [] ->
+      Printf.eprintf "error: give a PDMS_FILE argument or --data-dir DIR\n";
+      exit 2
+
+let pos_args docv =
+  Arg.(value & pos_all string [] & info [] ~docv)
+
+let one_query what = function
+  | [ query_text ] -> parse_query_arg query_text
+  | _ ->
+      Printf.eprintf
+        "error: %s expects [PDMS_FILE] QUERY (the file exactly when \
+         --data-dir is not given)\n"
+        what;
+      exit 2
+
+let answer_pdms data_dir args cli =
+  let catalog, rest = source_catalog ~exec:cli.exec data_dir args in
+  let query = one_query "answer" rest in
   let result = Pdms.Answer.answer ~exec:cli.exec catalog query in
   let rows = Pdms.Answer.answers_list result in
   List.iter (fun row -> print_endline (String.concat " | " row)) rows;
@@ -386,11 +429,18 @@ let answer_pdms path query_text cli =
 let answer_cmd =
   Cmd.v
     (Cmd.info "answer"
-       ~doc:"Answer a conjunctive query over a PDMS described in a file")
-    Term.(const answer_pdms $ pdms_file_arg $ query_pos_arg $ exec_term)
+       ~doc:
+         "Answer a conjunctive query over a PDMS described in a file or a \
+          durable --data-dir")
+    Term.(const answer_pdms $ data_dir_arg $ pos_args "PDMS_FILE|QUERY"
+          $ exec_term)
 
-let search_pdms path keywords cli =
-  let catalog = load_pdms path in
+let search_pdms data_dir args cli =
+  let catalog, keywords = source_catalog ~exec:cli.exec data_dir args in
+  if keywords = [] then begin
+    Printf.eprintf "error: search expects at least one KEYWORD\n";
+    exit 2
+  end;
   (match
      Pdms.Keyword.search ~exec:cli.exec catalog (String.concat " " keywords)
    with
@@ -401,16 +451,16 @@ let search_pdms path keywords cli =
 let search_cmd =
   Cmd.v
     (Cmd.info "search"
-       ~doc:"Keyword search across every peer's stored data in a PDMS file")
+       ~doc:
+         "Keyword search across every peer's stored data in a PDMS file or \
+          a durable --data-dir")
     Term.(
-      const search_pdms
-      $ pdms_file_arg
-      $ Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"KEYWORD")
+      const search_pdms $ data_dir_arg $ pos_args "PDMS_FILE|KEYWORD"
       $ exec_term)
 
-let distributed_pdms path query_text at latency fail_peers flaky retries cli =
-  let catalog = load_pdms path in
-  let query = parse_query_arg query_text in
+let distributed_pdms data_dir args at latency fail_peers flaky retries cli =
+  let catalog, rest = source_catalog ~exec:cli.exec data_dir args in
+  let query = one_query "distributed" rest in
   let network =
     Pdms.Distributed.network_of_catalog catalog ~latency_ms:latency
   in
@@ -457,8 +507,8 @@ let distributed_cmd =
           answer survived.")
     Term.(
       const distributed_pdms
-      $ pdms_file_arg
-      $ query_pos_arg
+      $ data_dir_arg
+      $ pos_args "PDMS_FILE|QUERY"
       $ Arg.(required & opt (some string) None
              & info [ "at" ] ~docv:"PEER" ~doc:"The querying peer")
       $ Arg.(value & opt float 10.0
@@ -543,6 +593,120 @@ let gen_berkeley_cmd =
       $ int_opt "courses" 3 "courses per department")
 
 (* ------------------------------------------------------------------ *)
+(* Durable data directories: init / update / snapshot / fsck.  See
+   Pdms.Persist — a directory holds snapshot checkpoints plus a
+   write-ahead log of effective deltas; recovery is newest valid
+   snapshot + WAL suffix replay. *)
+
+let required_data_dir ~must_exist =
+  Arg.(
+    required
+    & opt (some (if must_exist then dir else string)) None
+    & info [ "data-dir" ] ~docv:"DIR" ~doc:"The durable data directory.")
+
+let init_data_dir dir path =
+  let catalog = load_pdms path in
+  Pdms.Persist.init ~dir catalog;
+  Printf.printf "initialised %s from %s (snapshot seq 0, empty wal)\n" dir path
+
+let init_cmd =
+  Cmd.v
+    (Cmd.info "init"
+       ~doc:
+         "Create a durable data directory from a PDMS file: a full \
+          snapshot covering sequence 0 and an empty write-ahead log. \
+          Existing durability state in the directory is replaced.")
+    Term.(
+      const init_data_dir
+      $ required_data_dir ~must_exist:false
+      $ Arg.(required & pos 0 (some file) None
+             & info [] ~docv:"PDMS_FILE" ~doc:"Pdms_file format"))
+
+let parse_row_arg s =
+  Pdms.Pdms_file.split_row s |> List.map String.trim
+  |> List.map Pdms.Pdms_file.parse_value
+  |> Array.of_list
+
+let update_data_dir dir rel inserts deletes do_snapshot cli =
+  let t = Pdms.Persist.open_dir_exn ~exec:cli.exec dir in
+  let u =
+    Pdms.Updategram.make ~rel
+      ~inserts:(List.map parse_row_arg inserts)
+      ~deletes:(List.map parse_row_arg deletes)
+      ()
+  in
+  (try Pdms.Persist.apply ~exec:cli.exec ~sync:true t u with
+  | Not_found ->
+      Printf.eprintf "error: no stored relation %s\n" rel;
+      exit 1
+  | Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1);
+  Printf.printf "applied %d insert(s), %d delete(s) to %s; wal seq %d\n"
+    (List.length inserts) (List.length deletes) rel (Pdms.Persist.wal_seq t);
+  if do_snapshot then
+    Printf.printf "snapshot %s\n" (Pdms.Persist.snapshot t);
+  Pdms.Persist.close t;
+  report_cli_exec cli
+
+let row_opt name doc =
+  Arg.(value & opt_all string [] & info [ name ] ~docv:"ROW" ~doc)
+
+let update_cmd =
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Apply an updategram to a durable data directory: the effective \
+          delta is appended to the write-ahead log (fsynced) before the \
+          store mutates, so a crash at any point recovers consistently. \
+          Row values use the Pdms_file syntax: 'v | v | ...', single \
+          quotes forcing string interpretation.")
+    Term.(
+      const update_data_dir
+      $ required_data_dir ~must_exist:true
+      $ Arg.(required & pos 0 (some string) None
+             & info [] ~docv:"REL"
+                 ~doc:"The stored relation, e.g. 'uw.course!'")
+      $ row_opt "insert" "Tuple to insert (repeatable)."
+      $ row_opt "delete" "Tuple to delete (repeatable)."
+      $ Arg.(value & flag
+             & info [ "snapshot" ]
+                 ~doc:"Checkpoint the catalog after applying.")
+      $ exec_term)
+
+let snapshot_data_dir dir cli =
+  let t = Pdms.Persist.open_dir_exn ~exec:cli.exec dir in
+  Printf.printf "snapshot %s (covers wal seq %d)\n" (Pdms.Persist.snapshot t)
+    (Pdms.Persist.wal_seq t);
+  Pdms.Persist.close t;
+  report_cli_exec cli
+
+let snapshot_cmd =
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Checkpoint a durable data directory: write a fresh snapshot \
+          stamped with the current write-ahead-log sequence, so future \
+          recoveries replay only the records after it.")
+    Term.(const snapshot_data_dir $ required_data_dir ~must_exist:true
+          $ exec_term)
+
+let fsck_data_dir dir =
+  let report = Pdms.Persist.fsck dir in
+  print_string (Pdms.Persist.render_fsck report);
+  exit (if Pdms.Persist.fsck_ok report then 0 else 1)
+
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify a durable data directory read-only: snapshot checksums, \
+          write-ahead-log framing (a torn tail is reported but is not an \
+          error — recovery discards it), and a replay dry run. Exits 0 \
+          exactly when recovery would succeed.")
+    Term.(const fsck_data_dir $ required_data_dir ~must_exist:true)
+
+(* ------------------------------------------------------------------ *)
 
 let stem words =
   List.iter (fun w -> Printf.printf "%s -> %s\n" w (Util.Stemmer.stem w)) words
@@ -563,4 +727,5 @@ let () =
        (Cmd.group info
           [ demo_cmd; match_cmd; advise_cmd; critique_cmd; stats_cmd;
             query_cmd; stem_cmd; fig4_cmd; gen_berkeley_cmd; gen_pdms_cmd;
-            answer_cmd; search_cmd; distributed_cmd ]))
+            answer_cmd; search_cmd; distributed_cmd; init_cmd; update_cmd;
+            snapshot_cmd; fsck_cmd ]))

@@ -6,6 +6,102 @@ let split_prefix line prefix =
     Some (strip (String.sub line lp (String.length line - lp)))
   else None
 
+(* One row value, already stripped of surrounding whitespace.  Single
+   quotes force string interpretation (e.g. the course id '6.830');
+   inside quotes, [''] is a literal quote. *)
+let parse_value v =
+  let n = String.length v in
+  if n >= 2 && v.[0] = '\'' && v.[n - 1] = '\'' then begin
+    let inner = String.sub v 1 (n - 2) in
+    let m = String.length inner in
+    let b = Buffer.create m in
+    let i = ref 0 in
+    while !i < m do
+      if inner.[!i] = '\'' && !i + 1 < m && inner.[!i + 1] = '\'' then begin
+        Buffer.add_char b '\'';
+        i := !i + 2
+      end
+      else begin
+        Buffer.add_char b inner.[!i];
+        incr i
+      end
+    done;
+    Relalg.Value.Str (Buffer.contents b)
+  end
+  else Relalg.Value.of_string v
+
+(* Split a row's value list on top-level ['|'] only: a field whose
+   first non-blank character is a quote runs (with [''] as a literal
+   quote) to its closing quote, and any ['|'] inside it is data, not a
+   separator.  Fields come back unstripped. *)
+let split_row s =
+  let n = String.length s in
+  let fields = ref [] in
+  let i = ref 0 in
+  while !i <= n do
+    let start = !i in
+    let j = ref start in
+    while !j < n && (s.[!j] = ' ' || s.[!j] = '\t') do incr j done;
+    if !j < n && s.[!j] = '\'' then begin
+      incr j;
+      let closed = ref false in
+      while (not !closed) && !j < n do
+        if s.[!j] = '\'' then
+          if !j + 1 < n && s.[!j + 1] = '\'' then j := !j + 2
+          else begin
+            closed := true;
+            incr j
+          end
+        else incr j
+      done
+    end;
+    while !j < n && s.[!j] <> '|' do incr j done;
+    fields := String.sub s start (!j - start) :: !fields;
+    i := !j + 1
+  done;
+  List.rev !fields
+
+(* Inverse of [parse_value] under the row scanner: a string value is
+   single-quoted whenever writing it bare would re-parse differently —
+   it looks numeric/boolean (Str "6.830", Str "42"), contains the '|'
+   column separator, carries leading/trailing whitespace the field
+   strip would eat, or starts/ends with a quote the scanner would
+   misread.  Interior quotes double under quoting. *)
+let render_value v =
+  match v with
+  | Relalg.Value.Str s ->
+      let n = String.length s in
+      let needs_quoting =
+        n > 0
+        && (s <> strip s
+           || String.contains s '|'
+           || s.[0] = '\''
+           || s.[n - 1] = '\''
+           || (match Relalg.Value.of_string s with
+              | Relalg.Value.Str _ -> false
+              | _ -> true))
+      in
+      if needs_quoting then begin
+        let b = Buffer.create (n + 2) in
+        Buffer.add_char b '\'';
+        String.iter
+          (fun c ->
+            if c = '\'' then Buffer.add_string b "''" else Buffer.add_char b c)
+          s;
+        Buffer.add_char b '\'';
+        Buffer.contents b
+      end
+      else s
+  | Relalg.Value.Float f ->
+      (* [Value.to_string] uses ["%g"], which renders 2.0 as "2" — an
+         int on re-parse — and truncates to 6 significant digits.  Keep
+         a decimal point and enough digits to reproduce the float. *)
+      if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+      else
+        let s = Printf.sprintf "%.15g" f in
+        if float_of_string s = f then s else Printf.sprintf "%.17g" f
+  | v -> Relalg.Value.to_string v
+
 type pending_mapping = {
   kind : [ `Equality | `Inclusion | `Definitional ];
   mutable lhs : Cq.Query.t option;
@@ -116,17 +212,9 @@ let handle_line st line =
                   | None -> Error "row needs 'rel: v | v | ...'"
                   | Some i -> (
                       let rel = strip (String.sub rest 0 i) in
-                      let parse_value v =
-                        (* Single quotes force string interpretation
-                           (e.g. the course id '6.830'). *)
-                        let n = String.length v in
-                        if n >= 2 && v.[0] = '\'' && v.[n - 1] = '\'' then
-                          Relalg.Value.Str (String.sub v 1 (n - 2))
-                        else Relalg.Value.of_string v
-                      in
                       let values =
                         String.sub rest (i + 1) (String.length rest - i - 1)
-                        |> String.split_on_char '|' |> List.map strip
+                        |> split_row |> List.map strip
                         |> List.map parse_value
                       in
                       match st.current_peer with
@@ -251,7 +339,7 @@ let render catalog =
                   Buffer.add_string buf
                     (Printf.sprintf "row %s: %s\n" rel
                        (String.concat " | "
-                          (Array.to_list (Array.map Relalg.Value.to_string row)))))
+                          (Array.to_list (Array.map render_value row)))))
                 (Relalg.Relation.tuples relation)
           | Some _ | None -> ())
         (Peer.stored_preds peer);

@@ -33,4 +33,22 @@ val parse_exn : string -> Catalog.t
 
 val render : Catalog.t -> string
 (** Peers, stored rows and mappings in the same format (identity storage
-    descriptions only — the general ones are rendered as comments). *)
+    descriptions only — the general ones are rendered as comments).
+    Row values round-trip: string values that would re-parse as a
+    different value (numeric- or boolean-looking, containing ['|'], or
+    with leading/trailing whitespace) are single-quoted. *)
+
+val parse_value : string -> Relalg.Value.t
+(** One row field, already stripped: quoted strings unwrap ([''] inside
+    quotes is a literal quote), everything else goes through
+    {!Relalg.Value.of_string}. *)
+
+val split_row : string -> string list
+(** Split a row's value list on top-level ['|'] — separators inside a
+    single-quoted field are data.  Fields come back unstripped. *)
+
+val render_value : Relalg.Value.t -> string
+(** Inverse of {!parse_value} (quoting exactly the strings that need
+    it, and rendering floats with a decimal point and full precision so
+    [Float 2.] does not come back as [Int 2]); [Value.Null] has no row
+    syntax and renders as the bare word [null]. *)

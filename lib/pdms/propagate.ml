@@ -82,7 +82,7 @@ let ship ?network ~exec ~prng (u : Updategram.t) r =
 
 let default_prng () = Util.Prng.create 2003
 
-let push ?(exec = Exec.default) ?network ?prng t (u : Updategram.t) =
+let push ?(exec = Exec.default) ?network ?prng ?tee t (u : Updategram.t) =
   let prng = match prng with Some p -> p | None -> default_prng () in
   let dependents =
     List.filter (fun r -> List.mem u.Updategram.rel r.reads) t.registry
@@ -100,10 +100,21 @@ let push ?(exec = Exec.default) ?network ?prng t (u : Updategram.t) =
       List.iter (fun r -> r.lag <- u :: r.lag) lagging;
       let live_views = List.concat_map (fun r -> r.views) converged in
       let each_view f = List.iter f live_views in
+      (* The incremental branch below mutates tuple by tuple, but the
+         net database change is exactly the effective delta, and the
+         per-tuple order (deletes first, then inserts) matches one
+         Relation.apply of it — so the durability tee records a single
+         replayable write-ahead entry either way. *)
+      (match tee with
+      | Some f when exec.Exec.incremental ->
+          let d = Updategram.effective_delta rel u in
+          if not (Relalg.Relation.Delta.is_empty d) then
+            f ~rel:u.Updategram.rel d
+      | Some _ | None -> ());
       if not exec.Exec.incremental then begin
         (* Baseline: one delta application to the shared database, then
            recompute every reachable dependent view. *)
-        Updategram.apply ~exec t.db u;
+        Updategram.apply ~exec ?tee t.db u;
         each_view View_maintenance.refresh
       end
       else begin

@@ -35,6 +35,7 @@ val push :
   ?exec:Exec.t ->
   ?network:Network.t ->
   ?prng:Util.Prng.t ->
+  ?tee:(rel:string -> Relalg.Relation.Delta.t -> unit) ->
   t ->
   Updategram.t ->
   (string * string) list
@@ -45,7 +46,9 @@ val push :
     ([exec.retry] + [prng] drive the retry loop); failed deliveries
     land in the replica's lag queue instead.  [exec.incremental]
     selects counting maintenance (default) vs full view recomputation —
-    replica contents are identical either way. *)
+    replica contents are identical either way.  [tee] (the durability
+    hook) observes the single effective delta in write-ahead order,
+    exactly as {!Updategram.apply} would record it, in both modes. *)
 
 val lagging : t -> (string * int) list
 (** Replicas with undelivered updategrams, with their backlog length,

@@ -80,12 +80,18 @@ let effective_delta rel t =
   in
   Relalg.Relation.Delta.make ~adds ~dels ()
 
-let apply ?(exec = Exec.default) db t =
+let apply ?(exec = Exec.default) ?tee db t =
   let rel = Relalg.Database.find db t.rel in
   Obs.Trace.span exec.Exec.trace "delta.apply" @@ fun () ->
   let d = effective_delta rel t in
   Obs.Trace.attr_s exec.Exec.trace "rel" t.rel;
   Obs.Trace.attr_i exec.Exec.trace "delta.size" (Relalg.Relation.Delta.size d);
+  (* Write-ahead: the durability tee sees the effective delta before
+     the in-memory state moves, so a crash between the two leaves the
+     log ahead of (never behind) the store. *)
+  (match tee with
+  | Some f when not (Relalg.Relation.Delta.is_empty d) -> f ~rel:t.rel d
+  | Some _ | None -> ());
   Relalg.Relation.apply rel d;
   if exec.Exec.metrics then Obs.Metrics.incr m_applied
 

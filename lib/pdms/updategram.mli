@@ -28,13 +28,23 @@ val effective_delta : Relalg.Relation.t -> t -> Relalg.Relation.Delta.t
     (already present and not deleted, or repeated within the gram) are
     dropped.  This is the payload {!Propagate} ships to replicas. *)
 
-val apply : ?exec:Exec.t -> Relalg.Database.t -> t -> unit
+val apply :
+  ?exec:Exec.t ->
+  ?tee:(rel:string -> Relalg.Relation.Delta.t -> unit) ->
+  Relalg.Database.t ->
+  t ->
+  unit
 (** Deletes first, then distinct inserts — one
     {!Relalg.Relation.apply} of the {!effective_delta}, so the
     relation's version bumps at most once and the retained delta log
     records the whole gram as a single entry.  Emits a [delta.apply]
     span on [exec.trace] and bumps [pdms.delta.applied] when
-    [exec.metrics].  Missing relation raises [Not_found]. *)
+    [exec.metrics].  Missing relation raises [Not_found].
+
+    [tee] (the durability hook — see [Persist]) observes the non-empty
+    effective delta {e before} the mutation, i.e. write-ahead order:
+    replaying teed deltas in sequence over the pre-update state
+    reproduces the post-update state exactly, including row order. *)
 
 val compose : t -> t -> t
 (** Sequential composition (same relation required): the right operand

@@ -1,3 +1,9 @@
+(* ['>'] must be escaped everywhere, not just inside quotes: subjects,
+   predicates and source URLs are angle-delimited, so a raw ['>'] in a
+   URL ends the token early and the rest of the line fails to parse (or
+   silently lands in the wrong field).  ['\r'] is escaped alongside
+   ['\n'] so a value never spills across the line-oriented format (and
+   CRLF-translated files cannot corrupt a trailing field). *)
 let escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -6,6 +12,8 @@ let escape s =
       | '"' -> Buffer.add_string buf "\\\""
       | '\\' -> Buffer.add_string buf "\\\\"
       | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '>' -> Buffer.add_string buf "\\>"
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
@@ -18,6 +26,7 @@ let unescape s =
       if s.[i] = '\\' && i + 1 < n then begin
         (match s.[i + 1] with
         | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
         | c -> Buffer.add_char buf c);
         go (i + 2)
       end

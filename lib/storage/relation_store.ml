@@ -2,15 +2,36 @@ type event =
   | Inserted of string * Relalg.Relation.tuple
   | Deleted of string * Relalg.Relation.tuple
 
+(* The retention cap mirrors Relalg.Relation's delta log: beyond it the
+   oldest events are truncated and [events_since] answers [None] for
+   pre-truncation positions, telling consumers to rebuild. *)
+let default_log_max = 1024
+
 type t = {
   db : Relalg.Database.t;
-  mutable log_rev : event list;
+  log_max : int;
+  (* Retained events: oldest first in [log_front], newest first in
+     [log_back] (two-stack queue, O(1) amortised push/drop). *)
+  mutable log_front : event list;
+  mutable log_back : event list;
   mutable log_len : int;
-  mutable subscribers : (event -> unit) list;
+  mutable log_floor : int;  (* index of the oldest retained event *)
+  mutable total : int;  (* events ever emitted *)
+  mutable subscribers_rev : (event -> unit) list;
 }
 
-let create () =
-  { db = Relalg.Database.create (); log_rev = []; log_len = 0; subscribers = [] }
+let create ?(log_max = default_log_max) () =
+  if log_max < 1 then invalid_arg "Relation_store.create: log_max < 1";
+  {
+    db = Relalg.Database.create ();
+    log_max;
+    log_front = [];
+    log_back = [];
+    log_len = 0;
+    log_floor = 0;
+    total = 0;
+    subscribers_rev = [];
+  }
 
 let database t = t.db
 
@@ -21,10 +42,29 @@ let declare t name attrs =
       if Relalg.Schema.arity (Relalg.Relation.schema rel) <> List.length attrs then
         invalid_arg ("Relation_store.declare: arity clash for " ^ name)
 
+let drop_oldest t =
+  (match t.log_front with
+  | [] ->
+      t.log_front <- List.rev t.log_back;
+      t.log_back <- []
+  | _ -> ());
+  match t.log_front with
+  | _ :: rest ->
+      t.log_front <- rest;
+      t.log_len <- t.log_len - 1;
+      t.log_floor <- t.log_floor + 1
+  | [] -> assert false
+
 let emit t event =
-  t.log_rev <- event :: t.log_rev;
+  t.log_back <- event :: t.log_back;
   t.log_len <- t.log_len + 1;
-  List.iter (fun f -> f event) t.subscribers
+  t.total <- t.total + 1;
+  while t.log_len > t.log_max do
+    drop_oldest t
+  done;
+  (* Subscribers run in subscription (FIFO) order, so a later observer
+     can rely on an earlier one having seen the event already. *)
+  List.iter (fun f -> f event) (List.rev t.subscribers_rev)
 
 let insert t name tuple =
   let rel = Relalg.Database.find t.db name in
@@ -46,11 +86,23 @@ let delete t name tuple =
   end;
   removed
 
-let subscribe t f = t.subscribers <- f :: t.subscribers
-let log t = List.rev t.log_rev
+let subscribe t f = t.subscribers_rev <- f :: t.subscribers_rev
+let log t = t.log_front @ List.rev t.log_back
+
+let events_since t since =
+  if since < t.log_floor then None
+  else if since >= t.total then Some []
+  else
+    let skip = since - t.log_floor in
+    let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r in
+    Some (drop skip (log t))
 
 let truncate_log t =
-  t.log_rev <- [];
-  t.log_len <- 0
+  t.log_front <- [];
+  t.log_back <- [];
+  t.log_len <- 0;
+  t.log_floor <- t.total
 
 let log_length t = t.log_len
+let log_floor t = t.log_floor
+let total_events t = t.total

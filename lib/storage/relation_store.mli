@@ -1,7 +1,14 @@
 (** A relation store with a change log and subscriber notifications —
     the substrate both for instant-gratification application refresh
     (Section 2.2: "applications are immediately updated") and for
-    updategram-based view maintenance (Section 3.1.2). *)
+    updategram-based view maintenance (Section 3.1.2).
+
+    Subscribers are notified in subscription (FIFO) order, and the
+    event log is bounded: past [log_max] retained events the oldest are
+    dropped, mirroring {!Relalg.Relation}'s delta-log semantics —
+    {!events_since} returns [None] for positions older than
+    {!log_floor}, the explicit signal that an incremental consumer
+    missed events and must rebuild from the database instead. *)
 
 type event =
   | Inserted of string * Relalg.Relation.tuple
@@ -9,7 +16,10 @@ type event =
 
 type t
 
-val create : unit -> t
+val create : ?log_max:int -> unit -> t
+(** [log_max] (default 1024) caps the retained event log; it must be
+    at least 1. *)
+
 val database : t -> Relalg.Database.t
 
 val declare : t -> string -> string list -> unit
@@ -23,9 +33,28 @@ val insert : t -> string -> Relalg.Relation.tuple -> bool
 val delete : t -> string -> Relalg.Relation.tuple -> bool
 
 val subscribe : t -> (event -> unit) -> unit
+(** Subscribers are invoked per effective event, in the order they
+    subscribed. *)
 
 val log : t -> event list
-(** Chronological change log since creation (or the last [truncate_log]). *)
+(** The retained chronological change log — the events with positions
+    [log_floor t .. total_events t - 1].  Older events have been capped
+    away (or removed by {!truncate_log}). *)
+
+val events_since : t -> int -> event list option
+(** [events_since t n] is the events at positions [>= n], oldest first;
+    [None] when [n < log_floor t] — the truncation signal: the suffix
+    can no longer be reconstructed and the consumer must rebuild. *)
 
 val truncate_log : t -> unit
+(** Drop every retained event (raising {!log_floor} to
+    {!total_events}). *)
+
 val log_length : t -> int
+(** Retained events ([<= log_max]). *)
+
+val log_floor : t -> int
+(** Position of the oldest retained event. *)
+
+val total_events : t -> int
+(** Events ever emitted, including capped and truncated ones. *)

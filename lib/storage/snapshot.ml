@@ -1,0 +1,78 @@
+let magic = "REVERE-SNAP 1\n"
+
+let m_snapshots = Obs.Metrics.counter "pdms.wal.snapshots"
+
+let name_of_seq seq = Printf.sprintf "snapshot-%d.snap" seq
+
+let seq_of_name name =
+  if
+    String.length name > 13
+    && String.sub name 0 9 = "snapshot-"
+    && Filename.check_suffix name ".snap"
+  then int_of_string_opt (String.sub name 9 (String.length name - 14))
+  else None
+
+let write ~dir ~seq payload =
+  let path = Filename.concat dir (name_of_seq seq) in
+  let tmp = path ^ ".tmp" in
+  let buf = Buffer.create (String.length payload + 16) in
+  Codec.add_varint buf seq;
+  Codec.add_string buf payload;
+  let body = magic ^ Codec.frame (Buffer.contents buf) in
+  let fd =
+    Unix.openfile tmp
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+      0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = Unix.write_substring fd body 0 (String.length body) in
+      assert (n = String.length body);
+      Unix.fsync fd);
+  (* rename is atomic within a filesystem: readers see either the old
+     directory state or the complete new snapshot, never a prefix. *)
+  Sys.rename tmp path;
+  Obs.Metrics.incr m_snapshots;
+  path
+
+let load path =
+  let s =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let mlen = String.length magic in
+  if String.length s < mlen || String.sub s 0 mlen <> magic then
+    Error (path ^ ": not a snapshot file (bad magic line)")
+  else
+    match Codec.read_frame s mlen with
+    | Codec.End -> Error (path ^ ": empty snapshot")
+    | Codec.Torn why -> Error (path ^ ": " ^ why)
+    | Codec.Frame (payload, _) -> (
+        match
+          let r = Codec.reader payload in
+          let seq = Codec.read_varint r in
+          let body = Codec.read_string r in
+          (seq, body)
+        with
+        | v -> Ok v
+        | exception Codec.Corrupt why -> Error (path ^ ": " ^ why))
+
+let list ~dir =
+  (if Sys.file_exists dir then Sys.readdir dir else [||])
+  |> Array.to_list
+  |> List.filter_map (fun name ->
+         match seq_of_name name with
+         | Some seq -> Some (seq, Filename.concat dir name)
+         | None -> None)
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let load_latest ~dir =
+  let rec go = function
+    | [] -> None
+    | (_, path) :: rest -> (
+        match load path with Ok (seq, payload) -> Some (seq, payload) | Error _ -> go rest)
+  in
+  go (list ~dir)

@@ -1355,6 +1355,305 @@ let prop_pdms_file_roundtrip =
       P.Answer.answers_list (P.Answer.answer catalog query)
       = P.Answer.answers_list (P.Answer.answer catalog' query))
 
+(* Field-level inverse: parse_value (render_value v) = v for every
+   value the format can express (everything but Null, which has no row
+   syntax; floats round-trip since render keeps a decimal point). *)
+let gen_roundtrippable_value =
+  QCheck.Gen.(
+    let tricky_string =
+      oneof
+        [ (* numeric- and boolean-looking strings must come back Str *)
+          oneofl [ "42"; "-7"; "6.830"; "1e3"; "true"; "false"; "0x1f" ];
+          map string_of_int int;
+          (* pipes, whitespace, quote-wrapping *)
+          oneofl
+            [ "a | b"; " padded "; "\ttab"; "trailing "; "'quoted'"; "''";
+              "mid'quote"; "'"; "null" ];
+          string_size ~gen:(char_range ' ' '~') (int_bound 15) ]
+    in
+    oneof
+      [ map (fun b -> Relalg.Value.Bool b) bool;
+        map (fun i -> Relalg.Value.Int i) int;
+        map (fun f -> Relalg.Value.Float f) (float_bound_inclusive 1e9);
+        map (fun i -> Relalg.Value.Float (float_of_int i)) (int_bound 1000);
+        map (fun s -> Relalg.Value.Str s) tricky_string ])
+
+let prop_pdms_value_roundtrip =
+  QCheck.Test.make ~name:"pdms_file value render/parse inverse" ~count:1000
+    (QCheck.make gen_roundtrippable_value
+       ~print:(fun v -> P.Pdms_file.render_value v))
+    (fun v ->
+      Relalg.Value.equal (P.Pdms_file.parse_value (P.Pdms_file.render_value v)) v)
+
+(* Catalog-level: rows whose values used to be mangled (numeric-looking
+   course codes, pipes, padding) must survive render -> parse. *)
+let test_pdms_file_tricky_rows () =
+  let catalog = P.Catalog.create () in
+  let uw = P.Peer.create ~name:"uw" ~schema:[ ("course", [ "code"; "title" ]) ] in
+  P.Catalog.add_peer catalog uw;
+  let stored = P.Catalog.store_identity catalog uw ~rel:"course" in
+  let rows =
+    [ [| vs "6.830"; vs "databases" |];
+      [| vs "42"; vs "meaning | of life" |];
+      [| vs " padded "; vs "true" |];
+      [| vs "'already quoted'"; Relalg.Value.Float 2.0 |];
+      [| Relalg.Value.Int 7; Relalg.Value.Bool false |] ]
+  in
+  List.iter (insert stored) rows;
+  let rendered = P.Pdms_file.render catalog in
+  let catalog' = P.Pdms_file.parse_exn rendered in
+  let stored' =
+    Relalg.Database.find (P.Catalog.global_db catalog') "uw.course!"
+  in
+  check_b "tuples survive in order" true
+    (Relalg.Relation.tuples stored' = rows);
+  check_b "schema survives" true
+    (Relalg.Schema.attrs (Relalg.Relation.schema stored')
+    = Relalg.Schema.attrs (Relalg.Relation.schema stored));
+  (* Render is a fixpoint of render -> parse -> render. *)
+  check_b "text fixpoint" true (P.Pdms_file.render catalog' = rendered)
+
+(* ------------------------------------------------------------------ *)
+(* Durability: snapshot + WAL recovery (Persist). *)
+
+let temp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "revere-persist-%d-%d" (Unix.getpid ()) !n)
+    in
+    Unix.mkdir dir 0o755;
+    dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Copy a data directory, truncating the WAL to [wal_bytes] — the
+   injected crash: everything the OS had by that point survives,
+   nothing after does. *)
+let copy_dir_with_crash src wal_bytes =
+  let dst = temp_dir () in
+  Array.iter
+    (fun name ->
+      let s = read_file (Filename.concat src name) in
+      let s =
+        if name = "wal.log" && String.length s > wal_bytes then
+          String.sub s 0 wal_bytes
+        else s
+      in
+      write_file (Filename.concat dst name) s)
+    (Sys.readdir src);
+  dst
+
+(* A deterministic full-state transcript: every stored tuple in order,
+   a ranked keyword search, and a reformulated answer.  Recovery is
+   correct exactly when this string is byte-identical. *)
+let persist_transcript ?(exec = P.Exec.default) t =
+  let catalog = P.Persist.catalog t and db = P.Persist.db t in
+  let b = Buffer.create 2048 in
+  List.iter
+    (fun name ->
+      let rel = Relalg.Database.find db name in
+      Buffer.add_string b (name ^ ":\n");
+      List.iter
+        (fun row ->
+          Buffer.add_string b
+            (String.concat " | "
+               (Array.to_list (Array.map P.Pdms_file.render_value row)));
+          Buffer.add_char b '\n')
+        (Relalg.Relation.tuples rel))
+    (List.sort compare (Relalg.Database.names db));
+  List.iter
+    (fun (h : P.Keyword.hit) ->
+      Buffer.add_string b
+        (Printf.sprintf "%.6f %s/%s %s\n" h.P.Keyword.score h.P.Keyword.peer
+           h.P.Keyword.stored_rel
+           (String.concat "|"
+              (Array.to_list (Array.map Relalg.Value.to_string h.P.Keyword.tuple)))))
+    (P.Keyword.search ~exec catalog "introduction seminar advanced");
+  let stanford = P.Catalog.peer catalog "stanford" in
+  List.iter
+    (fun row -> Buffer.add_string b (String.concat "," row ^ "\n"))
+    (P.Answer.answers_list
+       (P.Answer.answer ~exec catalog (Workload.University.course_query stanford)));
+  Buffer.contents b
+
+let six_university_persist seed =
+  let prng = Util.Prng.create seed in
+  let d = Workload.University.build_delearning prng ~courses_per_peer:2 in
+  let dir = temp_dir () in
+  P.Persist.init ~dir d.Workload.University.catalog;
+  (dir, P.Persist.open_dir_exn dir, prng)
+
+(* Random effective updategram against a random stored relation. *)
+let random_gram prng db gram_no =
+  let names = Array.of_list (Relalg.Database.names db) in
+  let rel_name = Util.Prng.pick_arr prng names in
+  let rel = Relalg.Database.find db rel_name in
+  let arity = Relalg.Schema.arity (Relalg.Relation.schema rel) in
+  let fresh i =
+    Array.init arity (fun j ->
+        if j = arity - 1 && Util.Prng.bool prng then
+          Relalg.Value.Int (Util.Prng.int prng 500)
+        else vs (Printf.sprintf "seminar g%d-%d-%d" gram_no i j))
+  in
+  let inserts = List.init (Util.Prng.int prng 3) fresh in
+  let deletes =
+    let existing = Relalg.Relation.tuples rel in
+    List.filteri (fun i _ -> i < 2 && Util.Prng.bool prng) existing
+    @ (if Util.Prng.bernoulli prng 0.3 then [ fresh 99 ] else [])
+  in
+  P.Updategram.make ~rel:rel_name ~inserts ~deletes ()
+
+let test_persist_init_apply_reopen () =
+  let dir, t, prng = six_university_persist 11 in
+  for g = 1 to 5 do
+    P.Persist.apply ~sync:(g mod 2 = 0) t (random_gram prng (P.Persist.db t) g)
+  done;
+  ignore (P.Persist.snapshot t);
+  P.Persist.apply ~sync:true t (random_gram prng (P.Persist.db t) 6);
+  let live = persist_transcript t in
+  P.Persist.close t;
+  let t' = P.Persist.open_dir_exn dir in
+  check_b "reopen reproduces the live state byte-for-byte" true
+    (persist_transcript t' = live);
+  check_b "appends continue past recovery" true
+    (P.Persist.wal_seq t' >= 1);
+  P.Persist.close t';
+  check_b "fsck passes" true (P.Persist.fsck_ok (P.Persist.fsck dir))
+
+let test_persist_fsck_detects_damage () =
+  let dir, t, prng = six_university_persist 12 in
+  P.Persist.apply ~sync:true t (random_gram prng (P.Persist.db t) 1);
+  P.Persist.close t;
+  check_b "intact dir is ok" true (P.Persist.fsck_ok (P.Persist.fsck dir));
+  (* A WAL record against a relation the snapshot does not know cannot
+     replay: fsck must fail rather than let recovery throw later. *)
+  (match Storage.Wal.open_dir ~dir with
+  | Ok (w, _) ->
+      ignore
+        (Storage.Wal.append w ~rel:"nowhere.gone!"
+           (Relalg.Relation.Delta.of_rows [ [| vs "x" |] ]));
+      Storage.Wal.close w
+  | Error m -> Alcotest.fail m);
+  let r = P.Persist.fsck dir in
+  check_b "unknown relation caught" false (P.Persist.fsck_ok r);
+  (* Losing every snapshot is unrecoverable and must be reported. *)
+  let dir2, t2, _ = six_university_persist 13 in
+  P.Persist.close t2;
+  Array.iter
+    (fun n ->
+      if Filename.check_suffix n ".snap" then
+        Sys.remove (Filename.concat dir2 n))
+    (Sys.readdir dir2);
+  check_b "no snapshot caught" false (P.Persist.fsck_ok (P.Persist.fsck dir2))
+
+(* The crash-consistency sweep: kill the process at every byte boundary
+   of the WAL's tail record; recovery must land exactly on the state
+   the surviving prefix described, and fsck must pass. *)
+let test_persist_kill_point_sweep () =
+  let dir, t, prng = six_university_persist 21 in
+  (* Three effective grams; remember (wal size, transcript) after each. *)
+  let states = ref [ (P.Persist.wal_size t, persist_transcript t) ] in
+  for g = 1 to 3 do
+    let before = P.Persist.wal_seq t in
+    let rec effective n =
+      P.Persist.apply ~sync:true t (random_gram prng (P.Persist.db t) (10 * g));
+      if P.Persist.wal_seq t = before && n < 20 then effective (n + 1)
+    in
+    effective 0;
+    states := (P.Persist.wal_size t, persist_transcript t) :: !states
+  done;
+  let states = List.rev !states in
+  P.Persist.close t;
+  let sizes = List.map fst states in
+  let tail_start = List.nth sizes (List.length sizes - 2) in
+  let tail_end = List.nth sizes (List.length sizes - 1) in
+  check_b "tail record is non-empty" true (tail_end > tail_start);
+  for cut = tail_start to tail_end do
+    let crashed = copy_dir_with_crash dir cut in
+    let expected =
+      (* The last state whose WAL prefix fully survived the crash. *)
+      List.fold_left
+        (fun acc (size, tr) -> if size <= cut then Some tr else acc)
+        None states
+      |> Option.get
+    in
+    check_b
+      (Printf.sprintf "fsck at kill point %d" cut)
+      true
+      (P.Persist.fsck_ok (P.Persist.fsck crashed));
+    let t' = P.Persist.open_dir_exn crashed in
+    let got = persist_transcript t' in
+    P.Persist.close t';
+    if got <> expected then
+      Alcotest.failf "kill point %d: recovered state diverges" cut
+  done
+
+(* Property: random gram streams, snapshots at random points, a crash
+   at a random WAL byte offset — under any jobs setting the recovered
+   transcript is byte-identical to the surviving prefix's. *)
+let prop_persist_crash_recovery =
+  QCheck.Test.make ~name:"crash recovery = surviving prefix (random streams)"
+    ~count:20
+    (QCheck.make QCheck.Gen.(int_bound 100_000) ~print:string_of_int)
+    (fun seed ->
+      let exec = P.Exec.with_jobs (1 + (seed mod 2)) in
+      let dir, t, prng = six_university_persist seed in
+      (* (wal seq, wal size, transcript) after init and every apply;
+         snapshots interleave at random points. *)
+      let states =
+        ref [ (0, P.Persist.wal_size t, persist_transcript ~exec t) ]
+      in
+      let snap_seqs = ref [ 0 ] in
+      for g = 1 to 6 do
+        P.Persist.apply ~exec ~sync:(Util.Prng.bool prng) t
+          (random_gram prng (P.Persist.db t) g);
+        states :=
+          (P.Persist.wal_seq t, P.Persist.wal_size t, persist_transcript ~exec t)
+          :: !states;
+        if Util.Prng.bernoulli prng 0.25 then begin
+          ignore (P.Persist.snapshot t);
+          snap_seqs := P.Persist.wal_seq t :: !snap_seqs
+        end
+      done;
+      let states = List.rev !states in
+      let final_size = P.Persist.wal_size t in
+      P.Persist.close t;
+      let snap_max = List.fold_left max 0 !snap_seqs in
+      (* Crash at a random byte offset across the whole log. *)
+      let cut = Util.Prng.int prng (final_size + 1) in
+      let crashed = copy_dir_with_crash dir cut in
+      (* Expected: the newest snapshot always survives (snapshot files
+         are not truncated), so recovery lands on the later of (newest
+         snapshot, last fully-durable WAL record). *)
+      let surviving_seq =
+        List.fold_left
+          (fun acc (seq, size, _) -> if size <= cut then max acc seq else acc)
+          0 states
+      in
+      let expect_seq = max snap_max surviving_seq in
+      let expected =
+        match List.find_opt (fun (seq, _, _) -> seq = expect_seq) states with
+        | Some (_, _, tr) -> tr
+        | None -> Alcotest.failf "no recorded state for seq %d" expect_seq
+      in
+      let ok_fsck = P.Persist.fsck_ok (P.Persist.fsck crashed) in
+      let t' = P.Persist.open_dir_exn ~exec crashed in
+      let got = persist_transcript ~exec t' in
+      P.Persist.close t';
+      ok_fsck && got = expected)
+
 (* ------------------------------------------------------------------ *)
 (* Parallel answer path: jobs > 1 must be invisible in the results. *)
 
@@ -1752,8 +2051,17 @@ let () =
       ("pdms_file",
        [ Alcotest.test_case "parse and answer" `Quick test_pdms_file_parse_and_answer;
          Alcotest.test_case "roundtrip" `Quick test_pdms_file_roundtrip;
+         Alcotest.test_case "tricky rows" `Quick test_pdms_file_tricky_rows;
          Alcotest.test_case "errors" `Quick test_pdms_file_errors ]
-       @ qc [ prop_pdms_file_roundtrip ]);
+       @ qc [ prop_pdms_file_roundtrip; prop_pdms_value_roundtrip ]);
+      ("persist",
+       [ Alcotest.test_case "init, apply, reopen" `Quick
+           test_persist_init_apply_reopen;
+         Alcotest.test_case "fsck detects damage" `Quick
+           test_persist_fsck_detects_damage;
+         Alcotest.test_case "kill-point sweep" `Quick
+           test_persist_kill_point_sweep ]
+       @ qc [ prop_persist_crash_recovery ]);
       ("propagate",
        [ Alcotest.test_case "remote replica" `Quick test_propagate_to_remote_replica;
          Alcotest.test_case "multiple replicas" `Quick
